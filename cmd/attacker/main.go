@@ -1,0 +1,238 @@
+// Command attacker walks through the paper's three attack phases against
+// the simulated RAVEN II robot:
+//
+//	attacker -phase eavesdrop -runs 3 -out capture.json
+//	    Preload the malicious logging wrapper, record the USB frames of
+//	    several teleoperation sessions, and save the captures.
+//
+//	attacker -phase analyze -in capture.json
+//	    Offline analysis: profile bytes, find the toggling watchdog bit,
+//	    locate the state byte, and infer the "Pedal Down" trigger value.
+//
+//	attacker -phase deploy -in capture.json -value 20000 -duration 128
+//	    Build the triggered injection wrapper from the inferred trigger
+//	    and attack a live session.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ravenguard"
+	"ravenguard/internal/analysis"
+	"ravenguard/internal/malware"
+)
+
+// capture is the on-disk format of eavesdropped runs.
+type capture struct {
+	Runs [][][]byte `json:"runs"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "attacker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		phase    = flag.String("phase", "eavesdrop", "attack phase: eavesdrop | analyze | deploy")
+		runs     = flag.Int("runs", 3, "eavesdrop: sessions to capture")
+		seed     = flag.Int64("seed", 7, "base simulation seed")
+		inFile   = flag.String("in", "capture.json", "analyze/deploy: capture file")
+		outFile  = flag.String("out", "capture.json", "eavesdrop: capture file to write")
+		value    = flag.Int("value", 20000, "deploy: injected DAC error value")
+		duration = flag.Int("duration", 128, "deploy: activation period, cycles")
+	)
+	flag.Parse()
+
+	switch *phase {
+	case "eavesdrop":
+		return eavesdrop(*runs, *seed, *outFile)
+	case "eavesdrop-read":
+		return eavesdropRead(*runs, *seed, *outFile)
+	case "analyze":
+		return analyze(*inFile)
+	case "analyze-read":
+		return analyzeRead(*inFile)
+	case "deploy":
+		return deploy(*inFile, *seed, int16(*value), *duration)
+	default:
+		return fmt.Errorf("unknown -phase %q", *phase)
+	}
+}
+
+// eavesdropRead captures the read path (encoder feedback) instead of the
+// write path — "similar analysis can be done on the data collected from
+// the read system calls".
+func eavesdropRead(runs int, seed int64, outFile string) error {
+	var cap capture
+	for r := 0; r < runs; r++ {
+		exfil := ravenguard.NewMemExfil()
+		logger := malware.NewReadLogger(exfil)
+		cfg := ravenguard.SystemConfig{
+			Seed:   seed + int64(r),
+			Script: ravenguard.StandardScript(4 + float64(r)),
+		}
+		cfg.OnFeedbackRead = logger.FeedbackHook()
+		sys, err := ravenguard.NewSystem(cfg)
+		if err != nil {
+			return err
+		}
+		if _, err := sys.Run(0); err != nil {
+			return err
+		}
+		frames := exfil.Frames()
+		cap.Runs = append(cap.Runs, frames)
+		fmt.Printf("run %d: captured %d feedback frames\n", r+1, len(frames))
+	}
+	data, err := json.Marshal(cap)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outFile, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d runs)\n", outFile, len(cap.Runs))
+	return nil
+}
+
+// analyzeRead profiles encoder-channel activity from a read-path capture.
+func analyzeRead(inFile string) error {
+	cap, err := loadCapture(inFile)
+	if err != nil {
+		return err
+	}
+	if len(cap.Runs) == 0 {
+		return fmt.Errorf("%s holds no runs", inFile)
+	}
+	activity, err := analysis.ProfileFeedback(cap.Runs[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println("encoder channel activity (run 1):")
+	for _, a := range activity {
+		status := "idle"
+		if a.Active() {
+			status = "LIVE"
+		}
+		fmt.Printf("  channel %d: %-4s  range [%d, %d], total travel %d counts\n",
+			a.Channel, status, a.Min, a.Max, a.Travel)
+	}
+	return nil
+}
+
+func eavesdrop(runs int, seed int64, outFile string) error {
+	var cap capture
+	for r := 0; r < runs; r++ {
+		exfil := ravenguard.NewMemExfil()
+		sys, err := ravenguard.NewSystem(ravenguard.SystemConfig{
+			Seed:    seed + int64(r),
+			Script:  ravenguard.StandardScript(4 + float64(r)),
+			Preload: []ravenguard.Wrapper{ravenguard.NewEavesdropLogger(exfil)},
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := sys.Run(0); err != nil {
+			return err
+		}
+		frames := exfil.Frames()
+		cap.Runs = append(cap.Runs, frames)
+		fmt.Printf("run %d: captured %d frames\n", r+1, len(frames))
+	}
+	data, err := json.Marshal(cap)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outFile, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d runs)\n", outFile, len(cap.Runs))
+	return nil
+}
+
+func loadCapture(inFile string) (capture, error) {
+	data, err := os.ReadFile(inFile)
+	if err != nil {
+		return capture{}, err
+	}
+	var cap capture
+	if err := json.Unmarshal(data, &cap); err != nil {
+		return capture{}, fmt.Errorf("parse %s: %w", inFile, err)
+	}
+	return cap, nil
+}
+
+func analyze(inFile string) error {
+	cap, err := loadCapture(inFile)
+	if err != nil {
+		return err
+	}
+	if len(cap.Runs) == 0 {
+		return fmt.Errorf("%s holds no runs", inFile)
+	}
+
+	profiles, err := analysis.Profile(cap.Runs[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println("per-byte profile (run 1):")
+	for _, p := range profiles {
+		fmt.Printf("  byte %2d: %4d distinct values, %6d changes\n", p.Index, p.Distinct, p.Toggles)
+	}
+
+	inf, err := ravenguard.InferState(cap.Runs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ninference over %d runs:\n", len(cap.Runs))
+	fmt.Printf("  state byte:       %d\n", inf.StateByte)
+	fmt.Printf("  watchdog bit:     %#02x (half-period %.1f frames)\n", inf.WatchdogMask, inf.HalfPeriod)
+	fmt.Printf("  state values:     % #02x (order of first appearance)\n", inf.StateValues)
+	fmt.Printf("  PEDAL DOWN value: %#02x  <- attack trigger\n", inf.PedalDownByte)
+	return nil
+}
+
+func deploy(inFile string, seed int64, value int16, duration int) error {
+	cap, err := loadCapture(inFile)
+	if err != nil {
+		return err
+	}
+	inf, err := ravenguard.InferState(cap.Runs)
+	if err != nil {
+		return fmt.Errorf("inference failed, cannot build trigger: %w", err)
+	}
+	fmt.Printf("deploying injector triggered on byte %d == %#02x\n", inf.StateByte, inf.PedalDownByte)
+
+	inj := malware.NewInjector(malware.InjectorConfig{
+		TriggerByte0:    inf.PedalDownByte,
+		Mode:            malware.ModeDACOffset,
+		Channel:         0,
+		Value:           value,
+		StartDelayTicks: 1000,
+		ActivationTicks: duration,
+	})
+	sys, err := ravenguard.NewSystem(ravenguard.SystemConfig{
+		Seed:    seed + 100,
+		Script:  ravenguard.StandardScript(6),
+		Preload: []ravenguard.Wrapper{inj},
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := sys.Run(0); err != nil {
+		return err
+	}
+	fmt.Printf("frames corrupted:   %d\n", inj.Injected())
+	fmt.Printf("final state:        %s\n", sys.Controller().State())
+	fmt.Printf("RAVEN safety trips: %d\n", sys.Controller().SafetyTrips())
+	fmt.Printf("PLC E-STOP:         %v (%s)\n", sys.PLC().EStopped(), sys.PLC().EStopCause())
+	if broken, which := sys.Plant().CableBroken(); broken {
+		fmt.Printf("CABLE BROKEN:       %v\n", which)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Command console runs the operator side of a networked teleoperation
+// session: it streams ITP datagrams — start button, foot pedal, and a
+// surgical trajectory's incremental motions — over UDP to a teleopd
+// instance, paced at the 1 kHz control rate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ravenguard/internal/console"
+	"ravenguard/internal/itp"
+	"ravenguard/internal/trajectory"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "console:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		robot   = flag.String("robot", "127.0.0.1:36000", "teleopd's UDP address")
+		teleop  = flag.Float64("teleop", 10, "pedal-down time, seconds")
+		trajIdx = flag.Int("traj", 0, "trajectory index (0 = circle, 1 = lissajous)")
+	)
+	flag.Parse()
+
+	sender, err := itp.NewUDPSender(*robot)
+	if err != nil {
+		return err
+	}
+	defer sender.Close()
+
+	cons, err := console.New(
+		console.StandardScript(*teleop),
+		trajectory.Standard()[*trajIdx%2],
+		sender,
+	)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("streaming to %s: start, %.1fs homing wait, %.1fs teleoperation\n",
+		*robot, 2.5, *teleop)
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	for !cons.Done() {
+		<-ticker.C
+		if _, err := cons.Tick(1e-3); err != nil {
+			return err
+		}
+	}
+	fmt.Println("session script complete")
+	return nil
+}

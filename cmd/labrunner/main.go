@@ -1,0 +1,326 @@
+// Command labrunner regenerates the paper's tables and figures from the
+// simulation stack (see DESIGN.md's experiment index):
+//
+//	labrunner -exp table1     Table I   attack-variant matrix
+//	labrunner -exp table2     Table II  malicious-wrapper overhead
+//	labrunner -exp fig5       Figure 5  USB byte profile
+//	labrunner -exp fig6       Figure 6  state inference over nine runs
+//	labrunner -exp fig8       Figure 8  dynamic-model validation
+//	labrunner -exp table4     Table IV  detection performance
+//	labrunner -exp fig9       Figure 9  impact/detection probability sweep
+//	labrunner -exp ablation   design-choice ablations
+//	labrunner -exp learn      regenerate internal/core/thresholds_gen.go
+//	labrunner -exp mitigation  mitigation-strategy comparison (extension)
+//	labrunner -exp latency    detection-latency profile (extension)
+//	labrunner -exp persistence availability under persistent malware (extension)
+//	labrunner -exp all        everything above except learn
+//
+// -quick shrinks the campaigns for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ravenguard/internal/core"
+	"ravenguard/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "labrunner:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (table1|table2|fig5|fig6|fig8|table4|fig9|ablation|mitigation|latency|persistence|learn|all)")
+		quick  = flag.Bool("quick", false, "shrink campaigns for a fast pass")
+		seed   = flag.Int64("seed", 1, "base seed")
+		csvDir = flag.String("csvdir", "", "also export fig8/table4/fig9 results as CSV into this directory")
+		outTh  = flag.String("out", "", "learn: also save the learned thresholds to this JSON file")
+	)
+	flag.Parse()
+
+	exportCSV := func(name string, write func(io.Writer) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		path := filepath.Join(*csvDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			fmt.Printf("(csv: %s)\n", path)
+		}
+		return err
+	}
+
+	run := func(name string, f func() error) error {
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds())
+		return nil
+	}
+
+	all := *exp == "all"
+	ran := false
+
+	if all || *exp == "table2" {
+		ran = true
+		calls := 50000
+		if *quick {
+			calls = 5000
+		}
+		if err := run("Table II", func() error {
+			res, err := experiment.RunTable2(experiment.Table2Config{Calls: calls})
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if all || *exp == "fig5" {
+		ran = true
+		if err := run("Figure 5", func() error {
+			res, err := experiment.RunFig5(*seed)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if all || *exp == "fig6" {
+		ran = true
+		if err := run("Figure 6", func() error {
+			res, err := experiment.RunFig6(*seed)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if all || *exp == "fig8" {
+		ran = true
+		runs := 10
+		if *quick {
+			runs = 3
+		}
+		if err := run("Figure 8", func() error {
+			res, err := experiment.RunFig8(experiment.Fig8Config{Runs: runs, BaseSeed: *seed})
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return exportCSV("fig8.csv", func(w io.Writer) error { return experiment.WriteFig8CSV(w, res) })
+		}); err != nil {
+			return err
+		}
+	}
+
+	if all || *exp == "table1" {
+		ran = true
+		if err := run("Table I", func() error {
+			res, err := experiment.RunTable1(*seed)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if all || *exp == "table4" {
+		ran = true
+		runsA, runsB := 1925, 1361
+		if *quick {
+			runsA, runsB = 150, 150
+		}
+		if err := run("Table IV", func() error {
+			res, err := experiment.RunTable4(experiment.Table4Config{
+				RunsA: runsA, RunsB: runsB, BaseSeed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return exportCSV("table4.csv", func(w io.Writer) error { return experiment.WriteTable4CSV(w, res) })
+		}); err != nil {
+			return err
+		}
+	}
+
+	if all || *exp == "fig9" {
+		ran = true
+		reps := 20
+		if *quick {
+			reps = 5
+		}
+		if err := run("Figure 9", func() error {
+			res, err := experiment.RunFig9(experiment.Fig9Config{Reps: reps, BaseSeed: *seed})
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return exportCSV("fig9.csv", func(w io.Writer) error { return experiment.WriteFig9CSV(w, res) })
+		}); err != nil {
+			return err
+		}
+	}
+
+	if all || *exp == "ablation" {
+		ran = true
+		runs := 240
+		if *quick {
+			runs = 60
+		}
+		for _, abl := range []struct {
+			name string
+			f    func(experiment.AblationConfig) (experiment.AblationResult, error)
+		}{
+			{"Ablation: alarm fusion", experiment.RunAblationFusion},
+			{"Ablation: threshold scale", experiment.RunAblationPercentile},
+			{"Ablation: detector placement", experiment.RunAblationPlacement},
+			{"Ablation: model resync scheme", experiment.RunAblationResync},
+		} {
+			abl := abl
+			if err := run(abl.name, func() error {
+				res, err := abl.f(experiment.AblationConfig{Runs: runs, BaseSeed: *seed})
+				if err != nil {
+					return err
+				}
+				res.Write(os.Stdout)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	if all || *exp == "mitigation" {
+		ran = true
+		attacks := 60
+		if *quick {
+			attacks = 12
+		}
+		if err := run("Mitigation comparison", func() error {
+			for _, v := range []int16{12000, 16000, 20000} {
+				res, err := experiment.RunMitigationComparison(experiment.MitigationConfig{
+					Attacks: attacks, Value: v, BaseSeed: *seed,
+				})
+				if err != nil {
+					return err
+				}
+				res.Write(os.Stdout)
+				fmt.Println()
+				if err := exportCSV(fmt.Sprintf("mitigation_%d.csv", v), func(w io.Writer) error {
+					return experiment.WriteMitigationCSV(w, res)
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if all || *exp == "latency" {
+		ran = true
+		runs := 20
+		if *quick {
+			runs = 6
+		}
+		if err := run("Detection latency", func() error {
+			res, err := experiment.RunLatency(experiment.LatencyConfig{RunsPerValue: runs, BaseSeed: *seed})
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return exportCSV("latency.csv", func(w io.Writer) error { return experiment.WriteLatencyCSV(w, res) })
+		}); err != nil {
+			return err
+		}
+	}
+
+	if all || *exp == "persistence" {
+		ran = true
+		attempts := 20
+		if *quick {
+			attempts = 6
+		}
+		if err := run("Availability under persistent malware", func() error {
+			res, err := experiment.RunPersistence(experiment.PersistenceConfig{
+				Attempts: attempts, BaseSeed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if *exp == "learn" {
+		ran = true
+		cfg := core.LearnConfig{BaseSeed: *seed}
+		if *quick {
+			cfg.Runs = 40
+		}
+		if err := run("Threshold learning", func() error {
+			th, err := core.Learn(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("// paste into internal/core/thresholds_gen.go:")
+			fmt.Printf("var generatedThresholds = Thresholds{\n")
+			fmt.Printf("\tMotorVel:   [3]float64{%.5g, %.5g, %.5g},\n", th.MotorVel[0], th.MotorVel[1], th.MotorVel[2])
+			fmt.Printf("\tMotorAccel: [3]float64{%.5g, %.5g, %.5g},\n", th.MotorAccel[0], th.MotorAccel[1], th.MotorAccel[2])
+			fmt.Printf("\tJointVel:   [3]float64{%.5g, %.5g, %.5g},\n", th.JointVel[0], th.JointVel[1], th.JointVel[2])
+			fmt.Printf("}\n")
+			if *outTh != "" {
+				if err := th.Save(*outTh); err != nil {
+					return err
+				}
+				fmt.Printf("(saved to %s)\n", *outTh)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if !ran {
+		return fmt.Errorf("unknown -exp %q", *exp)
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+// Command ravend runs one simulated teleoperated-surgery session on the
+// RAVEN II stack: console emulator, 1 kHz control software, USB boards,
+// PLC, and physical plant — optionally under attack and optionally
+// protected by the dynamic model-based guard.
+//
+// Examples:
+//
+//	ravend -teleop 10
+//	ravend -attack B -value 20000 -duration 128 -guard monitor
+//	ravend -attack A -magnitude 0.0004 -duration 64 -guard mitigate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ravenguard"
+	"ravenguard/internal/mathx"
+	"ravenguard/internal/record"
+	"ravenguard/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ravend:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed      = flag.Int64("seed", 1, "simulation seed (runs are reproducible)")
+		teleop    = flag.Float64("teleop", 10, "pedal-down teleoperation time, seconds")
+		trajIdx   = flag.Int("traj", 0, "trajectory index (0 = circle, 1 = lissajous)")
+		attack    = flag.String("attack", "none", "attack scenario: none | A | B")
+		value     = flag.Int("value", 16000, "scenario B: injected DAC error value")
+		magnitude = flag.Float64("magnitude", 2e-4, "scenario A: injected tip motion per cycle, meters")
+		duration  = flag.Int("duration", 64, "attack activation period, control cycles (= ms)")
+		delay     = flag.Int("delay", 1000, "pedal-down cycles before the attack activates")
+		guardMode = flag.String("guard", "off", "dynamic-model guard: off | monitor | mitigate | holdsafe")
+		verbose   = flag.Bool("v", false, "print per-second telemetry")
+		recordTo  = flag.String("record", "", "record the session to this JSONL file")
+		svgTo     = flag.String("svg", "", "render the tip path to this SVG file")
+		replayOf  = flag.String("replay", "", "replay a recorded session (JSONL) instead of the built-in script/trajectory")
+		thFile    = flag.String("thresholds", "", "load guard thresholds from this JSON file (default: built-in learned values)")
+	)
+	flag.Parse()
+
+	cfg := ravenguard.SystemConfig{
+		Seed:   *seed,
+		Script: ravenguard.StandardScript(*teleop),
+		Traj:   ravenguard.StandardTrajectories()[*trajIdx%2],
+	}
+	if *replayOf != "" {
+		rec, err := record.Load(*replayOf)
+		if err != nil {
+			return err
+		}
+		script, err := rec.Script()
+		if err != nil {
+			return err
+		}
+		replay, err := rec.Trajectory()
+		if err != nil {
+			return err
+		}
+		cfg.Script = script
+		cfg.Traj = replay
+		fmt.Printf("replaying %s: %d ticks, %.1f s of motion\n", *replayOf, len(rec.Ticks), replay.Duration())
+	}
+
+	var guard *ravenguard.Guard
+	if *guardMode != "off" {
+		mode := ravenguard.ModeMonitor
+		switch *guardMode {
+		case "mitigate":
+			mode = ravenguard.ModeMitigate
+		case "holdsafe":
+			mode = ravenguard.ModeHoldSafe
+		}
+		th := ravenguard.DefaultThresholds()
+		if *thFile != "" {
+			loaded, err := ravenguard.LoadThresholds(*thFile)
+			if err != nil {
+				return err
+			}
+			th = loaded
+		}
+		g, err := ravenguard.NewGuard(ravenguard.GuardConfig{
+			Thresholds: th,
+			Mode:       mode,
+		})
+		if err != nil {
+			return err
+		}
+		guard = g
+		cfg.Guards = []ravenguard.Hook{g}
+	}
+
+	var injected func() int
+	switch *attack {
+	case "none":
+	case "A":
+		att, err := ravenguard.NewScenarioA(ravenguard.ScenarioAParams{
+			Magnitude:       *magnitude,
+			StartAfterTicks: *delay,
+			ActivationTicks: *duration,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.OnInput = att.Hook()
+		injected = att.Injected
+		fmt.Printf("attack scenario A: %.2f mm/cycle for %d cycles after %d pedal-down cycles\n",
+			*magnitude*1e3, *duration, *delay)
+	case "B":
+		inj, err := ravenguard.NewScenarioB(ravenguard.ScenarioBParams{
+			Value:           int16(*value),
+			Channel:         0,
+			StartDelayTicks: *delay,
+			ActivationTicks: *duration,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Preload = []ravenguard.Wrapper{inj}
+		injected = inj.Injected
+		fmt.Printf("attack scenario B: DAC offset %d for %d cycles after %d pedal-down cycles\n",
+			*value, *duration, *delay)
+	default:
+		return fmt.Errorf("unknown -attack %q (want none, A or B)", *attack)
+	}
+
+	sys, err := ravenguard.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+
+	var recorder *record.Recorder
+	if *recordTo != "" {
+		recorder = record.NewRecorder(fmt.Sprintf("ravend seed=%d attack=%s", *seed, *attack))
+		sys.Observe(recorder.Observe())
+	}
+	var tipTrace []mathx.Vec3
+	if *svgTo != "" {
+		sys.Observe(func(si ravenguard.StepInfo) { tipTrace = append(tipTrace, si.TipTrue) })
+	}
+
+	lastState := ravenguard.State(0)
+	lastPrint := 0.0
+	sys.Observe(func(si ravenguard.StepInfo) {
+		if si.Ctrl.State != lastState {
+			fmt.Printf("t=%7.3fs  state -> %s\n", si.T, si.Ctrl.State)
+			lastState = si.Ctrl.State
+		}
+		if si.Ctrl.Unsafe {
+			fmt.Printf("t=%7.3fs  RAVEN safety check: %s\n", si.T, si.Ctrl.UnsafeWhy)
+		}
+		if *verbose && si.T-lastPrint >= 1 {
+			lastPrint = si.T
+			fmt.Printf("t=%7.3fs  tip=(%+.4f %+.4f %+.4f) m  DAC=[%6d %6d %6d]\n",
+				si.T, si.TipTrue.X, si.TipTrue.Y, si.TipTrue.Z,
+				si.Ctrl.DAC[0], si.Ctrl.DAC[1], si.Ctrl.DAC[2])
+		}
+	})
+
+	if _, err := sys.Run(0); err != nil {
+		return err
+	}
+
+	fmt.Println("--- session summary ---")
+	fmt.Printf("final state:        %s\n", sys.Controller().State())
+	fmt.Printf("PLC E-STOP:         %v", sys.PLC().EStopped())
+	if cause := sys.PLC().EStopCause(); cause != "" {
+		fmt.Printf("  (%s)", cause)
+	}
+	fmt.Println()
+	fmt.Printf("RAVEN safety trips: %d\n", sys.Controller().SafetyTrips())
+	if injected != nil {
+		fmt.Printf("frames corrupted:   %d\n", injected())
+	}
+	if guard != nil {
+		fmt.Printf("guard alarms:       %d (mitigated %d frames)\n", guard.Alarms(), guard.Mitigated())
+		st := guard.StepTime()
+		fmt.Printf("guard model step:   mean %.4f ms over %d steps\n", st.Mean/1e6, st.N)
+	}
+	if broken, which := sys.Plant().CableBroken(); broken {
+		fmt.Printf("CABLE BROKEN:       %v\n", which)
+	}
+
+	if recorder != nil {
+		if err := recorder.Recording().Save(*recordTo); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d ticks to %s\n", len(recorder.Recording().Ticks), *recordTo)
+	}
+	if *svgTo != "" {
+		f, err := os.Create(*svgTo)
+		if err != nil {
+			return err
+		}
+		err = viz.WritePathSVG(f, viz.PathPlotConfig{
+			Title: fmt.Sprintf("ravend tip path (seed %d, attack %s, guard %s)", *seed, *attack, *guardMode),
+		}, viz.Series{Name: "tip", Points: tipTrace})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rendered tip path to %s\n", *svgTo)
+	}
+	return nil
+}

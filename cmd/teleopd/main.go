@@ -1,0 +1,98 @@
+// Command teleopd runs the robot side of a *networked* teleoperation
+// session: the full RAVEN control stack and physical plant, driven by ITP
+// datagrams arriving over real UDP instead of the built-in console
+// emulator. Pair it with cmd/console:
+//
+//	terminal 1:  teleopd -listen 127.0.0.1:36000 -guard mitigate
+//	terminal 2:  console -robot 127.0.0.1:36000 -teleop 10
+//
+// The loop is paced to the robot's real 1 kHz control period.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ravenguard"
+	"ravenguard/internal/itp"
+	"ravenguard/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "teleopd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:36000", "UDP address for ITP datagrams")
+		seed      = flag.Int64("seed", 1, "plant seed")
+		duration  = flag.Float64("duration", 60, "session length, seconds")
+		guardMode = flag.String("guard", "off", "dynamic-model guard: off | monitor | mitigate")
+		realtime  = flag.Bool("realtime", true, "pace the loop at 1 kHz wall-clock")
+	)
+	flag.Parse()
+
+	recv, err := itp.NewUDPReceiver(*listen)
+	if err != nil {
+		return err
+	}
+	defer recv.Close()
+	fmt.Printf("listening for ITP datagrams on %s\n", recv.Addr())
+
+	cfg := sim.Config{
+		Seed:             *seed,
+		ExternalInput:    recv,
+		ExternalDuration: *duration,
+	}
+	var guard *ravenguard.Guard
+	if *guardMode != "off" {
+		mode := ravenguard.ModeMonitor
+		if *guardMode == "mitigate" {
+			mode = ravenguard.ModeMitigate
+		}
+		guard, err = ravenguard.NewGuard(ravenguard.GuardConfig{
+			Thresholds: ravenguard.DefaultThresholds(),
+			Mode:       mode,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Guards = []sim.Hook{guard}
+	}
+
+	rig, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	last := ravenguard.State(0)
+	rig.Observe(func(si sim.StepInfo) {
+		if si.Ctrl.State != last {
+			fmt.Printf("t=%7.3fs  state -> %s\n", si.T, si.Ctrl.State)
+			last = si.Ctrl.State
+		}
+	})
+
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	for !rig.Done() {
+		if *realtime {
+			<-ticker.C
+		}
+		if _, err := rig.Step(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("--- session summary ---")
+	fmt.Printf("final state: %s  PLC E-STOP: %v\n", rig.Controller().State(), rig.PLC().EStopped())
+	if guard != nil {
+		fmt.Printf("guard: %d alarms, %d mitigated\n", guard.Alarms(), guard.Mitigated())
+	}
+	return nil
+}

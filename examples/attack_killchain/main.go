@@ -1,0 +1,114 @@
+// Attack kill-chain: the paper's full scenario-B attack, end to end.
+//
+//  1. Attack preparation — preload the eavesdropping wrapper around the
+//     USB write path and capture several teleoperation sessions.
+//  2. Offline analysis — recover, from the raw bytes alone, which byte
+//     carries the robot's operational state, which bit is the watchdog
+//     square wave, and which value means "Pedal Down".
+//  3. Deployment — build a triggered injector from the inference and
+//     strike mid-surgery. Run it twice: against the stock robot (RAVEN's
+//     own checks only detect the attack after the arm has already jumped)
+//     and against a robot protected by the dynamic model-based guard
+//     (the attack is neutralised before it reaches the motors).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ravenguard"
+	"ravenguard/internal/malware"
+)
+
+func main() {
+	// ---- Phase 1: eavesdrop ----------------------------------------
+	fmt.Println("== Phase 1: attack preparation (eavesdropping) ==")
+	var runs [][][]byte
+	for r := 0; r < 3; r++ {
+		exfil := ravenguard.NewMemExfil()
+		sys, err := ravenguard.NewSystem(ravenguard.SystemConfig{
+			Seed:    100 + int64(r),
+			Script:  ravenguard.StandardScript(4),
+			Preload: []ravenguard.Wrapper{ravenguard.NewEavesdropLogger(exfil)},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.Run(0); err != nil {
+			log.Fatal(err)
+		}
+		frames := exfil.Frames()
+		runs = append(runs, frames)
+		fmt.Printf("  captured run %d: %d USB frames\n", r+1, len(frames))
+	}
+
+	// ---- Phase 2: offline analysis ---------------------------------
+	fmt.Println("\n== Phase 2: offline analysis ==")
+	inf, err := ravenguard.InferState(runs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  state byte:    %d\n", inf.StateByte)
+	fmt.Printf("  watchdog bit:  %#02x (half-period %.0f frames)\n", inf.WatchdogMask, inf.HalfPeriod)
+	fmt.Printf("  state values:  % #02x\n", inf.StateValues)
+	fmt.Printf("  trigger:       Byte %d == %#02x (Pedal Down)\n", inf.StateByte, inf.PedalDownByte)
+
+	// ---- Phase 3: deployment ---------------------------------------
+	attack := func(protected bool) {
+		inj := malware.NewInjector(malware.InjectorConfig{
+			TriggerByte0:    inf.PedalDownByte,
+			Mode:            malware.ModeDACOffset,
+			Channel:         0,
+			Value:           20000,
+			StartDelayTicks: 1200,
+			ActivationTicks: 128,
+		})
+		cfg := ravenguard.SystemConfig{
+			Seed:    200,
+			Script:  ravenguard.StandardScript(6),
+			Preload: []ravenguard.Wrapper{inj},
+		}
+		var guard *ravenguard.Guard
+		if protected {
+			g, err := ravenguard.NewGuard(ravenguard.GuardConfig{
+				Thresholds: ravenguard.DefaultThresholds(),
+				Mode:       ravenguard.ModeMitigate,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			guard = g
+			cfg.Guards = []ravenguard.Hook{g}
+		}
+		sys, err := ravenguard.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxSpeed := 0.0
+		var prev ravenguard.StepInfo
+		sys.Observe(func(si ravenguard.StepInfo) {
+			if prev.T > 0 && si.Ctrl.State == ravenguard.StatePedalDown {
+				if v := si.TipTrue.DistanceTo(prev.TipTrue) / 1e-3; v > maxSpeed {
+					maxSpeed = v
+				}
+			}
+			prev = si
+		})
+		if _, err := sys.Run(0); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  frames corrupted:  %d\n", inj.Injected())
+		fmt.Printf("  peak tip speed:    %.1f mm/s\n", maxSpeed*1e3)
+		fmt.Printf("  RAVEN trips:       %d\n", sys.Controller().SafetyTrips())
+		fmt.Printf("  E-STOP:            %v (%s)\n", sys.PLC().EStopped(), sys.PLC().EStopCause())
+		if guard != nil {
+			fmt.Printf("  guard:             %d alarms, %d frames neutralised\n",
+				guard.Alarms(), guard.Mitigated())
+		}
+	}
+
+	fmt.Println("\n== Phase 3a: deployment against the stock robot ==")
+	attack(false)
+	fmt.Println("\n== Phase 3b: deployment against the guarded robot ==")
+	attack(true)
+}

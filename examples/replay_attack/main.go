@@ -1,0 +1,138 @@
+// Replay attack study: record a clean procedure (the paper's "previously
+// collected trajectories"), then re-run the *same* procedure three times —
+// clean, attacked, and attacked under guard protection — and render the
+// three tip paths to an SVG for visual comparison, plus a deviation
+// timeline against the clean run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ravenguard"
+	"ravenguard/internal/mathx"
+	"ravenguard/internal/record"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/viz"
+)
+
+func main() {
+	// 1. Record a clean session.
+	fmt.Println("recording a clean procedure...")
+	rec, err := record.Capture(sim.Config{
+		Seed:   900,
+		Script: ravenguard.StandardScript(6),
+		Traj:   ravenguard.StandardTrajectories()[1],
+	}, "study")
+	if err != nil {
+		log.Fatal(err)
+	}
+	replay, err := rec.Trajectory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	script, err := rec.Script()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d ticks, %.1f s of pedal-down motion\n", len(rec.Ticks), replay.Duration())
+
+	// 2. Re-run the same procedure three ways.
+	run := func(attacked, guarded bool) (tips []mathx.Vec3) {
+		cfg := sim.Config{Seed: 900, Script: script, Traj: replay}
+		if attacked {
+			inj, err := ravenguard.NewScenarioB(ravenguard.ScenarioBParams{
+				Value: 18000, Channel: 0, StartDelayTicks: 1200, ActivationTicks: 128,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Preload = []ravenguard.Wrapper{inj}
+		}
+		if guarded {
+			g, err := ravenguard.NewGuard(ravenguard.GuardConfig{
+				Thresholds: ravenguard.DefaultThresholds(),
+				Mode:       ravenguard.ModeHoldSafe, // keep the procedure alive
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Guards = []ravenguard.Hook{g}
+		}
+		sys, err := ravenguard.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.Observe(func(si ravenguard.StepInfo) { tips = append(tips, si.TipTrue) })
+		if _, err := sys.Run(0); err != nil {
+			log.Fatal(err)
+		}
+		return tips
+	}
+
+	fmt.Println("re-running clean / attacked / guarded...")
+	clean := run(false, false)
+	attacked := run(true, false)
+	guarded := run(true, true)
+
+	// 3. Render.
+	writeSVG("replay_paths.svg", func(f *os.File) error {
+		return viz.WritePathSVG(f, viz.PathPlotConfig{Title: "Replayed procedure: clean vs attacked vs guarded"},
+			viz.Series{Name: "clean replay", Points: clean},
+			viz.Series{Name: "attacked (18000x128ms)", Points: attacked},
+			viz.Series{Name: "attacked + hold-safe guard", Points: guarded},
+		)
+	})
+
+	deviation := func(run []mathx.Vec3) viz.TimelineSeries {
+		n := min(len(run), len(clean))
+		ts := viz.TimelineSeries{}
+		for i := 0; i < n; i += 5 {
+			ts.T = append(ts.T, float64(i)*1e-3)
+			ts.Values = append(ts.Values, run[i].DistanceTo(clean[i])*1e3)
+		}
+		return ts
+	}
+	devAtt := deviation(attacked)
+	devAtt.Name = "attacked"
+	devGua := deviation(guarded)
+	devGua.Name = "attacked + guard"
+	writeSVG("replay_deviation.svg", func(f *os.File) error {
+		return viz.WriteTimelineSVG(f, viz.PathPlotConfig{Title: "Deviation from the clean replay (mm)"},
+			map[string]float64{"1 mm injury threshold": 1.0}, devAtt, devGua)
+	})
+
+	maxDev := func(ts viz.TimelineSeries) float64 {
+		worst := 0.0
+		for _, v := range ts.Values {
+			if v > worst {
+				worst = v
+			}
+		}
+		return worst
+	}
+	fmt.Printf("\npeak deviation: attacked %.2f mm, guarded %.2f mm\n", maxDev(devAtt), maxDev(devGua))
+	fmt.Println("wrote replay_paths.svg and replay_deviation.svg")
+}
+
+func writeSVG(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module ravenguard
+
+go 1.22

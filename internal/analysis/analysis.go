@@ -1,0 +1,354 @@
+// Package analysis implements the attacker's offline analysis phase
+// (paper Section III.B.2, Figures 5 and 6): given USB frames eavesdropped
+// from one or more robot runs, recover — without any knowledge of the
+// packet format — which byte carries the robot's operational state, which
+// bit of it is the toggling watchdog signal, and which value means
+// "Pedal Down", the trigger for the attack.
+//
+// The method is the paper's: look at each byte's values over time; bytes
+// that switch among a small number of values (8, or 4 once a periodically
+// toggling bit is masked out) are state candidates; combine with the public
+// knowledge that the robot's state machine navigates 4 states in a known
+// order to pick the trigger value.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"ravenguard/internal/usb"
+)
+
+// ByteProfile summarises one byte position across a capture.
+type ByteProfile struct {
+	Index    int
+	Distinct int     // number of distinct values observed
+	Values   []byte  // distinct values in order of first appearance
+	Counts   []int   // occurrences per value (parallel to Values)
+	Toggles  int     // value-change count over the capture
+	ToggleHz float64 // changes per frame
+}
+
+// Profile computes per-byte profiles over a capture of equal-length frames.
+// It returns an error when the capture is empty or frames have mixed
+// lengths (the attacker would first bucket by size).
+func Profile(frames [][]byte) ([]ByteProfile, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("analysis: empty capture")
+	}
+	width := len(frames[0])
+	for i, f := range frames {
+		if len(f) != width {
+			return nil, fmt.Errorf("analysis: frame %d has length %d, first frame %d", i, len(f), width)
+		}
+	}
+	profiles := make([]ByteProfile, width)
+	for b := 0; b < width; b++ {
+		p := ByteProfile{Index: b}
+		seen := make(map[byte]int, 8)
+		var prev byte
+		for i, f := range frames {
+			v := f[b]
+			if idx, ok := seen[v]; ok {
+				p.Counts[idx]++
+			} else {
+				seen[v] = len(p.Values)
+				p.Values = append(p.Values, v)
+				p.Counts = append(p.Counts, 1)
+			}
+			if i > 0 && v != prev {
+				p.Toggles++
+			}
+			prev = v
+		}
+		p.Distinct = len(p.Values)
+		p.ToggleHz = float64(p.Toggles) / float64(len(frames))
+		profiles[b] = p
+	}
+	return profiles, nil
+}
+
+// FindTogglingBit looks for a bit of the given byte that toggles
+// periodically — the watchdog square wave. It returns the bit mask and the
+// observed half-period in frames. A bit qualifies when it toggles many
+// times with low period variance while the rest of the byte is compara-
+// tively stable.
+func FindTogglingBit(frames [][]byte, byteIndex int) (mask byte, halfPeriod float64, err error) {
+	if len(frames) < 4 {
+		return 0, 0, fmt.Errorf("analysis: capture too short (%d frames)", len(frames))
+	}
+	bestMask := byte(0)
+	bestScore := 0.0
+	bestPeriod := 0.0
+	for bit := 0; bit < 8; bit++ {
+		m := byte(1) << bit
+		var gaps []int
+		last := -1
+		prev := frames[0][byteIndex] & m
+		for i := 1; i < len(frames); i++ {
+			cur := frames[i][byteIndex] & m
+			if cur != prev {
+				if last >= 0 {
+					gaps = append(gaps, i-last)
+				}
+				last = i
+				prev = cur
+			}
+		}
+		if len(gaps) < 8 {
+			continue // too few edges to be a periodic signal
+		}
+		mean := 0.0
+		for _, g := range gaps {
+			mean += float64(g)
+		}
+		mean /= float64(len(gaps))
+		variance := 0.0
+		for _, g := range gaps {
+			d := float64(g) - mean
+			variance += d * d
+		}
+		variance /= float64(len(gaps))
+		// Score: many edges, regular spacing.
+		score := float64(len(gaps)) / (1 + variance)
+		if score > bestScore {
+			bestScore = score
+			bestMask = m
+			bestPeriod = mean
+		}
+	}
+	if bestMask == 0 {
+		return 0, 0, fmt.Errorf("analysis: no periodically toggling bit in byte %d", byteIndex)
+	}
+	return bestMask, bestPeriod, nil
+}
+
+// StateByteCandidate scores byte positions as state-byte candidates. The
+// state byte's signature, which separates it from slowly drifting motor-
+// command bytes: it holds a handful of distinct values (2..16), and once
+// its single periodically toggling bit (the watchdog square wave) is
+// masked out, the residual value changes only a few times per run — states
+// persist for thousands of frames. A DAC high byte may also have few
+// values and even a pseudo-toggling low bit, but its residual keeps
+// drifting with the motion.
+func StateByteCandidate(frames [][]byte) (int, error) {
+	if len(frames) == 0 {
+		return 0, fmt.Errorf("analysis: empty capture")
+	}
+	profiles, err := Profile(frames)
+	if err != nil {
+		return 0, err
+	}
+	best := -1
+	bestScore := 0.0
+	for _, p := range profiles {
+		if p.Distinct < 2 || p.Distinct > 16 {
+			continue
+		}
+		mask, _, err := FindTogglingBit(frames, p.Index)
+		if err != nil {
+			// No periodic bit: mask nothing; a state byte without its
+			// watchdog would still qualify via residual stability.
+			mask = 0
+		}
+		segs := SegmentStates(frames, p.Index, mask)
+		distinctResidual := make(map[byte]bool, 8)
+		for _, s := range segs {
+			distinctResidual[s.Value] = true
+		}
+		if len(distinctResidual) < 2 {
+			continue // constant after masking: carries no state
+		}
+		// Residual change rate: the state byte changes O(5) times per run;
+		// drifting command bytes change hundreds of times.
+		changeRate := float64(len(segs)-1) / float64(len(frames))
+		score := 1.0 / (float64(len(distinctResidual)) * (1e-4 + changeRate))
+		if score > bestScore {
+			bestScore = score
+			best = p.Index
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("analysis: no plausible state byte among %d positions", len(profiles))
+	}
+	return best, nil
+}
+
+// Segment is a maximal run of frames with one masked state value.
+type Segment struct {
+	Value byte // masked byte value
+	Start int  // first frame index
+	Len   int  // number of frames
+}
+
+// SegmentStates splits a capture into runs of the state byte's value with
+// the watchdog bit masked out — the step pattern of paper Figure 6.
+// Frames too short to carry the byte (mixed traffic on a shared
+// descriptor) are skipped.
+func SegmentStates(frames [][]byte, byteIndex int, watchdogMask byte) []Segment {
+	if byteIndex < 0 {
+		return nil
+	}
+	mask := ^watchdogMask
+	var segs []Segment
+	started := false
+	var cur Segment
+	for i, f := range frames {
+		if byteIndex >= len(f) {
+			continue
+		}
+		v := f[byteIndex] & mask
+		if !started {
+			cur = Segment{Value: v, Start: i, Len: 1}
+			started = true
+			continue
+		}
+		if v == cur.Value {
+			cur.Len++
+			continue
+		}
+		segs = append(segs, cur)
+		cur = Segment{Value: v, Start: i, Len: 1}
+	}
+	if !started {
+		return nil
+	}
+	return append(segs, cur)
+}
+
+// ChannelActivity summarises one encoder channel of a read-path capture:
+// the paper's "similar analysis ... on the data collected from the read
+// system calls" that tells the attacker which channels carry live motor
+// feedback (and are therefore worth corrupting).
+type ChannelActivity struct {
+	Channel  int
+	Min, Max int32
+	Travel   int64 // sum of |successive deltas|: total encoder motion
+}
+
+// Active reports whether the channel carried any motion.
+func (c ChannelActivity) Active() bool { return c.Travel > 0 }
+
+// ProfileFeedback analyses captured feedback frames (usb.FeedbackLen each)
+// and returns per-channel activity. Frames of other sizes are skipped, as
+// the attacker's capture of a shared file descriptor would contain mixed
+// traffic.
+func ProfileFeedback(frames [][]byte) ([]ChannelActivity, error) {
+	out := make([]ChannelActivity, usb.NumChannels)
+	for i := range out {
+		out[i].Channel = i
+	}
+	var prev usb.Feedback
+	have := false
+	decoded := 0
+	for _, f := range frames {
+		fb, err := usb.DecodeFeedback(f)
+		if err != nil {
+			continue
+		}
+		decoded++
+		for ch := 0; ch < usb.NumChannels; ch++ {
+			v := fb.Encoder[ch]
+			if decoded == 1 {
+				out[ch].Min, out[ch].Max = v, v
+			} else {
+				if v < out[ch].Min {
+					out[ch].Min = v
+				}
+				if v > out[ch].Max {
+					out[ch].Max = v
+				}
+			}
+			if have {
+				d := int64(v) - int64(prev.Encoder[ch])
+				if d < 0 {
+					d = -d
+				}
+				out[ch].Travel += d
+			}
+		}
+		prev = fb
+		have = true
+	}
+	if decoded == 0 {
+		return nil, fmt.Errorf("analysis: no decodable feedback frames in %d captures", len(frames))
+	}
+	return out, nil
+}
+
+// Inference is the attacker's final conclusion.
+type Inference struct {
+	StateByte     int     // byte position carrying the state
+	WatchdogMask  byte    // toggling (watchdog) bit
+	HalfPeriod    float64 // watchdog half-period, frames
+	StateValues   []byte  // masked state values in order of first appearance
+	PedalDownByte byte    // masked Byte-0 value meaning "Pedal Down"
+}
+
+// Infer runs the full offline analysis over one or more captured runs. The
+// attacker's public knowledge: the robot navigates E-STOP -> Init ->
+// Pedal Up <-> Pedal Down, so the LAST state to appear for the first time
+// in a run that reaches teleoperation is Pedal Down. Requiring the same
+// conclusion across runs (Figure 6 shows nine) hardens the inference.
+func Infer(runs [][][]byte) (Inference, error) {
+	if len(runs) == 0 {
+		return Inference{}, fmt.Errorf("analysis: no runs captured")
+	}
+
+	// Use the first run to locate the state byte and watchdog bit.
+	stateByte, err := StateByteCandidate(runs[0])
+	if err != nil {
+		return Inference{}, err
+	}
+	mask, half, err := FindTogglingBit(runs[0], stateByte)
+	if err != nil {
+		return Inference{}, err
+	}
+
+	// Across runs: collect masked values in order of first appearance and
+	// vote on the last-appearing value.
+	votes := make(map[byte]int)
+	var firstOrder []byte
+	for runIdx, frames := range runs {
+		segs := SegmentStates(frames, stateByte, mask)
+		seen := make(map[byte]bool, 4)
+		var order []byte
+		for _, s := range segs {
+			if !seen[s.Value] {
+				seen[s.Value] = true
+				order = append(order, s.Value)
+			}
+		}
+		if len(order) < 2 {
+			return Inference{}, fmt.Errorf("analysis: run %d shows only %d state value(s); robot never left its initial state", runIdx, len(order))
+		}
+		votes[order[len(order)-1]]++
+		if runIdx == 0 {
+			firstOrder = order
+		}
+	}
+
+	// Majority vote for the Pedal Down value.
+	type kv struct {
+		v byte
+		n int
+	}
+	tally := make([]kv, 0, len(votes))
+	for v, n := range votes {
+		tally = append(tally, kv{v, n})
+	}
+	sort.Slice(tally, func(i, j int) bool {
+		if tally[i].n != tally[j].n {
+			return tally[i].n > tally[j].n
+		}
+		return tally[i].v < tally[j].v
+	})
+
+	return Inference{
+		StateByte:     stateByte,
+		WatchdogMask:  mask,
+		HalfPeriod:    half,
+		StateValues:   firstOrder,
+		PedalDownByte: tally[0].v,
+	}, nil
+}

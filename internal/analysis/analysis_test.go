@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"ravenguard/internal/usb"
+)
+
+// synthRun fabricates a capture resembling one robot session: a sequence of
+// (stateNibble, frames) phases with a watchdog square wave on bit 4 and
+// noisy DAC bytes.
+func synthRun(seed int64, phases []struct {
+	nibble byte
+	n      int
+}) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	var frames [][]byte
+	tick := 0
+	for _, ph := range phases {
+		for i := 0; i < ph.n; i++ {
+			cmd := usb.Command{
+				StateNibble: ph.nibble,
+				Watchdog:    (tick/10)%2 == 1,
+				Seq:         byte(tick),
+			}
+			if ph.nibble == 0x0F || ph.nibble == 0x03 {
+				for ch := 0; ch < 3; ch++ {
+					cmd.DAC[ch] = int16(rng.Intn(20000) - 10000)
+				}
+			}
+			f := cmd.Encode()
+			frames = append(frames, f[:])
+			tick++
+		}
+	}
+	return frames
+}
+
+func standardPhases() []struct {
+	nibble byte
+	n      int
+} {
+	return []struct {
+		nibble byte
+		n      int
+	}{
+		{0x00, 300}, // E-STOP
+		{0x03, 500}, // Init
+		{0x07, 400}, // Pedal Up
+		{0x0F, 900}, // Pedal Down
+		{0x07, 200}, // Pedal Up
+		{0x0F, 700}, // Pedal Down
+	}
+}
+
+func TestProfileFindsDistinctCounts(t *testing.T) {
+	frames := synthRun(1, standardPhases())
+	profiles, err := Profile(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != usb.CommandLen {
+		t.Fatalf("profiles for %d bytes", len(profiles))
+	}
+	// Byte 0: 4 states x 2 watchdog values but E-STOP/PedalUp only appear
+	// with both watchdog phases too — at most 8 distinct values.
+	if p := profiles[usb.StateByte]; p.Distinct < 4 || p.Distinct > 8 {
+		t.Fatalf("Byte 0 distinct = %d, want 4..8", p.Distinct)
+	}
+	// DAC low bytes flicker among many values.
+	if p := profiles[usb.DACBase]; p.Distinct < 50 {
+		t.Fatalf("DAC byte distinct = %d, expected noisy", p.Distinct)
+	}
+	// Unused channels stay constant.
+	if p := profiles[usb.DACBase+2*7]; p.Distinct != 1 {
+		t.Fatalf("unused channel byte distinct = %d", p.Distinct)
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if _, err := Profile(nil); err == nil {
+		t.Fatal("empty capture accepted")
+	}
+	if _, err := Profile([][]byte{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged capture accepted")
+	}
+}
+
+func TestFindTogglingBitLocatesWatchdog(t *testing.T) {
+	frames := synthRun(2, standardPhases())
+	mask, half, err := FindTogglingBit(frames, usb.StateByte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask != usb.WatchdogBit {
+		t.Fatalf("mask = %#02x, want %#02x", mask, usb.WatchdogBit)
+	}
+	if half < 8 || half > 12 {
+		t.Fatalf("half-period = %v frames, want ~10", half)
+	}
+}
+
+func TestFindTogglingBitErrors(t *testing.T) {
+	if _, _, err := FindTogglingBit([][]byte{{0}}, 0); err == nil {
+		t.Fatal("tiny capture accepted")
+	}
+	// A constant byte has no toggling bit.
+	frames := make([][]byte, 100)
+	for i := range frames {
+		frames[i] = []byte{0x55}
+	}
+	if _, _, err := FindTogglingBit(frames, 0); err == nil {
+		t.Fatal("constant byte yielded a toggling bit")
+	}
+}
+
+func TestStateByteCandidatePicksByte0(t *testing.T) {
+	frames := synthRun(3, standardPhases())
+	got, err := StateByteCandidate(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != usb.StateByte {
+		t.Fatalf("candidate = byte %d, want %d", got, usb.StateByte)
+	}
+}
+
+func TestStateByteCandidateRejectsEmpty(t *testing.T) {
+	if _, err := StateByteCandidate(nil); err == nil {
+		t.Fatal("empty capture accepted")
+	}
+}
+
+func TestStateByteCandidateIgnoresSlowDriftingBytes(t *testing.T) {
+	// A smooth DAC high byte — few distinct values, slow drift — must not
+	// outscore the state byte: this is the failure mode of naive distinct-
+	// value counting on real control traffic.
+	frames := synthRun(9, standardPhases())
+	// Overwrite channel 3's high byte with a slow drift among 6 values.
+	hi := usb.DACBase + 2*3 + 1
+	for i, f := range frames {
+		f[hi] = byte(10 + (i/40)%6)
+	}
+	got, err := StateByteCandidate(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != usb.StateByte {
+		t.Fatalf("candidate = byte %d (drifting decoy?), want %d", got, usb.StateByte)
+	}
+}
+
+func TestSegmentStates(t *testing.T) {
+	frames := synthRun(4, standardPhases())
+	segs := SegmentStates(frames, usb.StateByte, usb.WatchdogBit)
+	if len(segs) != 6 {
+		t.Fatalf("segments = %d, want 6 phases", len(segs))
+	}
+	wantVals := []byte{0x00, 0x03, 0x07, 0x0F, 0x07, 0x0F}
+	wantLens := []int{300, 500, 400, 900, 200, 700}
+	for i, s := range segs {
+		if s.Value != wantVals[i] || s.Len != wantLens[i] {
+			t.Fatalf("segment %d = %+v, want value %#02x len %d", i, s, wantVals[i], wantLens[i])
+		}
+	}
+}
+
+func TestInferFullPipeline(t *testing.T) {
+	// Nine runs (Figure 6) with varying pedal timing.
+	var runs [][][]byte
+	rng := rand.New(rand.NewSource(5))
+	for r := 0; r < 9; r++ {
+		phases := []struct {
+			nibble byte
+			n      int
+		}{
+			{0x00, 100 + rng.Intn(300)},
+			{0x03, 400 + rng.Intn(200)},
+			{0x07, 200 + rng.Intn(300)},
+			{0x0F, 500 + rng.Intn(900)},
+		}
+		if rng.Intn(2) == 0 { // some runs pause mid-procedure
+			phases = append(phases,
+				struct {
+					nibble byte
+					n      int
+				}{0x07, 100 + rng.Intn(200)},
+				struct {
+					nibble byte
+					n      int
+				}{0x0F, 300 + rng.Intn(500)},
+			)
+		}
+		runs = append(runs, synthRun(int64(10+r), phases))
+	}
+	inf, err := Infer(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.StateByte != usb.StateByte {
+		t.Fatalf("state byte = %d", inf.StateByte)
+	}
+	if inf.WatchdogMask != usb.WatchdogBit {
+		t.Fatalf("watchdog mask = %#02x", inf.WatchdogMask)
+	}
+	if inf.PedalDownByte != 0x0F {
+		t.Fatalf("Pedal Down value = %#02x, want 0x0F", inf.PedalDownByte)
+	}
+	if len(inf.StateValues) != 4 {
+		t.Fatalf("state values = %v, want 4 states", inf.StateValues)
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	if _, err := Infer(nil); err == nil {
+		t.Fatal("no runs accepted")
+	}
+	// A run that never leaves E-STOP cannot identify Pedal Down.
+	idle := synthRun(6, []struct {
+		nibble byte
+		n      int
+	}{{0x00, 2000}})
+	if _, err := Infer([][][]byte{idle}); err == nil {
+		t.Fatal("idle run accepted")
+	}
+}
+
+func TestSegmentStatesSkipsShortFrames(t *testing.T) {
+	frames := [][]byte{
+		{0x0F, 1, 2},
+		{},     // junk on the shared descriptor
+		{0x0F}, // too short for byte index 1 but fine for 0
+		{0x07, 1, 2},
+	}
+	segs := SegmentStates(frames, 0, 0)
+	if len(segs) != 2 || segs[0].Value != 0x0F || segs[0].Len != 2 || segs[1].Value != 0x07 {
+		t.Fatalf("segments = %+v", segs)
+	}
+	// Index past every frame: nothing to segment, no panic.
+	if got := SegmentStates(frames, 9, 0); got != nil {
+		t.Fatalf("segments for absent byte = %+v", got)
+	}
+	if got := SegmentStates(nil, 0, 0); got != nil {
+		t.Fatalf("segments of empty capture = %+v", got)
+	}
+	if got := SegmentStates(frames, -1, 0); got != nil {
+		t.Fatalf("segments for negative index = %+v", got)
+	}
+}

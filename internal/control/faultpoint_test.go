@@ -1,0 +1,67 @@
+package control
+
+import (
+	"testing"
+
+	"ravenguard/internal/interpose"
+	"ravenguard/internal/mathx"
+	"ravenguard/internal/statemachine"
+	"ravenguard/internal/usb"
+)
+
+func TestSafetyChecksOffNeverTrips(t *testing.T) {
+	var h struct {
+		ctrl *Controller
+		fb   usb.Feedback
+	}
+	chain := interpose.NewChain(func([]byte) error { return nil })
+	ctrl, err := NewController(Config{SafetyChecksOff: true}, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ctrl = ctrl
+
+	// Power through to Pedal Down and then forge feedback that would trip
+	// the DAC check: with checks off, the controller must keep running.
+	h.ctrl.Tick(Input{StartButton: true}, h.fb, false)
+	for i := 0; i < 2100; i++ {
+		h.ctrl.Tick(Input{}, h.fb, false)
+	}
+	h.ctrl.Tick(Input{PedalDown: true}, h.fb, false)
+	h.fb.Encoder[0] += 100000
+	out := h.ctrl.Tick(Input{PedalDown: true}, h.fb, false)
+	if out.Unsafe {
+		t.Fatal("safety check fired although disabled")
+	}
+	if out.State == statemachine.EStop {
+		t.Fatal("controller halted although checks are disabled")
+	}
+	if h.ctrl.SafetyTrips() != 0 {
+		t.Fatalf("SafetyTrips = %d", h.ctrl.SafetyTrips())
+	}
+}
+
+func TestTrigDriftFaultPointWiredThroughIK(t *testing.T) {
+	chain := interpose.NewChain(func([]byte) error { return nil })
+	ctrl, err := NewController(Config{
+		TrigDrift:       func(t float64) float64 { return -0.9 }, // broken from the start
+		SafetyChecksOff: true,                                    // keep teleop alive so IK keeps running
+	}, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb usb.Feedback
+	ctrl.Tick(Input{StartButton: true}, fb, false)
+	for i := 0; i < 2100; i++ {
+		ctrl.Tick(Input{}, fb, false)
+	}
+	ctrl.Tick(Input{PedalDown: true}, fb, false)
+	for i := 0; i < 2000; i++ {
+		ctrl.Tick(Input{PedalDown: true, Delta: deltaX(1e-5)}, fb, false)
+	}
+	if ctrl.IKFails() == 0 {
+		t.Fatal("trig-drift fault point produced no IK failures")
+	}
+}
+
+func deltaX(v float64) mathx.Vec3 { return mathx.Vec3{X: v} }

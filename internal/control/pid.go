@@ -1,0 +1,69 @@
+// Package control implements the RAVEN II control software: the 1 kHz loop
+// that turns operator commands into DAC values through the kinematic chain
+// of paper Figure 2 (pos_d -> inverse kinematics -> jpos_d -> mpos_d -> PID
+// -> DAC), plus the robot's built-in safety mechanisms — the pre-write DAC
+// threshold check, the joint-limit check, and the square-wave watchdog to
+// the PLC. The safety checks run at the latest computation step before the
+// USB write, which is exactly the TOCTOU gap the paper's attacks exploit.
+package control
+
+import "ravenguard/internal/mathx"
+
+// PIDGains parameterise one motor-position loop.
+type PIDGains struct {
+	Kp float64 // N m per rad of motor position error
+	Ki float64 // N m per rad-second of integrated error
+	Kd float64 // N m per rad/s of error rate
+	// IntegralClamp bounds the integral torque contribution, N m.
+	IntegralClamp float64
+	// DerivRC is the time constant of the first-order low-pass on the
+	// derivative term, seconds. Encoder feedback is quantised, so an
+	// unfiltered derivative turns each count transition into a torque
+	// spike. Zero disables filtering.
+	DerivRC float64
+}
+
+// PID is a discrete PID controller producing motor torque from motor
+// position error. The zero value is unusable; use NewPID.
+type PID struct {
+	gains    PIDGains
+	integral float64 // integral torque contribution, N m
+	prevErr  float64
+	deriv    float64 // filtered error rate, rad/s
+	primed   bool    // prevErr valid (skip D-kick on first sample)
+}
+
+// NewPID returns a controller with the given gains.
+func NewPID(gains PIDGains) *PID { return &PID{gains: gains} }
+
+// Update advances the controller by dt with the given position error
+// (desired - measured, rad) and returns the torque command in N m.
+func (c *PID) Update(err, dt float64) float64 {
+	c.integral += c.gains.Ki * err * dt
+	c.integral = mathx.Clamp(c.integral, -c.gains.IntegralClamp, c.gains.IntegralClamp)
+
+	if c.primed && dt > 0 {
+		raw := (err - c.prevErr) / dt
+		if c.gains.DerivRC > 0 {
+			alpha := dt / (dt + c.gains.DerivRC)
+			c.deriv += alpha * (raw - c.deriv)
+		} else {
+			c.deriv = raw
+		}
+	}
+	c.prevErr = err
+	c.primed = true
+
+	return c.gains.Kp*err + c.integral + c.gains.Kd*c.deriv
+}
+
+// Reset clears the controller's state (on E-STOP or mode change).
+func (c *PID) Reset() {
+	c.integral = 0
+	c.prevErr = 0
+	c.deriv = 0
+	c.primed = false
+}
+
+// Integral exposes the current integral contribution for diagnostics.
+func (c *PID) Integral() float64 { return c.integral }

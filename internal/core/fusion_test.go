@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"ravenguard/internal/interpose"
+	"ravenguard/internal/kinematics"
+	"ravenguard/internal/statemachine"
+	"ravenguard/internal/usb"
+)
+
+// syncGuard builds a guard synced at the workspace center.
+func syncGuard(t *testing.T, cfg Config) *Guard {
+	t.Helper()
+	g, err := NewGuard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.OnFeedback(feedbackAt(t, kinematics.DefaultLimits().Center()), 0)
+	return g
+}
+
+// pedalFrame builds a Pedal Down command frame with the given shoulder DAC.
+func pedalFrame(dac0 int16) []byte {
+	cmd := usb.Command{StateNibble: statemachine.PedalDown.Nibble()}
+	cmd.DAC[0] = dac0
+	f := cmd.Encode()
+	return f[:]
+}
+
+func TestFusionAnyMoreSensitiveThanAll(t *testing.T) {
+	// A short violent burst crosses the acceleration threshold instantly
+	// but needs several frames for the velocity thresholds: FusionAny must
+	// alarm no later (and typically earlier) than FusionAll.
+	alarmAfter := func(fusion Fusion) int {
+		g := syncGuard(t, Config{Thresholds: DefaultThresholds(), Fusion: fusion})
+		for i := 1; i <= 50; i++ {
+			g.OnWrite(pedalFrame(28000))
+			if g.Alarms() > 0 {
+				return i
+			}
+		}
+		return -1
+	}
+	all := alarmAfter(FusionAll)
+	anyN := alarmAfter(FusionAny)
+	if anyN < 0 {
+		t.Fatal("FusionAny never alarmed on a 28000-count burst")
+	}
+	if all >= 0 && anyN > all {
+		t.Fatalf("FusionAny alarmed later (%d) than FusionAll (%d)", anyN, all)
+	}
+	if anyN != 1 {
+		t.Fatalf("FusionAny alarm latency = %d frames, want 1 (acceleration-only)", anyN)
+	}
+}
+
+func TestGuardOnSampleOnlyDuringTeleop(t *testing.T) {
+	samples := 0
+	g, err := NewGuard(Config{OnSample: func(Sample) { samples++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.OnFeedback(feedbackAt(t, kinematics.DefaultLimits().Center()), 0)
+
+	up := usb.Command{StateNibble: statemachine.PedalUp.Nibble()}
+	upF := up.Encode()
+	for i := 0; i < 10; i++ {
+		g.OnWrite(upF[:])
+	}
+	if samples != 0 {
+		t.Fatalf("%d samples emitted while braked", samples)
+	}
+
+	initCmd := usb.Command{StateNibble: statemachine.Init.Nibble()}
+	initF := initCmd.Encode()
+	for i := 0; i < 10; i++ {
+		g.OnWrite(initF[:])
+	}
+	if samples != 0 {
+		t.Fatalf("%d samples emitted during homing (would skew learned thresholds)", samples)
+	}
+
+	for i := 0; i < 10; i++ {
+		g.OnWrite(pedalFrame(100))
+	}
+	if samples != 10 {
+		t.Fatalf("samples = %d during teleop, want 10", samples)
+	}
+}
+
+func TestHoldSafeReplacesWithLaggedPayload(t *testing.T) {
+	g := syncGuard(t, Config{Thresholds: DefaultThresholds(), Mode: ModeHoldSafe})
+	// Feed a healthy history the hold can reach back into.
+	for i := 0; i < 40; i++ {
+		g.OnWrite(pedalFrame(int16(100 + i)))
+	}
+	// Attack: the frame must be rewritten, and the held value must come
+	// from >= safeLag frames ago, not from the most recent ones.
+	buf := pedalFrame(28000)
+	if v := g.OnWrite(buf); v != interpose.Pass {
+		t.Fatal("hold-safe must pass the (rewritten) frame")
+	}
+	if g.Mitigated() == 0 {
+		t.Fatal("no mitigation recorded")
+	}
+	cmd, err := usb.DecodeCommand(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.DAC[0] == 28000 {
+		t.Fatal("malicious payload not replaced")
+	}
+	// History was 100..139; the lag-16 hold must pick one of the older
+	// entries (100..123), never the newest.
+	if cmd.DAC[0] < 100 || cmd.DAC[0] > 123 {
+		t.Fatalf("held DAC %d outside the lagged window [100,123]", cmd.DAC[0])
+	}
+}
+
+func TestHoldSafeWithNoHistoryZeroes(t *testing.T) {
+	g := syncGuard(t, Config{Thresholds: DefaultThresholds(), Mode: ModeHoldSafe})
+	buf := pedalFrame(28000)
+	g.OnWrite(buf)
+	cmd, err := usb.DecodeCommand(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Mitigated() > 0 && cmd.DAC[0] != 0 {
+		t.Fatalf("history-less hold kept DAC %d, want 0", cmd.DAC[0])
+	}
+}
+
+func TestHeldFramesCounter(t *testing.T) {
+	g := syncGuard(t, Config{Thresholds: DefaultThresholds(), Mode: ModeHoldSafe, HoldCooldownTicks: 10})
+	for i := 0; i < 40; i++ {
+		g.OnWrite(pedalFrame(100))
+	}
+	for i := 0; i < 5; i++ {
+		g.OnWrite(pedalFrame(28000))
+	}
+	if g.HeldFrames() < 5 {
+		t.Fatalf("HeldFrames = %d, want >= 5 (alarm + cooldown)", g.HeldFrames())
+	}
+}

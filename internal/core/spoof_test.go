@@ -1,0 +1,79 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ravenguard/internal/console"
+	"ravenguard/internal/inject"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/trajectory"
+)
+
+func TestGuardDefeatsWatchdogSpoof(t *testing.T) {
+	// The watchdog-spoof attack forges a healthy heartbeat so the
+	// software's halt never reaches the PLC — defeating every software-
+	// level response. The guard sits below the malicious wrappers and
+	// talks to the PLC directly (the trusted-hardware path the paper
+	// argues for), so it still mitigates.
+	runRange := func(guarded bool) (tipRange float64, plcStopped bool, cause string) {
+		cfg := sim.Config{
+			Seed:   801,
+			Script: console.StandardScript(6),
+			Traj:   trajectory.Standard()[0],
+		}
+		vc := inject.VariantConfig{Variant: inject.VariantWatchdogSpoof, StartAt: 4.0, Magnitude: 24000}
+		if _, err := vc.Apply(&cfg); err != nil {
+			t.Fatal(err)
+		}
+		var guard *Guard
+		if guarded {
+			g, err := NewGuard(Config{Thresholds: DefaultThresholds(), Mode: ModeMitigate})
+			if err != nil {
+				t.Fatal(err)
+			}
+			guard = g
+			cfg.Guards = []sim.Hook{g}
+		}
+		rig, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first, have = rig.Plant().TipPosition(), false
+		rig.Observe(func(si sim.StepInfo) {
+			if si.T < 4.0 { // measure from attack onset, past homing travel
+				return
+			}
+			if !have {
+				first = si.TipTrue
+				have = true
+			}
+			if d := si.TipTrue.DistanceTo(first); d > tipRange {
+				tipRange = d
+			}
+		})
+		if _, err := rig.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		_ = guard
+		return tipRange, rig.PLC().EStopped(), rig.PLC().EStopCause()
+	}
+
+	unguardedRange, unguardedStopped, _ := runRange(false)
+	if unguardedStopped {
+		t.Fatal("setup: spoof failed to suppress the PLC halt on the unguarded robot")
+	}
+	guardedRange, guardedStopped, cause := runRange(true)
+	if !guardedStopped {
+		t.Fatal("guard failed to halt the spoofed attack")
+	}
+	if !strings.Contains(cause, "dynamic-model guard") {
+		t.Fatalf("halt cause = %q", cause)
+	}
+	// The guarded robot's total excursion is a fraction of the unguarded
+	// one, which is dragged to its hard stops.
+	if guardedRange >= unguardedRange/2 {
+		t.Fatalf("guard barely contained the spoofed attack: %.1f mm vs %.1f mm unguarded",
+			guardedRange*1e3, unguardedRange*1e3)
+	}
+}

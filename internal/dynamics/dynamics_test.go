@@ -1,0 +1,307 @@
+package dynamics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ravenguard/internal/kinematics"
+)
+
+// harmonic oscillator x” = -w^2 x, exact solution x(t) = cos(w t).
+func oscillator(w float64) Deriv {
+	return func(_ float64, x, dx []float64) {
+		dx[0] = x[1]
+		dx[1] = -w * w * x[0]
+	}
+}
+
+func TestRK4OrderOfAccuracy(t *testing.T) {
+	// Halving the step of RK4 must reduce the error by roughly 2^4.
+	w := 2 * math.Pi
+	errAt := func(dt float64) float64 {
+		x := []float64{1, 0}
+		integ := NewRK4(2)
+		steps := int(math.Round(1 / dt))
+		for s := 0; s < steps; s++ {
+			integ.Step(oscillator(w), float64(s)*dt, x, dt)
+		}
+		return math.Abs(x[0] - math.Cos(w))
+	}
+	e1 := errAt(0.01)
+	e2 := errAt(0.005)
+	ratio := e1 / e2
+	if ratio < 8 || ratio > 40 {
+		t.Fatalf("RK4 error ratio on halving = %v, want ~16", ratio)
+	}
+}
+
+func TestEulerFirstOrderAccuracy(t *testing.T) {
+	// Exponential decay x' = -x has exact solution e^{-t}; Euler's global
+	// error at t=1 is O(dt), so halving the step halves the error.
+	decay := func(_ float64, x, dx []float64) { dx[0] = -x[0] }
+	errAt := func(dt float64) float64 {
+		x := []float64{1}
+		integ := NewEuler(1)
+		steps := int(math.Round(1 / dt))
+		for s := 0; s < steps; s++ {
+			integ.Step(decay, float64(s)*dt, x, dt)
+		}
+		return math.Abs(x[0] - math.Exp(-1))
+	}
+	e1 := errAt(0.001)
+	e2 := errAt(0.0005)
+	ratio := e1 / e2
+	if ratio < 1.5 || ratio > 3 {
+		t.Fatalf("Euler error ratio on halving = %v, want ~2", ratio)
+	}
+}
+
+func TestRK4MoreAccurateThanEuler(t *testing.T) {
+	w := 2 * math.Pi
+	run := func(integ Integrator) float64 {
+		x := []float64{1, 0}
+		dt := 0.01
+		for s := 0; s < 100; s++ {
+			integ.Step(oscillator(w), float64(s)*dt, x, dt)
+		}
+		return math.Abs(x[0] - math.Cos(w))
+	}
+	eEuler := run(NewEuler(2))
+	eRK4 := run(NewRK4(2))
+	if eRK4 >= eEuler {
+		t.Fatalf("RK4 error %v not smaller than Euler error %v", eRK4, eEuler)
+	}
+}
+
+func TestLinearExactForBoth(t *testing.T) {
+	// x' = c is integrated exactly by Euler and RK4.
+	c := 3.7
+	lin := func(_ float64, x, dx []float64) { dx[0] = c }
+	for _, integ := range []Integrator{NewEuler(1), NewRK4(1)} {
+		x := []float64{0}
+		for s := 0; s < 10; s++ {
+			integ.Step(lin, 0, x, 0.1)
+		}
+		if math.Abs(x[0]-c) > 1e-12 {
+			t.Fatalf("%s: x = %v, want %v", integ.Name(), x[0], c)
+		}
+	}
+}
+
+func TestIntegratorDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	NewEuler(2).Step(oscillator(1), 0, []float64{1}, 0.01)
+}
+
+func TestNewIntegrator(t *testing.T) {
+	if ig, err := NewIntegrator("euler", 4); err != nil || ig.Name() != "Euler" {
+		t.Fatalf("euler: %v %v", ig, err)
+	}
+	if ig, err := NewIntegrator("rk4", 4); err != nil || ig == nil {
+		t.Fatalf("rk4: %v %v", ig, err)
+	}
+	if _, err := NewIntegrator("heun", 4); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidateRejectsBadConstants(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero motor inertia", func(p *Params) { p.Joints[0].MotorInertia = 0 }},
+		{"negative link inertia", func(p *Params) { p.Joints[1].LinkInertia = -1 }},
+		{"zero stiffness", func(p *Params) { p.Joints[2].CableStiffness = 0 }},
+		{"zero ratio", func(p *Params) { p.Joints[0].Ratio = 0 }},
+		{"negative damping", func(p *Params) { p.Joints[1].LinkDamping = -0.1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatal("Validate accepted bad params")
+			}
+			if _, err := NewModel(p); err == nil {
+				t.Fatal("NewModel accepted bad params")
+			}
+		})
+	}
+}
+
+func TestModelEquilibriumHoldsWithGravityCompensation(t *testing.T) {
+	// With torque exactly compensating gravity through the cable, the state
+	// derivative at a matching (stretched-cable) equilibrium must vanish.
+	p := DefaultParams()
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp := kinematics.JointPos{0.8, 1.0, 0.05}
+	var x [StateDim]float64
+	var tau [kinematics.NumJoints]float64
+	for i := 0; i < kinematics.NumJoints; i++ {
+		jc := p.Joints[i]
+		grav := jc.GravConst
+		if jc.GravSin {
+			grav = jc.GravConst * math.Sin(jp[i]+jc.GravPhase)
+		}
+		// Link equilibrium: cable force = gravity (zero velocity).
+		stretch := grav / jc.CableStiffness
+		x[idxLinkPos(i)] = jp[i]
+		x[idxMotorPos(i)] = (jp[i] + stretch) * jc.Ratio
+		// Motor equilibrium: tau = cable/N.
+		tau[i] = grav / jc.Ratio
+	}
+	m.SetTorque(tau)
+	var dx [StateDim]float64
+	m.Deriv(0, x[:], dx[:])
+	for i, d := range dx {
+		if math.Abs(d) > 1e-9 {
+			t.Fatalf("derivative[%d] = %v at equilibrium, want 0", i, d)
+		}
+	}
+}
+
+func TestModelTorqueAcceleratesMotor(t *testing.T) {
+	m, err := NewModel(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x [StateDim]float64
+	m.SetTorque([kinematics.NumJoints]float64{0.1, 0, 0})
+	var dx [StateDim]float64
+	m.Deriv(0, x[:], dx[:])
+	if dx[idxMotorVel(0)] <= 0 {
+		t.Fatalf("positive torque gave motor accel %v", dx[idxMotorVel(0)])
+	}
+	// Other joints see only gravity effects on the link, no motor accel
+	// from torque.
+	if dx[idxMotorVel(1)] != 0 {
+		t.Fatalf("joint 1 motor accel = %v with zero torque and zero stretch", dx[idxMotorVel(1)])
+	}
+}
+
+func TestModelEulerStableAtControlStep(t *testing.T) {
+	// The detector integrates the model with Euler at the 1 ms control
+	// period; the paper relies on that being stable. Start from a
+	// disturbed state and verify the state stays bounded over 5 seconds.
+	m, err := NewModel(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	st.SetJointPos(kinematics.JointPos{0.8, 1.0, 0.05}, kinematics.DefaultTransmission())
+	st.X[idxMotorVel(0)] += 5 // rad/s kick
+	integ := NewEuler(StateDim)
+	m.SetTorque([kinematics.NumJoints]float64{})
+	for s := 0; s < 5000; s++ {
+		integ.Step(m.Deriv, float64(s)*1e-3, st.X[:], 1e-3)
+	}
+	for i, v := range st.X {
+		if math.IsNaN(v) || math.Abs(v) > 1e3 {
+			t.Fatalf("state[%d] = %v after 5 s: Euler unstable at 1 ms", i, v)
+		}
+	}
+}
+
+func TestStateAccessorsRoundTrip(t *testing.T) {
+	tr := kinematics.DefaultTransmission()
+	jp := kinematics.JointPos{0.5, 0.9, 0.03}
+	var st State
+	st.SetJointPos(jp, tr)
+	if got := st.JointPos(); got != jp {
+		t.Fatalf("JointPos = %v, want %v", got, jp)
+	}
+	wantMP := tr.ToMotor(jp)
+	if got := st.MotorPos(); got != wantMP {
+		t.Fatalf("MotorPos = %v, want %v", got, wantMP)
+	}
+	if v := st.JointVel(); v != [kinematics.NumJoints]float64{} {
+		t.Fatalf("JointVel = %v, want zeros", v)
+	}
+	if v := st.MotorVel(); v != [kinematics.NumJoints]float64{} {
+		t.Fatalf("MotorVel = %v, want zeros", v)
+	}
+}
+
+func TestSmoothSignProperties(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		s := smoothSign(v)
+		if s < -1 || s > 1 {
+			return false
+		}
+		return s*v >= 0 // same sign as argument
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if smoothSign(1) < 0.99 {
+		t.Fatal("smoothSign saturates too slowly")
+	}
+}
+
+func TestPassiveModelDissipatesEnergy(t *testing.T) {
+	// Physics sanity: with zero input torque and gravity disabled, the
+	// two-mass model is passive — its total mechanical energy (kinetic +
+	// cable elastic) must decay monotonically (within integration noise).
+	p := DefaultParams()
+	for i := range p.Joints {
+		p.Joints[i].GravConst = 0
+		p.Joints[i].Coulomb = 0 // smooth friction only, keeps energy C1
+	}
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	st.SetJointPos(kinematics.JointPos{0.8, 1.0, 0.05}, kinematics.DefaultTransmission())
+	st.X[idxMotorVel(0)] = 8
+	st.X[idxLinkVel(1)] = 1.5
+	st.X[idxMotorVel(2)] = 4
+
+	energy := func() float64 {
+		e := 0.0
+		for i := 0; i < kinematics.NumJoints; i++ {
+			jc := p.Joints[i]
+			stretch := st.X[idxMotorPos(i)]/jc.Ratio - st.X[idxLinkPos(i)]
+			e += 0.5*jc.MotorInertia*st.X[idxMotorVel(i)]*st.X[idxMotorVel(i)] +
+				0.5*jc.LinkInertia*st.X[idxLinkVel(i)]*st.X[idxLinkVel(i)] +
+				0.5*jc.CableStiffness*stretch*stretch
+		}
+		return e
+	}
+
+	integ := NewRK4(StateDim)
+	m.SetTorque([kinematics.NumJoints]float64{})
+	prev := energy()
+	start := prev
+	for s := 0; s < 20000; s++ {
+		integ.Step(m.Deriv, float64(s)*5e-5, st.X[:], 5e-5)
+		if s%200 == 0 {
+			e := energy()
+			if e > prev*1.0001 {
+				t.Fatalf("energy grew at step %d: %v -> %v", s, prev, e)
+			}
+			prev = e
+		}
+	}
+	if final := energy(); final > start*0.5 {
+		t.Fatalf("energy barely decayed over 1 s: %v -> %v", start, final)
+	}
+}

@@ -1,0 +1,122 @@
+// Package estimator provides state estimators that fuse the dynamic
+// model's prediction with encoder measurements. The paper's framework
+// keeps its model aligned with the robot through encoder feedback; the
+// work it builds on (Haghighipanah et al., IROS 2015, cited as [35]) uses
+// an unscented Kalman filter for the same cable-driven dynamics. This
+// package implements a per-joint steady-state Kalman filter over the
+// two-mass model's observable states — a middle ground between the paper's
+// plain resynchronisation and the full UKF — selectable in the guard via
+// core.Config.Resync.
+package estimator
+
+import (
+	"fmt"
+	"math"
+)
+
+// JointState is the filtered estimate of one joint's four states.
+type JointState struct {
+	MotorPos float64
+	MotorVel float64
+	LinkPos  float64
+	LinkVel  float64
+}
+
+// KalmanConfig parameterises the steady-state filter. The gains are the
+// stationary Kalman gains of the discretised two-mass model under the
+// assumed noise levels; exposing them directly keeps the filter cheap
+// enough for the 1 ms budget (no per-step Riccati iteration).
+type KalmanConfig struct {
+	// PosGain is the innovation gain applied to the measured motor
+	// position (default 0.35).
+	PosGain float64
+	// VelGain is the gain applied to the velocity innovation derived from
+	// successive measurements (default 0.25).
+	VelGain float64
+	// LinkCoupling propagates motor innovations to the link states through
+	// the transmission (default 0.6): the link is unobserved, so its
+	// correction rides on the motor's, scaled by how strongly the cable
+	// couples them.
+	LinkCoupling float64
+	// Ratio converts motor to joint coordinates.
+	Ratio float64
+}
+
+func (c *KalmanConfig) applyDefaults() {
+	if c.PosGain == 0 {
+		c.PosGain = 0.35
+	}
+	if c.VelGain == 0 {
+		c.VelGain = 0.25
+	}
+	if c.LinkCoupling == 0 {
+		c.LinkCoupling = 0.6
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c KalmanConfig) Validate() error {
+	if c.Ratio == 0 {
+		return fmt.Errorf("estimator: zero transmission ratio")
+	}
+	if c.PosGain < 0 || c.PosGain > 1 || c.VelGain < 0 || c.VelGain > 1 {
+		return fmt.Errorf("estimator: gains must lie in [0,1]")
+	}
+	if c.LinkCoupling < 0 || c.LinkCoupling > 1 {
+		return fmt.Errorf("estimator: link coupling must lie in [0,1]")
+	}
+	return nil
+}
+
+// Kalman is the per-joint steady-state filter. The prediction step is done
+// externally (the guard integrates the dynamic model); Kalman applies the
+// measurement update. Not safe for concurrent use.
+type Kalman struct {
+	cfg      KalmanConfig
+	prevMeas float64
+	havePrev bool
+}
+
+// NewKalman builds the filter.
+func NewKalman(cfg KalmanConfig) (*Kalman, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Kalman{cfg: cfg}, nil
+}
+
+// Update applies the measurement correction to the predicted state, given
+// the measured motor position (rad) and the sample period dt. It returns
+// the corrected state.
+func (k *Kalman) Update(pred JointState, measMotorPos, dt float64) JointState {
+	innovation := measMotorPos - pred.MotorPos
+	out := pred
+	out.MotorPos += k.cfg.PosGain * innovation
+
+	if k.havePrev && dt > 0 {
+		measVel := (measMotorPos - k.prevMeas) / dt
+		velInnov := measVel - pred.MotorVel
+		out.MotorVel += k.cfg.VelGain * velInnov
+		out.LinkVel += k.cfg.LinkCoupling * k.cfg.VelGain * velInnov / k.cfg.Ratio
+	}
+	out.LinkPos += k.cfg.LinkCoupling * k.cfg.PosGain * innovation / k.cfg.Ratio
+
+	k.prevMeas = measMotorPos
+	k.havePrev = true
+	return out
+}
+
+// Reset clears the filter's measurement history (on E-STOP or re-homing).
+func (k *Kalman) Reset() {
+	k.prevMeas = 0
+	k.havePrev = false
+}
+
+// Innovation returns the most recent position innovation magnitude given a
+// prediction and measurement — a residual diagnostic: persistent large
+// innovations indicate model divergence (or encoder-feedback tampering,
+// the Table I read-path attack).
+func Innovation(pred JointState, measMotorPos float64) float64 {
+	return math.Abs(measMotorPos - pred.MotorPos)
+}

@@ -1,0 +1,117 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newFilter(t *testing.T) *Kalman {
+	t.Helper()
+	k, err := NewKalman(KalmanConfig{Ratio: 12.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewKalman(KalmanConfig{}); err == nil {
+		t.Fatal("zero ratio accepted")
+	}
+	if _, err := NewKalman(KalmanConfig{Ratio: 12.1, PosGain: 1.5}); err == nil {
+		t.Fatal("gain > 1 accepted")
+	}
+	if _, err := NewKalman(KalmanConfig{Ratio: 12.1, LinkCoupling: -0.1}); err == nil {
+		t.Fatal("negative coupling accepted")
+	}
+}
+
+func TestUpdateMovesTowardMeasurement(t *testing.T) {
+	k := newFilter(t)
+	pred := JointState{MotorPos: 1.0}
+	got := k.Update(pred, 2.0, 1e-3)
+	if got.MotorPos <= pred.MotorPos || got.MotorPos >= 2.0 {
+		t.Fatalf("corrected position %v not between prediction and measurement", got.MotorPos)
+	}
+	// Link position follows through the transmission.
+	if got.LinkPos <= 0 {
+		t.Fatalf("link position %v did not follow the motor innovation", got.LinkPos)
+	}
+}
+
+func TestUpdateExactPredictionUnchangedPosition(t *testing.T) {
+	k := newFilter(t)
+	pred := JointState{MotorPos: 0.7, MotorVel: 1.2, LinkPos: 0.05, LinkVel: 0.1}
+	got := k.Update(pred, 0.7, 1e-3)
+	if got.MotorPos != pred.MotorPos || got.LinkPos != pred.LinkPos {
+		t.Fatalf("zero innovation changed positions: %+v", got)
+	}
+}
+
+func TestVelocityCorrectionNeedsHistory(t *testing.T) {
+	k := newFilter(t)
+	pred := JointState{MotorVel: 10}
+	// First sample: no measured velocity available, velocity untouched.
+	got := k.Update(pred, 0, 1e-3)
+	if got.MotorVel != pred.MotorVel {
+		t.Fatalf("first update corrected velocity: %v", got.MotorVel)
+	}
+	// Second sample: measured velocity (0.001-0)/1e-3 = 1 rad/s pulls the
+	// predicted 10 rad/s down.
+	got = k.Update(pred, 0.001, 1e-3)
+	if got.MotorVel >= pred.MotorVel {
+		t.Fatalf("velocity innovation ignored: %v", got.MotorVel)
+	}
+}
+
+func TestConvergesToConstantTruth(t *testing.T) {
+	k := newFilter(t)
+	state := JointState{MotorPos: 0} // model stuck at zero prediction
+	const truth = 0.5
+	for i := 0; i < 100; i++ {
+		state = k.Update(state, truth, 1e-3)
+	}
+	if math.Abs(state.MotorPos-truth) > 1e-6 {
+		t.Fatalf("filter did not converge: %v", state.MotorPos)
+	}
+}
+
+func TestResetClearsHistory(t *testing.T) {
+	k := newFilter(t)
+	k.Update(JointState{}, 1.0, 1e-3)
+	k.Reset()
+	pred := JointState{MotorVel: 5}
+	got := k.Update(pred, 1.0, 1e-3)
+	if got.MotorVel != pred.MotorVel {
+		t.Fatal("velocity corrected right after Reset (stale history)")
+	}
+}
+
+func TestInnovation(t *testing.T) {
+	if got := Innovation(JointState{MotorPos: 1}, 3); got != 2 {
+		t.Fatalf("Innovation = %v", got)
+	}
+	if got := Innovation(JointState{MotorPos: 3}, 1); got != 2 {
+		t.Fatalf("Innovation = %v (must be absolute)", got)
+	}
+}
+
+func TestCorrectionBoundedQuick(t *testing.T) {
+	k := newFilter(t)
+	f := func(pred, meas float64) bool {
+		if math.IsNaN(pred) || math.IsNaN(meas) ||
+			math.Abs(pred) > 1e6 || math.Abs(meas) > 1e6 {
+			// Physical motor angles are bounded; extreme magnitudes
+			// overflow the innovation arithmetic and are out of scope.
+			return true
+		}
+		got := k.Update(JointState{MotorPos: pred}, meas, 1e-3)
+		// Corrected position lies between prediction and measurement.
+		lo, hi := math.Min(pred, meas), math.Max(pred, meas)
+		return got.MotorPos >= lo-1e-9 && got.MotorPos <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"ravenguard/internal/core"
+	"ravenguard/internal/inject"
+	"ravenguard/internal/metrics"
+)
+
+// AblationConfig sizes the ablation campaigns (smaller than Table IV).
+type AblationConfig struct {
+	Runs     int // attack trials per arm (default 120)
+	BaseSeed int64
+}
+
+func (c *AblationConfig) applyDefaults() {
+	if c.Runs == 0 {
+		c.Runs = 120
+	}
+}
+
+// AblationArm is one configuration's scores.
+type AblationArm struct {
+	Name      string
+	Confusion metrics.Confusion
+}
+
+// AblationResult is a named set of arms.
+type AblationResult struct {
+	Title string
+	Arms  []AblationArm
+}
+
+// ablationCampaign scores one guard configuration over a mixed scenario-B
+// campaign (attacks of varying size plus fault-free runs).
+func ablationCampaign(cfg AblationConfig, mutate func(*Trial)) (metrics.Confusion, error) {
+	vals, durs := scenarioBGrid()
+	trials := make([]Trial, 0, cfg.Runs)
+	for i := 0; i < cfg.Runs; i++ {
+		trial := Trial{
+			Seed:     cfg.BaseSeed + int64(7000+i%31),
+			TrajIdx:  i % 2,
+			Scenario: ScenarioB,
+			B: inject.ScenarioBParams{
+				Value:           vals[i%len(vals)],
+				Channel:         i % 3,
+				StartDelayTicks: 500 + 61*(i%29),
+				ActivationTicks: durs[(i/len(vals))%len(durs)],
+				Seed:            int64(i),
+			},
+		}
+		if i%7 == 0 {
+			trial.Scenario = ScenarioNone
+		}
+		if mutate != nil {
+			mutate(&trial)
+		}
+		trials = append(trials, trial)
+	}
+	results, err := runTrials(trials)
+	if err != nil {
+		return metrics.Confusion{}, err
+	}
+	var conf metrics.Confusion
+	for _, res := range results {
+		conf.Observe(res.Impact, res.DynPreemptive)
+	}
+	return conf, nil
+}
+
+// RunAblationFusion compares the paper's three-way AND alarm fusion with a
+// single-variable OR (any threshold crossing alarms).
+func RunAblationFusion(cfg AblationConfig) (AblationResult, error) {
+	cfg.applyDefaults()
+	out := AblationResult{Title: "Alarm fusion: all-three-AND (paper) vs any-variable-OR"}
+	for _, arm := range []struct {
+		name   string
+		fusion core.Fusion
+	}{
+		{"fusion=ALL (paper)", core.FusionAll},
+		{"fusion=ANY", core.FusionAny},
+	} {
+		conf, err := ablationCampaign(cfg, func(t *Trial) { t.Fusion = arm.fusion })
+		if err != nil {
+			return AblationResult{}, err
+		}
+		out.Arms = append(out.Arms, AblationArm{Name: arm.name, Confusion: conf})
+	}
+	return out, nil
+}
+
+// RunAblationPercentile compares threshold strictness: scaling the learned
+// thresholds down (more sensitive) and up (less sensitive) against the
+// paper's 99.8-99.9th percentile choice.
+func RunAblationPercentile(cfg AblationConfig) (AblationResult, error) {
+	cfg.applyDefaults()
+	out := AblationResult{Title: "Threshold scale around the learned 99.85th percentile"}
+	for _, arm := range []struct {
+		name  string
+		scale float64
+	}{
+		{"thresholds x0.5 (looser trigger)", 0.5},
+		{"thresholds x1.0 (paper)", 1.0},
+		{"thresholds x2.0 (stricter trigger)", 2.0},
+	} {
+		th := core.DefaultThresholds()
+		for i := range th.MotorVel {
+			th.MotorVel[i] *= arm.scale
+			th.MotorAccel[i] *= arm.scale
+			th.JointVel[i] *= arm.scale
+		}
+		conf, err := ablationCampaign(cfg, func(t *Trial) { t.Thresholds = th })
+		if err != nil {
+			return AblationResult{}, err
+		}
+		out.Arms = append(out.Arms, AblationArm{Name: arm.name, Confusion: conf})
+	}
+	return out, nil
+}
+
+// RunAblationResync compares the guard's model-feedback fusion schemes:
+// the paper's plain proportional resynchronisation against the per-joint
+// steady-state Kalman filter (following the UKF work the paper cites).
+func RunAblationResync(cfg AblationConfig) (AblationResult, error) {
+	cfg.applyDefaults()
+	out := AblationResult{Title: "Model resync: proportional (paper) vs steady-state Kalman"}
+	for _, arm := range []struct {
+		name   string
+		resync string
+	}{
+		{"resync=proportional (paper)", "proportional"},
+		{"resync=kalman", "kalman"},
+	} {
+		conf, err := ablationCampaign(cfg, func(t *Trial) { t.Resync = arm.resync })
+		if err != nil {
+			return AblationResult{}, err
+		}
+		out.Arms = append(out.Arms, AblationArm{Name: arm.name, Confusion: conf})
+	}
+	return out, nil
+}
+
+// RunAblationPlacement compares installing the guard below the malicious
+// wrapper (the paper's hardware-boundary placement) with installing it
+// above (where it checks commands before the attacker mutates them — the
+// TOCTOU gap RAVEN's own checks suffer from).
+func RunAblationPlacement(cfg AblationConfig) (AblationResult, error) {
+	cfg.applyDefaults()
+	out := AblationResult{Title: "Detector placement: below vs above the malicious wrapper (TOCTOU)"}
+	for _, arm := range []struct {
+		name  string
+		above bool
+	}{
+		{"guard at hardware boundary (paper)", false},
+		{"guard above malware (pre-attack check)", true},
+	} {
+		conf, err := ablationCampaign(cfg, func(t *Trial) { t.GuardAboveMalware = arm.above })
+		if err != nil {
+			return AblationResult{}, err
+		}
+		out.Arms = append(out.Arms, AblationArm{Name: arm.name, Confusion: conf})
+	}
+	return out, nil
+}
+
+// Write renders one ablation.
+func (r AblationResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "ABLATION: %s\n", r.Title)
+	fmt.Fprintf(w, "%-42s %7s %7s %7s %7s\n", "Arm", "ACC", "TPR", "FPR", "F1")
+	for _, arm := range r.Arms {
+		c := arm.Confusion
+		fmt.Fprintf(w, "%-42s %7.1f %7.1f %7.1f %7.1f\n", arm.Name, c.Accuracy(), c.TPR(), c.FPR(), c.F1())
+	}
+}

@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteFig9CSV exports the Figure 9 probability grid as CSV for external
+// plotting (value, period_ms, p_impact, p_dyn, p_raven).
+func WriteFig9CSV(w io.Writer, res Fig9Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"value", "period_ms", "p_impact", "p_dyn_detect", "p_raven_detect", "reps"}); err != nil {
+		return fmt.Errorf("experiment: csv: %w", err)
+	}
+	for _, c := range res.Cells {
+		rec := []string{
+			strconv.Itoa(int(c.Value)),
+			strconv.Itoa(c.Duration),
+			strconv.FormatFloat(c.PImpact.Value(), 'f', 4, 64),
+			strconv.FormatFloat(c.PDyn.Value(), 'f', 4, 64),
+			strconv.FormatFloat(c.PRaven.Value(), 'f', 4, 64),
+			strconv.Itoa(c.PImpact.N()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiment: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable4CSV exports the Table IV confusion metrics as CSV.
+func WriteTable4CSV(w io.Writer, res Table4Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scenario", "technique", "acc", "tpr", "fpr", "f1", "tp", "fp", "tn", "fn"}); err != nil {
+		return fmt.Errorf("experiment: csv: %w", err)
+	}
+	for _, sc := range []Table4Scenario{res.A, res.B} {
+		for _, cell := range []Table4Cell{sc.Dyn, sc.Raven} {
+			c := cell.Confusion
+			rec := []string{
+				sc.Name,
+				cell.Technique,
+				strconv.FormatFloat(c.Accuracy(), 'f', 2, 64),
+				strconv.FormatFloat(c.TPR(), 'f', 2, 64),
+				strconv.FormatFloat(c.FPR(), 'f', 2, 64),
+				strconv.FormatFloat(c.F1(), 'f', 2, 64),
+				strconv.Itoa(c.TP), strconv.Itoa(c.FP), strconv.Itoa(c.TN), strconv.Itoa(c.FN),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("experiment: csv: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig8CSV exports the model-validation rows as CSV.
+func WriteFig8CSV(w io.Writer, res Fig8Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"integrator", "avg_step_ms", "j1_mpos_deg", "j1_jpos_deg", "j2_mpos_deg", "j2_jpos_deg", "j3_mpos_deg", "j3_jpos_mm"}); err != nil {
+		return fmt.Errorf("experiment: csv: %w", err)
+	}
+	for _, row := range res.Rows {
+		rec := []string{
+			row.Integrator,
+			strconv.FormatFloat(row.AvgStepMs, 'f', 6, 64),
+			strconv.FormatFloat(row.MposErrDeg[0], 'f', 4, 64),
+			strconv.FormatFloat(row.JposErrDeg[0], 'f', 4, 64),
+			strconv.FormatFloat(row.MposErrDeg[1], 'f', 4, 64),
+			strconv.FormatFloat(row.JposErrDeg[1], 'f', 4, 64),
+			strconv.FormatFloat(row.MposErrDeg[2], 'f', 4, 64),
+			strconv.FormatFloat(row.JposErr3MM, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiment: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteLatencyCSV exports the detection-latency profile as CSV.
+func WriteLatencyCSV(w io.Writer, res LatencyResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"value", "detected", "runs", "latency_mean_ms", "latency_max_ms", "margin_mean_ms"}); err != nil {
+		return fmt.Errorf("experiment: csv: %w", err)
+	}
+	for _, row := range res.Rows {
+		rec := []string{
+			strconv.Itoa(int(row.Value)),
+			strconv.Itoa(row.Detected),
+			strconv.Itoa(row.Runs),
+			strconv.FormatFloat(row.Latency.Mean, 'f', 2, 64),
+			strconv.FormatFloat(row.Latency.Max, 'f', 2, 64),
+			strconv.FormatFloat(row.ImpactMargin.Mean, 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiment: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMitigationCSV exports the mitigation comparison as CSV.
+func WriteMitigationCSV(w io.Writer, res MitigationResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"strategy", "value", "period_ms", "p_jump", "p_complete", "jump_mean_mm", "jump_max_mm", "lag_mean_mm", "lag_max_mm"}); err != nil {
+		return fmt.Errorf("experiment: csv: %w", err)
+	}
+	for _, arm := range res.Arms {
+		rec := []string{
+			arm.Name,
+			strconv.Itoa(int(res.Config.Value)),
+			strconv.Itoa(res.Config.Duration),
+			strconv.FormatFloat(arm.JumpRate, 'f', 3, 64),
+			strconv.FormatFloat(arm.CompletionRate, 'f', 3, 64),
+			strconv.FormatFloat(arm.Jump.Mean, 'f', 3, 64),
+			strconv.FormatFloat(arm.Jump.Max, 'f', 3, 64),
+			strconv.FormatFloat(arm.Lag.Mean, 'f', 3, 64),
+			strconv.FormatFloat(arm.Lag.Max, 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiment: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

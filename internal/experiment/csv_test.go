@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"ravenguard/internal/metrics"
+)
+
+func TestWriteFig9CSV(t *testing.T) {
+	res := Fig9Result{Reps: 2}
+	cell := Fig9Cell{Value: 8000, Duration: 64}
+	cell.PImpact.Observe(true)
+	cell.PImpact.Observe(false)
+	cell.PDyn.Observe(true)
+	cell.PDyn.Observe(true)
+	cell.PRaven.Observe(false)
+	cell.PRaven.Observe(false)
+	res.Cells = append(res.Cells, cell)
+
+	var sb strings.Builder
+	if err := WriteFig9CSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "8000,64,0.5000,1.0000,0.0000") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWriteTable4CSV(t *testing.T) {
+	res := Table4Result{
+		A: Table4Scenario{
+			Name: "A",
+			Dyn:  Table4Cell{Technique: "Dynamic Model", Confusion: metrics.Confusion{TP: 9, FN: 1, TN: 8, FP: 2}},
+			Raven: Table4Cell{Technique: "RAVEN",
+				Confusion: metrics.Confusion{TP: 5, FN: 5, TN: 10, FP: 0}},
+		},
+		B: Table4Scenario{Name: "B"},
+	}
+	var sb strings.Builder
+	if err := WriteTable4CSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Dynamic Model,85.00,90.00,20.00") {
+		t.Fatalf("csv = %q", out)
+	}
+	if strings.Count(out, "\n") != 5 { // header + 4 rows
+		t.Fatalf("rows = %d", strings.Count(out, "\n"))
+	}
+}
+
+func TestWriteFig8CSV(t *testing.T) {
+	res := Fig8Result{Rows: []Fig8Row{
+		{Integrator: "Euler", AvgStepMs: 0.0002, MposErrDeg: [3]float64{0.5, 0.3, 0.2},
+			JposErrDeg: [2]float64{0.05, 0.03}, JposErr3MM: 0.05},
+	}}
+	var sb strings.Builder
+	if err := WriteFig8CSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Euler,0.000200") {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}
+
+func TestFig8TraceSVG(t *testing.T) {
+	tr, err := RunFig8Trace(881, "euler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.T) < 100 {
+		t.Fatalf("trace has %d samples", len(tr.T))
+	}
+	var sb strings.Builder
+	if err := tr.WriteSVG(&sb, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"<svg", "dynamic model", "robot", "(mm)"} {
+		if !strings.Contains(sb.String(), frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+	if err := tr.WriteSVG(&sb, 99); err == nil {
+		t.Fatal("out-of-range joint accepted")
+	}
+}
+
+func TestWriteLatencyCSV(t *testing.T) {
+	res := LatencyResult{Rows: []LatencyRow{{Value: 16000, Detected: 18, Runs: 20}}}
+	var sb strings.Builder
+	if err := WriteLatencyCSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "16000,18,20") {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}
+
+func TestWriteMitigationCSV(t *testing.T) {
+	res := MitigationResult{
+		Config: MitigationConfig{Value: 16000, Duration: 128},
+		Arms:   []MitigationArm{{Name: "guard: hold-last-safe", JumpRate: 0.33, CompletionRate: 0.83}},
+	}
+	var sb strings.Builder
+	if err := WriteMitigationCSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "guard: hold-last-safe,16000,128,0.330,0.830") {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}

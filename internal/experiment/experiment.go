@@ -1,0 +1,349 @@
+// Package experiment is the evaluation harness: it reproduces every table
+// and figure of the paper's evaluation (see DESIGN.md's experiment index)
+// on top of the simulation framework of Figure 7a.
+//
+// The central primitive is the attack trial: one scripted teleoperation
+// session run twice from the same seed — once clean (the reference) and
+// once with an attack installed and the dynamic-model guard watching in
+// shadow mode — so the adverse physical impact of the attack can be
+// measured as the end-effector's deviation from the reference trajectory,
+// and both detectors (the paper's dynamic-model guard and RAVEN's built-in
+// safety checks) can be scored against that ground truth.
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"ravenguard/internal/console"
+	"ravenguard/internal/core"
+	"ravenguard/internal/inject"
+	"ravenguard/internal/interpose"
+	"ravenguard/internal/mathx"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/statemachine"
+	"ravenguard/internal/trajectory"
+	"ravenguard/internal/usb"
+)
+
+// AdverseJumpThreshold is the paper's injury criterion from expert
+// surgeons: an unintended end-effector displacement of one millimeter.
+const AdverseJumpThreshold = 0.001
+
+// Scenario selects the attack family of a trial.
+type Scenario int
+
+// Scenarios.
+const (
+	// ScenarioNone runs fault-free (negative trials for FPR).
+	ScenarioNone Scenario = iota + 1
+	// ScenarioA injects unintended user inputs.
+	ScenarioA
+	// ScenarioB injects unintended motor torque commands.
+	ScenarioB
+)
+
+// String names the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioNone:
+		return "fault-free"
+	case ScenarioA:
+		return "A (user inputs)"
+	case ScenarioB:
+		return "B (torque commands)"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Trial specifies one attack run.
+type Trial struct {
+	Seed     int64
+	TrajIdx  int     // index into trajectory.Standard()
+	Teleop   float64 // pedal-down seconds (default 5)
+	Scenario Scenario
+
+	// Scenario A parameters.
+	A inject.ScenarioAParams
+	// Scenario B parameters.
+	B inject.ScenarioBParams
+
+	// Thresholds for the dynamic-model guard (zero = DefaultThresholds).
+	Thresholds core.Thresholds
+	// Integrator for the guard (default "euler").
+	Integrator string
+	// Resync selects the guard's model-feedback fusion ("proportional" or
+	// "kalman"; empty = proportional).
+	Resync string
+	// Fusion selects the guard's alarm fusion (used by the ablation
+	// experiments; zero value keeps the paper's all-three-AND fusion).
+	Fusion core.Fusion
+	// GuardAboveMalware preloads the guard ABOVE the malicious wrapper
+	// instead of appending it at the hardware boundary (placement
+	// ablation: the guard then checks commands before the attacker
+	// modifies them, reintroducing the TOCTOU gap).
+	GuardAboveMalware bool
+}
+
+// Result is what one trial produced.
+type Result struct {
+	// Impact is the ground truth: the attack produced an unintended
+	// end-effector jump beyond the 1 mm criterion (measured against the
+	// same-seed fault-free reference, up to the moment the system halted).
+	Impact bool
+	// MaxDeviation is the peak deviation from the reference, meters.
+	MaxDeviation float64
+	// DynDetected reports the dynamic-model guard alarming.
+	DynDetected bool
+	// DynPreemptive reports the guard alarming before the impact
+	// manifested (first alarm tick <= first tick deviation crossed 1 mm).
+	DynPreemptive bool
+	// RavenDetected reports RAVEN's built-in checks firing (software DAC/
+	// joint-limit check, which also drops the watchdog).
+	RavenDetected bool
+	// Halted reports the run ending in E-STOP (unwanted halt state).
+	Halted bool
+	// InjectedFrames is how many cycles the attack actually corrupted.
+	InjectedFrames int
+	// AlarmTick and ImpactTick are the step indices of first alarm and
+	// first >1 mm deviation (-1 when absent).
+	AlarmTick  int
+	ImpactTick int
+}
+
+// script returns the trial's session script.
+func (tr Trial) script() console.Script {
+	teleop := tr.Teleop
+	if teleop == 0 {
+		teleop = 5
+	}
+	return console.StandardScript(teleop)
+}
+
+func (tr Trial) trajectory() trajectory.Trajectory {
+	std := trajectory.Standard()
+	return std[((tr.TrajIdx%len(std))+len(std))%len(std)]
+}
+
+// refCache memoises fault-free tip traces keyed by (seed, trajIdx, teleop).
+type refKey struct {
+	seed    int64
+	trajIdx int
+	teleop  float64
+}
+
+type refCache struct {
+	mu sync.Mutex
+	m  map[refKey][]mathx.Vec3
+}
+
+var _refs = &refCache{m: make(map[refKey][]mathx.Vec3)}
+
+// reference returns (computing if needed) the fault-free tip trace for the
+// trial's seed/trajectory/script.
+func (tr Trial) reference() ([]mathx.Vec3, error) {
+	key := refKey{tr.Seed, tr.TrajIdx, tr.Teleop}
+	_refs.mu.Lock()
+	if trace, ok := _refs.m[key]; ok {
+		_refs.mu.Unlock()
+		return trace, nil
+	}
+	_refs.mu.Unlock()
+
+	rig, err := sim.New(sim.Config{
+		Seed:   tr.Seed,
+		Script: tr.script(),
+		Traj:   tr.trajectory(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: reference: %w", err)
+	}
+	var trace []mathx.Vec3
+	rig.Observe(func(si sim.StepInfo) { trace = append(trace, si.TipTrue) })
+	if _, err := rig.Run(0); err != nil {
+		return nil, fmt.Errorf("experiment: reference: %w", err)
+	}
+
+	_refs.mu.Lock()
+	_refs.m[key] = trace
+	_refs.mu.Unlock()
+	return trace, nil
+}
+
+// ResetReferenceCache clears the memoised fault-free traces (tests).
+func ResetReferenceCache() {
+	_refs.mu.Lock()
+	_refs.m = make(map[refKey][]mathx.Vec3)
+	_refs.mu.Unlock()
+}
+
+// installAttack instantiates the trial's attack onto cfg and returns a
+// function reporting how many frames were corrupted. Each call builds
+// fresh (stateful) attack instances, so the counterfactual and scored runs
+// get identical but independent attacks.
+func (tr Trial) installAttack(cfg *sim.Config) (func() int, error) {
+	switch tr.Scenario {
+	case ScenarioNone:
+		return func() int { return 0 }, nil
+	case ScenarioA:
+		att, err := inject.NewScenarioA(tr.A)
+		if err != nil {
+			return nil, err
+		}
+		cfg.OnInput = att.Hook()
+		return att.Injected, nil
+	case ScenarioB:
+		inj, err := inject.NewScenarioB(tr.B)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Preload = append(cfg.Preload, inj)
+		return inj.Injected, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown scenario %d", int(tr.Scenario))
+	}
+}
+
+// counterfactualImpact measures the attack's physical effect with every
+// safety response disabled (no software checks, no guard): the ground
+// truth "adverse impact that would manifest absent mitigation". It returns
+// the peak deviation from the reference and the tick it first crossed the
+// 1 mm criterion (-1 if never).
+func (tr Trial) counterfactualImpact(ref []mathx.Vec3) (float64, int, error) {
+	cfg := sim.Config{
+		Seed:   tr.Seed,
+		Script: tr.script(),
+		Traj:   tr.trajectory(),
+	}
+	cfg.Control.SafetyChecksOff = true
+	if _, err := tr.installAttack(&cfg); err != nil {
+		return 0, -1, err
+	}
+	rig, err := sim.New(cfg)
+	if err != nil {
+		return 0, -1, err
+	}
+	maxDev, impactTick, step := 0.0, -1, 0
+	rig.Observe(func(si sim.StepInfo) {
+		if step < len(ref) {
+			d := si.TipTrue.DistanceTo(ref[step])
+			if d > maxDev {
+				maxDev = d
+			}
+			if impactTick < 0 && d > AdverseJumpThreshold {
+				impactTick = step
+			}
+		}
+		step++
+	})
+	if _, err := rig.Run(0); err != nil {
+		return 0, -1, err
+	}
+	return maxDev, impactTick, nil
+}
+
+// Run executes the trial and scores it: the ground truth comes from the
+// counterfactual (unprotected) run, the detector verdicts from the scored
+// run with RAVEN's checks active and the guard monitoring.
+func (tr Trial) Run() (Result, error) {
+	ref, err := tr.reference()
+	if err != nil {
+		return Result{}, err
+	}
+
+	var truthDev float64
+	truthTick := -1
+	if tr.Scenario != ScenarioNone {
+		truthDev, truthTick, err = tr.counterfactualImpact(ref)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	th := tr.Thresholds
+	if th == (core.Thresholds{}) {
+		th = core.DefaultThresholds()
+	}
+	guard, err := core.NewGuard(core.Config{
+		Integrator: tr.Integrator,
+		Thresholds: th,
+		Mode:       core.ModeMonitor,
+		Fusion:     tr.Fusion,
+		Resync:     tr.Resync,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	cfg := sim.Config{
+		Seed:   tr.Seed,
+		Script: tr.script(),
+		Traj:   tr.trajectory(),
+	}
+	injectedFrames, err := tr.installAttack(&cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if tr.GuardAboveMalware && tr.Scenario == ScenarioB {
+		// Placement ablation: the guard resolves before the malware, so it
+		// checks frames before the attacker mutates them (the TOCTOU gap).
+		cfg.Preload = append([]interpose.Wrapper{guard}, cfg.Preload...)
+	}
+
+	return tr.runScored(cfg, guard, ref, truthDev, truthTick, injectedFrames)
+}
+
+// feedbackOnly adapts a guard that is already preloaded on the write chain
+// so it can still receive encoder feedback through the Guards list without
+// being invoked twice per write.
+type feedbackOnly struct {
+	g *core.Guard
+}
+
+var _ sim.Hook = feedbackOnly{}
+
+func (f feedbackOnly) Name() string { return "guard-feedback-tap" }
+
+func (f feedbackOnly) OnWrite([]byte) interpose.Verdict { return interpose.Pass }
+
+func (f feedbackOnly) OnFeedback(fb usb.Feedback, t float64) { f.g.OnFeedback(fb, t) }
+
+func (tr Trial) runScored(cfg sim.Config, guard *core.Guard, ref []mathx.Vec3, truthDev float64, truthTick int, injected func() int) (Result, error) {
+	if !tr.GuardAboveMalware {
+		cfg.Guards = append(cfg.Guards, guard)
+	} else {
+		cfg.Guards = append(cfg.Guards, feedbackOnly{guard})
+	}
+
+	rig, err := sim.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		AlarmTick:    -1,
+		ImpactTick:   truthTick,
+		MaxDeviation: truthDev,
+		Impact:       truthTick >= 0,
+	}
+	step := 0
+	rig.Observe(func(si sim.StepInfo) {
+		if res.AlarmTick < 0 && guard.Alarms() > 0 {
+			res.AlarmTick = step
+		}
+		step++
+	})
+	if _, err := rig.Run(0); err != nil {
+		return Result{}, err
+	}
+
+	res.DynDetected = guard.Alarms() > 0
+	// Preemptive: the alarm fires no later than the impact would have
+	// manifested in the unprotected system.
+	res.DynPreemptive = res.DynDetected && (!res.Impact || (res.AlarmTick >= 0 && res.AlarmTick <= res.ImpactTick))
+	res.RavenDetected = rig.Controller().SafetyTrips() > 0
+	res.Halted = rig.PLC().EStopped() || rig.Controller().State() == statemachine.EStop
+	res.InjectedFrames = injected()
+	return res, nil
+}

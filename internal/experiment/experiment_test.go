@@ -1,0 +1,379 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"ravenguard/internal/inject"
+)
+
+func TestTrialFaultFree(t *testing.T) {
+	res, err := Trial{Seed: 11, Scenario: ScenarioNone}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Impact {
+		t.Fatalf("fault-free trial reported impact (dev %.3f mm)", res.MaxDeviation*1e3)
+	}
+	if res.RavenDetected {
+		t.Fatal("fault-free trial tripped RAVEN checks")
+	}
+	if res.Halted {
+		t.Fatal("fault-free trial halted")
+	}
+}
+
+func TestTrialLargeTorqueAttack(t *testing.T) {
+	res, err := Trial{
+		Seed:     12,
+		Scenario: ScenarioB,
+		B: inject.ScenarioBParams{
+			Value: 20000, Channel: 0, StartDelayTicks: 800, ActivationTicks: 128,
+		},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Impact {
+		t.Fatalf("20000x128 attack produced no counterfactual impact (dev %.3f mm)", res.MaxDeviation*1e3)
+	}
+	if !res.DynDetected {
+		t.Fatal("dynamic-model guard missed a 20000x128 attack")
+	}
+	if !res.DynPreemptive {
+		t.Fatalf("detection not preemptive: alarm tick %d, impact tick %d", res.AlarmTick, res.ImpactTick)
+	}
+	if res.InjectedFrames == 0 {
+		t.Fatal("attack never activated")
+	}
+}
+
+func TestTrialSmallTorqueAttackHarmless(t *testing.T) {
+	res, err := Trial{
+		Seed:     13,
+		Scenario: ScenarioB,
+		B: inject.ScenarioBParams{
+			Value: 1000, Channel: 0, StartDelayTicks: 800, ActivationTicks: 4,
+		},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Impact {
+		t.Fatalf("1000x4 attack reported impact (dev %.3f mm)", res.MaxDeviation*1e3)
+	}
+}
+
+func TestTrialScenarioA(t *testing.T) {
+	res, err := Trial{
+		Seed:     14,
+		Scenario: ScenarioA,
+		A: inject.ScenarioAParams{
+			Magnitude: 4e-4, StartAfterTicks: 800, ActivationTicks: 64,
+		},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Impact {
+		t.Fatalf("0.4 mm/cycle input attack produced no impact (dev %.3f mm)", res.MaxDeviation*1e3)
+	}
+	if !res.DynDetected {
+		t.Fatal("dynamic-model guard missed the input attack")
+	}
+}
+
+func TestTrialUnknownScenario(t *testing.T) {
+	if _, err := (Trial{Seed: 1, Scenario: Scenario(99)}).Run(); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestScenarioStrings(t *testing.T) {
+	for _, s := range []Scenario{ScenarioNone, ScenarioA, ScenarioB, Scenario(99)} {
+		if s.String() == "" {
+			t.Fatalf("Scenario(%d) has empty name", s)
+		}
+	}
+}
+
+func TestReferenceCacheReuse(t *testing.T) {
+	ResetReferenceCache()
+	tr := Trial{Seed: 15, Scenario: ScenarioNone}
+	a, err := tr.reference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.reference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("reference not served from cache")
+	}
+}
+
+func TestRunTable2Small(t *testing.T) {
+	res, err := RunTable2(Table2Config{Calls: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline.Summary.N != 2000 {
+		t.Fatalf("baseline N = %d", res.Baseline.Summary.N)
+	}
+	// Shape: logging (UDP egress per call) costs more than the bare write;
+	// injection adds little.
+	if res.Logging.Summary.Mean <= res.Baseline.Summary.Mean {
+		t.Fatalf("logging mean %.2f us not above baseline %.2f us",
+			res.Logging.Summary.Mean, res.Baseline.Summary.Mean)
+	}
+	if res.Injection.Summary.Mean >= res.Logging.Summary.Mean {
+		t.Fatalf("injection mean %.2f us not below logging %.2f us",
+			res.Injection.Summary.Mean, res.Logging.Summary.Mean)
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	if !strings.Contains(sb.String(), "TABLE II") {
+		t.Fatal("report missing header")
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	res, err := RunFig5(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Byte0Raw < 4 || res.Byte0Raw > 8 {
+		t.Fatalf("Byte 0 raw distinct = %d, want 4..8", res.Byte0Raw)
+	}
+	if res.Byte0Masked != 4 {
+		t.Fatalf("Byte 0 masked distinct = %d, want the 4 operational states", res.Byte0Masked)
+	}
+	if res.Watchdog != 0x10 {
+		t.Fatalf("watchdog mask = %#02x", res.Watchdog)
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	if !strings.Contains(sb.String(), "STATE BYTE") {
+		t.Fatal("report does not flag the state byte")
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	res, err := RunFig6(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 9 {
+		t.Fatalf("runs = %d, want 9", len(res.Runs))
+	}
+	if res.Inference.PedalDownByte != 0x0F {
+		t.Fatalf("inferred Pedal Down byte = %#02x", res.Inference.PedalDownByte)
+	}
+	matches := 0
+	for _, run := range res.Runs {
+		if run.TruthMatches {
+			matches++
+		}
+	}
+	if matches < 8 {
+		t.Fatalf("only %d/9 inferred timelines match ground truth", matches)
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	if !strings.Contains(sb.String(), "Pedal Down value = 0x0f") {
+		t.Fatalf("report: %s", sb.String())
+	}
+}
+
+func TestRunFig8Small(t *testing.T) {
+	res, err := RunFig8(Fig8Config{Runs: 2, TeleopSeconds: 3, BaseSeed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	rk4, euler := res.Rows[0], res.Rows[1]
+	if rk4.Integrator == euler.Integrator {
+		t.Fatal("both rows same integrator")
+	}
+	// RK4 costs more per step than Euler (paper: 0.032 vs 0.011 ms) — but
+	// wall-clock ratios are noisy on a loaded machine, so only log an
+	// inversion; the dedicated benchmarks carry the timing claim.
+	if rk4.AvgStepMs <= euler.AvgStepMs {
+		t.Logf("note: RK4 %.5f ms/step measured below Euler %.5f (machine load?)", rk4.AvgStepMs, euler.AvgStepMs)
+	}
+	if rk4.AvgStepMs <= 0 || euler.AvgStepMs <= 0 {
+		t.Fatal("non-positive step time measured")
+	}
+	// Both track within a degree at a 1 ms step.
+	for _, row := range res.Rows {
+		for i, e := range row.MposErrDeg {
+			if e > 5 {
+				t.Fatalf("%s: motor %d error %.2f deg", row.Integrator, i, e)
+			}
+		}
+		if row.JposErr3MM > 5 {
+			t.Fatalf("%s: insertion error %.2f mm", row.Integrator, row.JposErr3MM)
+		}
+	}
+}
+
+func TestRunTable4Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is slow")
+	}
+	res, err := RunTable4(Table4Config{RunsA: 30, RunsB: 30, BaseSeed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.A.Dyn.Confusion.Total() != 30 || res.B.Dyn.Confusion.Total() != 30 {
+		t.Fatalf("campaign sizes wrong: %d/%d", res.A.Dyn.Confusion.Total(), res.B.Dyn.Confusion.Total())
+	}
+	// Directional check (the paper's headline): the dynamic model catches
+	// at least as many impactful attacks as RAVEN's built-in checks.
+	if res.B.Dyn.Confusion.TPR() < res.B.Raven.Confusion.TPR() {
+		t.Fatalf("dyn TPR %.1f below RAVEN %.1f in scenario B",
+			res.B.Dyn.Confusion.TPR(), res.B.Raven.Confusion.TPR())
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	if !strings.Contains(sb.String(), "TABLE IV") {
+		t.Fatal("report missing header")
+	}
+}
+
+func TestRunFig9Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	res, err := RunFig9(Fig9Config{
+		Values:    []int16{4000, 20000},
+		Durations: []int{4, 128},
+		Reps:      4,
+		BaseSeed:  61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	// Monotone shape: the big/long cell must have at least the impact and
+	// detection probability of the small/short cell.
+	small, big := res.Cells[0], res.Cells[3]
+	if big.PImpact.Value() < small.PImpact.Value() {
+		t.Fatalf("impact probability not increasing: %.2f -> %.2f", small.PImpact.Value(), big.PImpact.Value())
+	}
+	if big.PDyn.Value() < small.PDyn.Value() {
+		t.Fatalf("detection probability not increasing: %.2f -> %.2f", small.PDyn.Value(), big.PDyn.Value())
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("variant matrix is slow")
+	}
+	res, err := RunTable1(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 variants", len(res.Rows))
+	}
+	want := map[inject.Variant]string{
+		inject.VariantMathDrift:  "IK-fail",
+		inject.VariantPortChange: "console lost",
+	}
+	for _, row := range res.Rows {
+		if row.Impact == "No observable impact" {
+			t.Errorf("variant %q had no observable impact", row.Variant)
+		}
+		if frag, ok := want[row.Variant]; ok && !strings.Contains(row.Impact, frag) {
+			t.Errorf("variant %q impact = %q, want fragment %q", row.Variant, row.Impact, frag)
+		}
+	}
+}
+
+func TestMitigationComparisonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison is slow")
+	}
+	res, err := RunMitigationComparison(MitigationConfig{Attacks: 12, Value: 16000, BaseSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arms) != 3 {
+		t.Fatalf("arms = %d", len(res.Arms))
+	}
+	noGuard, estop, hold := res.Arms[0], res.Arms[1], res.Arms[2]
+	// Both mitigations must cut the jump rate versus the unprotected robot.
+	if estop.JumpRate >= noGuard.JumpRate {
+		t.Fatalf("E-STOP mitigation did not reduce jumps: %.2f vs %.2f", estop.JumpRate, noGuard.JumpRate)
+	}
+	if hold.JumpRate >= noGuard.JumpRate {
+		t.Fatalf("hold-safe mitigation did not reduce jumps: %.2f vs %.2f", hold.JumpRate, noGuard.JumpRate)
+	}
+	// Hold-safe's selling point: availability.
+	if hold.CompletionRate <= estop.CompletionRate {
+		t.Fatalf("hold-safe completion %.2f not above E-STOP %.2f", hold.CompletionRate, estop.CompletionRate)
+	}
+}
+
+func TestAblationPlacementShowsTOCTOU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is slow")
+	}
+	res, err := RunAblationPlacement(AblationConfig{Runs: 40, BaseSeed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	below, above := res.Arms[0].Confusion, res.Arms[1].Confusion
+	// The guard above the malware checks pre-attack frames: it must miss
+	// attacks the hardware-boundary guard catches.
+	if above.TPR() >= below.TPR() {
+		t.Fatalf("placement ablation shows no TOCTOU effect: above TPR %.1f vs below %.1f",
+			above.TPR(), below.TPR())
+	}
+}
+
+func TestRunPersistenceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("persistence campaign is slow")
+	}
+	res, err := RunPersistence(PersistenceConfig{Attempts: 6, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arms) != 3 {
+		t.Fatalf("arms = %d", len(res.Arms))
+	}
+	noGuard, estop, hold := res.Arms[0], res.Arms[1], res.Arms[2]
+	// The paper's observation: persistent malware makes the robot nearly
+	// unavailable without (and even with) halting mitigations; hold-safe
+	// restores availability.
+	if hold.Availability() <= noGuard.Availability() {
+		t.Fatalf("hold-safe availability %.2f not above no-guard %.2f",
+			hold.Availability(), noGuard.Availability())
+	}
+	if hold.Availability() <= estop.Availability() {
+		t.Fatalf("hold-safe availability %.2f not above E-STOP %.2f",
+			hold.Availability(), estop.Availability())
+	}
+}
+
+func TestAblationResyncBothUsable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is slow")
+	}
+	res, err := RunAblationResync(AblationConfig{Runs: 30, BaseSeed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range res.Arms {
+		if arm.Confusion.TPR() < 50 {
+			t.Errorf("%s: TPR %.1f below 50 — resync scheme unusable", arm.Name, arm.Confusion.TPR())
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"ravenguard/internal/analysis"
+	"ravenguard/internal/console"
+	"ravenguard/internal/interpose"
+	"ravenguard/internal/malware"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/statemachine"
+	"ravenguard/internal/trajectory"
+	"ravenguard/internal/usb"
+)
+
+// captureRun executes one session with the Phase-1 eavesdropping malware
+// preloaded and returns the captured USB command frames plus the
+// ground-truth state timeline (for validating the inference).
+func captureRun(seed int64, script console.Script) (frames [][]byte, truth []statemachine.State, err error) {
+	exfil := malware.NewMemExfil()
+	logger := malware.NewLogger(exfil)
+	rig, err := sim.New(sim.Config{
+		Seed:    seed,
+		Script:  script,
+		Traj:    trajectory.Standard()[seed%2],
+		Preload: []interpose.Wrapper{logger},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rig.Observe(func(si sim.StepInfo) { truth = append(truth, si.Ctrl.State) })
+	if _, err := rig.Run(0); err != nil {
+		return nil, nil, err
+	}
+	return exfil.Frames(), truth, nil
+}
+
+// Fig5Result is the per-byte profile of one captured run (paper Figure 5).
+type Fig5Result struct {
+	Frames   int
+	Profiles []analysis.ByteProfile
+	// Byte0Raw and Byte0Masked are the distinct-value counts of Byte 0
+	// before and after removing the toggling watchdog bit — the paper's
+	// "8 different values ... if we take that bit out, only 4".
+	Byte0Raw    int
+	Byte0Masked int
+	Watchdog    byte
+}
+
+// RunFig5 captures one session and profiles its USB frames byte by byte.
+func RunFig5(seed int64) (Fig5Result, error) {
+	script := console.Script{
+		StartAt:    0.05,
+		HomingWait: 2.5,
+		Segments: []console.Segment{
+			{Duration: 4, PedalDown: true},
+			{Duration: 1.5, PedalDown: false},
+			{Duration: 4, PedalDown: true},
+		},
+	}
+	frames, _, err := captureRun(seed, script)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	profiles, err := analysis.Profile(frames)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	mask, _, err := analysis.FindTogglingBit(frames, usb.StateByte)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	masked := make(map[byte]bool)
+	for _, f := range frames {
+		masked[f[usb.StateByte]&^mask] = true
+	}
+	return Fig5Result{
+		Frames:      len(frames),
+		Profiles:    profiles,
+		Byte0Raw:    profiles[usb.StateByte].Distinct,
+		Byte0Masked: len(masked),
+		Watchdog:    mask,
+	}, nil
+}
+
+// Write renders the Figure 5 summary: one row per byte.
+func (r Fig5Result) Write(w io.Writer) {
+	fmt.Fprintf(w, "FIGURE 5. USB packet byte profile over one run (%d frames)\n", r.Frames)
+	fmt.Fprintf(w, "%-8s %10s %10s  %s\n", "Byte", "Distinct", "Toggles", "Character")
+	for _, p := range r.Profiles {
+		character := "constant"
+		switch {
+		case p.Index == usb.StateByte:
+			character = "STATE BYTE (low nibble = operational state, bit 4 = watchdog)"
+		case p.Index == usb.SeqByte:
+			character = "sequence counter (wraps, many values)"
+		case p.Distinct > 16:
+			character = "motor command (flickers among many values)"
+		case p.Distinct > 1:
+			character = "few values"
+		}
+		fmt.Fprintf(w, "Byte %-3d %10d %10d  %s\n", p.Index, p.Distinct, p.Toggles, character)
+	}
+	fmt.Fprintf(w, "Byte 0: %d raw values -> %d after masking toggling bit %#02x (paper: 8 -> 4)\n",
+		r.Byte0Raw, r.Byte0Masked, r.Watchdog)
+}
+
+// Fig6Run is one of the nine runs of Figure 6.
+type Fig6Run struct {
+	Seed     int64
+	Segments []analysis.Segment
+	// TruthMatches reports whether the inferred state timeline matches the
+	// ground-truth state machine timeline segment-for-segment.
+	TruthMatches bool
+}
+
+// Fig6Result aggregates the nine-run experiment and the final inference.
+type Fig6Result struct {
+	Runs      []Fig6Run
+	Inference analysis.Inference
+}
+
+// RunFig6 captures nine sessions with randomized pedal timing (like the
+// paper's nine runs), infers the state byte / watchdog bit / Pedal Down
+// trigger, and validates the inferred timelines against ground truth.
+func RunFig6(baseSeed int64) (Fig6Result, error) {
+	rng := rand.New(rand.NewSource(baseSeed))
+	var (
+		captures [][][]byte
+		truths   [][]statemachine.State
+		result   Fig6Result
+	)
+	for run := 0; run < 9; run++ {
+		script := console.Script{
+			StartAt:    0.05,
+			HomingWait: 2.5,
+			Segments: []console.Segment{
+				{Duration: 1 + 3*rng.Float64(), PedalDown: true},
+			},
+		}
+		if rng.Intn(2) == 0 {
+			script.Segments = append(script.Segments,
+				console.Segment{Duration: 0.5 + rng.Float64(), PedalDown: false},
+				console.Segment{Duration: 1 + 2*rng.Float64(), PedalDown: true},
+			)
+		}
+		frames, truth, err := captureRun(baseSeed+int64(run), script)
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		captures = append(captures, frames)
+		truths = append(truths, truth)
+	}
+
+	inf, err := analysis.Infer(captures)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	result.Inference = inf
+
+	for run, frames := range captures {
+		segs := analysis.SegmentStates(frames, inf.StateByte, inf.WatchdogMask)
+		result.Runs = append(result.Runs, Fig6Run{
+			Seed:         baseSeed + int64(run),
+			Segments:     segs,
+			TruthMatches: timelineMatches(segs, truths[run]),
+		})
+	}
+	return result, nil
+}
+
+// timelineMatches checks the inferred segments against the ground-truth
+// per-tick state sequence: same number of maximal runs, same decoded state.
+func timelineMatches(segs []analysis.Segment, truth []statemachine.State) bool {
+	var truthSegs []statemachine.State
+	for i, st := range truth {
+		if i == 0 || st != truth[i-1] {
+			truthSegs = append(truthSegs, st)
+		}
+	}
+	if len(segs) != len(truthSegs) {
+		return false
+	}
+	for i, s := range segs {
+		st, ok := statemachine.FromNibble(s.Value)
+		if !ok || st != truthSegs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Write renders the Figure 6 summary.
+func (r Fig6Result) Write(w io.Writer) {
+	fmt.Fprintln(w, "FIGURE 6. Byte 0 state patterns over nine runs")
+	fmt.Fprintf(w, "Inference: state byte = %d, watchdog mask = %#02x (half-period %.1f frames), Pedal Down value = %#02x\n",
+		r.Inference.StateByte, r.Inference.WatchdogMask, r.Inference.HalfPeriod, r.Inference.PedalDownByte)
+	for i, run := range r.Runs {
+		fmt.Fprintf(w, "run %d (seed %d): ", i+1, run.Seed)
+		for j, s := range run.Segments {
+			if j > 0 {
+				fmt.Fprint(w, " -> ")
+			}
+			st, _ := statemachine.FromNibble(s.Value)
+			fmt.Fprintf(w, "%s[%d]", st, s.Len)
+		}
+		fmt.Fprintf(w, "  truth-match=%v\n", run.TruthMatches)
+	}
+}

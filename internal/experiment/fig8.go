@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"ravenguard/internal/console"
+	"ravenguard/internal/core"
+	"ravenguard/internal/kinematics"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/trajectory"
+)
+
+// Fig8Config parameterises the E3 experiment (paper Figure 8): validation
+// of the dynamic model against the (simulated) robot, comparing the 4th
+// order Runge-Kutta and explicit Euler solvers at a 1 ms step.
+type Fig8Config struct {
+	// Runs of model-alongside-robot (paper: 10).
+	Runs int
+	// TeleopSeconds per run (default 6).
+	TeleopSeconds float64
+	// BaseSeed for the runs.
+	BaseSeed int64
+}
+
+// Fig8Row is one integrator's results: per-step runtime and per-joint mean
+// absolute errors of motor and joint positions.
+type Fig8Row struct {
+	Integrator  string
+	AvgStepMs   float64                       // wall-clock per model step, ms
+	MposErrDeg  [kinematics.NumJoints]float64 // mean |model - robot| motor position, degrees
+	JposErrDeg  [2]float64                    // joints 1-2 (rotational), degrees
+	JposErr3MM  float64                       // joint 3 (translational), millimeters
+	SampleCount int
+}
+
+// Fig8Result holds both solvers' rows.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// RunFig8 runs the model in parallel with the plant over several sessions
+// for each integrator and aggregates "the average of mean absolute errors
+// estimated for each trajectory".
+func RunFig8(cfg Fig8Config) (Fig8Result, error) {
+	if cfg.Runs == 0 {
+		cfg.Runs = 10
+	}
+	if cfg.TeleopSeconds == 0 {
+		cfg.TeleopSeconds = 6
+	}
+
+	var result Fig8Result
+	for _, scheme := range []string{"rk4", "euler"} {
+		var (
+			mposErr [kinematics.NumJoints]float64
+			jposErr [kinematics.NumJoints]float64
+			samples int
+			stepMs  float64
+			steps   int
+		)
+		for run := 0; run < cfg.Runs; run++ {
+			guard, err := core.NewGuard(core.Config{Integrator: scheme})
+			if err != nil {
+				return Fig8Result{}, err
+			}
+			rig, err := sim.New(sim.Config{
+				Seed:   cfg.BaseSeed + int64(run),
+				Script: console.StandardScript(cfg.TeleopSeconds),
+				Traj:   trajectory.Standard()[run%2],
+				Guards: []sim.Hook{guard},
+			})
+			if err != nil {
+				return Fig8Result{}, err
+			}
+			rig.Observe(func(si sim.StepInfo) {
+				if si.T < 3.0 { // compare once teleoperation is underway
+					return
+				}
+				mp, jp := guard.ModelState()
+				for i := 0; i < kinematics.NumJoints; i++ {
+					mposErr[i] += math.Abs(mp[i] - si.MposTrue[i])
+					jposErr[i] += math.Abs(jp[i] - si.JposTrue[i])
+				}
+				samples++
+			})
+			if _, err := rig.Run(0); err != nil {
+				return Fig8Result{}, err
+			}
+			st := guard.StepTime()
+			stepMs += st.Mean / 1e6
+			steps++
+		}
+		if samples == 0 {
+			return Fig8Result{}, fmt.Errorf("experiment: fig8 collected no samples")
+		}
+		row := Fig8Row{
+			Integrator:  schemeName(scheme),
+			AvgStepMs:   stepMs / float64(steps),
+			SampleCount: samples,
+		}
+		for i := 0; i < kinematics.NumJoints; i++ {
+			row.MposErrDeg[i] = deg(mposErr[i] / float64(samples))
+		}
+		row.JposErrDeg[0] = deg(jposErr[0] / float64(samples))
+		row.JposErrDeg[1] = deg(jposErr[1] / float64(samples))
+		row.JposErr3MM = jposErr[2] / float64(samples) * 1e3
+		result.Rows = append(result.Rows, row)
+	}
+	return result, nil
+}
+
+func schemeName(s string) string {
+	if s == "rk4" {
+		return "4-th Order Runge Kutta"
+	}
+	return "Euler"
+}
+
+func deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Write renders the Figure 8 table.
+func (r Fig8Result) Write(w io.Writer) {
+	fmt.Fprintln(w, "FIGURE 8. Dynamic model validation (step size 1 ms)")
+	fmt.Fprintf(w, "%-24s %12s %11s %11s %11s %11s %11s %12s\n",
+		"Integration Method", "AvgTime/Step", "J1 mpos", "J1 jpos", "J2 mpos", "J2 jpos", "J3 mpos", "J3 jpos")
+	fmt.Fprintf(w, "%-24s %12s %11s %11s %11s %11s %11s %12s\n",
+		"", "(ms)", "(deg)", "(deg)", "(deg)", "(deg)", "(deg)", "(mm)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-24s %12.5f %11.4f %11.4f %11.4f %11.4f %11.4f %12.4f\n",
+			row.Integrator, row.AvgStepMs,
+			row.MposErrDeg[0], row.JposErrDeg[0],
+			row.MposErrDeg[1], row.JposErrDeg[1],
+			row.MposErrDeg[2], row.JposErr3MM)
+	}
+	if len(r.Rows) == 2 && r.Rows[1].AvgStepMs > 0 {
+		fmt.Fprintf(w, "(RK4/Euler runtime ratio: %.1fx; paper: 0.032/0.011 = 2.9x)\n",
+			r.Rows[0].AvgStepMs/r.Rows[1].AvgStepMs)
+	}
+}

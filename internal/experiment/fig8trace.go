@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"ravenguard/internal/console"
+	"ravenguard/internal/core"
+	"ravenguard/internal/kinematics"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/trajectory"
+	"ravenguard/internal/viz"
+)
+
+// Fig8Trace holds the model-vs-robot trajectories of Figure 8's plots:
+// per-joint position traces of the dynamic model running in parallel with
+// the (simulated) robot on the same control inputs.
+type Fig8Trace struct {
+	T     []float64
+	Model [kinematics.NumJoints][]float64
+	Robot [kinematics.NumJoints][]float64
+}
+
+// RunFig8Trace records one session's model and robot joint trajectories
+// (decimated to every 10th cycle to keep plots light).
+func RunFig8Trace(seed int64, integrator string) (Fig8Trace, error) {
+	guard, err := core.NewGuard(core.Config{Integrator: integrator})
+	if err != nil {
+		return Fig8Trace{}, err
+	}
+	rig, err := sim.New(sim.Config{
+		Seed:   seed,
+		Script: console.StandardScript(8),
+		Traj:   trajectory.Standard()[1],
+		Guards: []sim.Hook{guard},
+	})
+	if err != nil {
+		return Fig8Trace{}, err
+	}
+	var tr Fig8Trace
+	step := 0
+	rig.Observe(func(si sim.StepInfo) {
+		step++
+		if step%10 != 0 {
+			return
+		}
+		_, jp := guard.ModelState()
+		tr.T = append(tr.T, si.T)
+		for i := 0; i < kinematics.NumJoints; i++ {
+			tr.Model[i] = append(tr.Model[i], jp[i])
+			tr.Robot[i] = append(tr.Robot[i], si.JposTrue[i])
+		}
+	})
+	if _, err := rig.Run(0); err != nil {
+		return Fig8Trace{}, err
+	}
+	if len(tr.T) == 0 {
+		return Fig8Trace{}, fmt.Errorf("experiment: fig8 trace collected no samples")
+	}
+	return tr, nil
+}
+
+// WriteSVG renders one joint's model-vs-robot trace.
+func (tr Fig8Trace) WriteSVG(w io.Writer, joint int) error {
+	if joint < 0 || joint >= kinematics.NumJoints {
+		return fmt.Errorf("experiment: joint %d out of range", joint)
+	}
+	unit := "rad"
+	scale := 1.0
+	if joint == kinematics.Insert {
+		unit = "mm"
+		scale = 1e3
+	}
+	model := viz.TimelineSeries{Name: "dynamic model", T: tr.T}
+	robot := viz.TimelineSeries{Name: "robot", T: tr.T}
+	for i := range tr.T {
+		model.Values = append(model.Values, tr.Model[joint][i]*scale)
+		robot.Values = append(robot.Values, tr.Robot[joint][i]*scale)
+	}
+	return viz.WriteTimelineSVG(w, viz.PathPlotConfig{
+		Title: fmt.Sprintf("Figure 8: joint %d trajectory, model vs robot (%s)", joint+1, unit),
+	}, nil, robot, model)
+}

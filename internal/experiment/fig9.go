@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"ravenguard/internal/inject"
+	"ravenguard/internal/metrics"
+)
+
+// Fig9Config parameterises the E5 experiment (paper Figure 9): the
+// probability of adverse impact and of detection as functions of injected
+// error value and attack activation period, for scenario B. Each cell is
+// estimated from at least Reps repetitions (paper: >= 20).
+type Fig9Config struct {
+	Values    []int16 // injected DAC error values
+	Durations []int   // activation periods, control cycles (= ms)
+	Reps      int     // repetitions per cell (default 20)
+	BaseSeed  int64
+}
+
+func (c *Fig9Config) applyDefaults() {
+	if len(c.Values) == 0 {
+		c.Values = []int16{2000, 4000, 8000, 12000, 16000, 20000, 24000, 28000}
+	}
+	if len(c.Durations) == 0 {
+		c.Durations = []int{2, 4, 8, 16, 32, 64, 128, 256}
+	}
+	if c.Reps == 0 {
+		c.Reps = 20
+	}
+}
+
+// Fig9Cell is one (value, duration) grid point.
+type Fig9Cell struct {
+	Value    int16
+	Duration int
+	PImpact  metrics.Proportion // P(adverse impact: >1 mm jump)
+	PDyn     metrics.Proportion // P(preemptive detection, dynamic model)
+	PRaven   metrics.Proportion // P(detection, RAVEN safety checks)
+}
+
+// Fig9Result is the full grid.
+type Fig9Result struct {
+	Cells []Fig9Cell
+	Reps  int
+}
+
+// RunFig9 sweeps the grid. Cells run concurrently trial-by-trial.
+func RunFig9(cfg Fig9Config) (Fig9Result, error) {
+	cfg.applyDefaults()
+	var (
+		trials []Trial
+		cells  []Fig9Cell
+	)
+	for _, v := range cfg.Values {
+		for _, d := range cfg.Durations {
+			cells = append(cells, Fig9Cell{Value: v, Duration: d})
+			for rep := 0; rep < cfg.Reps; rep++ {
+				trials = append(trials, Trial{
+					Seed:     cfg.BaseSeed + int64(5000+rep), // pooled seeds: references cached
+					TrajIdx:  rep % 2,
+					Scenario: ScenarioB,
+					B: inject.ScenarioBParams{
+						Value:           v,
+						Channel:         rep % 3,
+						StartDelayTicks: 500 + 37*rep,
+						ActivationTicks: d,
+						Seed:            int64(rep),
+					},
+				})
+			}
+		}
+	}
+	results, err := runTrials(trials)
+	if err != nil {
+		return Fig9Result{}, fmt.Errorf("experiment: fig9: %w", err)
+	}
+	for i, res := range results {
+		cell := &cells[i/cfg.Reps]
+		cell.PImpact.Observe(res.Impact)
+		cell.PDyn.Observe(res.DynPreemptive)
+		cell.PRaven.Observe(res.RavenDetected)
+	}
+	return Fig9Result{Cells: cells, Reps: cfg.Reps}, nil
+}
+
+// Write renders the grid as three aligned tables (the paper's two subplots
+// show these series against the two axes).
+func (r Fig9Result) Write(w io.Writer) {
+	fmt.Fprintf(w, "FIGURE 9. Attack impact/detection probability vs injected error value and activation period (%d reps/cell)\n", r.Reps)
+	fmt.Fprintf(w, "%-8s %-10s %10s %12s %12s\n", "Value", "Period(ms)", "P(impact)", "P(dyn det.)", "P(RAVEN det.)")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-8d %-10d %10.2f %12.2f %12.2f\n",
+			c.Value, c.Duration, c.PImpact.Value(), c.PDyn.Value(), c.PRaven.Value())
+	}
+
+	// The paper's headline observations, checked on the data:
+	var dynAboveRaven, cells int
+	var ravenBelowImpact int
+	for _, c := range r.Cells {
+		cells++
+		if c.PDyn.Value() >= c.PRaven.Value() {
+			dynAboveRaven++
+		}
+		if c.PRaven.Value() <= c.PImpact.Value()+1e-9 {
+			ravenBelowImpact++
+		}
+	}
+	fmt.Fprintf(w, "Cells where dynamic-model detection >= RAVEN detection: %d/%d\n", dynAboveRaven, cells)
+	fmt.Fprintf(w, "Cells where RAVEN detection <= adverse-impact probability: %d/%d\n", ravenBelowImpact, cells)
+}

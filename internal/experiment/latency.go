@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"ravenguard/internal/core"
+	"ravenguard/internal/inject"
+	"ravenguard/internal/interpose"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/stats"
+)
+
+// LatencyConfig sizes the detection-latency experiment (extension): how
+// many control cycles pass between the first corrupted frame reaching the
+// write path and the guard's first alarm. The paper claims preemptive
+// detection "before they manifest in the physical system"; this quantifies
+// the margin.
+type LatencyConfig struct {
+	// Values are the scenario-B DAC error values to profile.
+	Values []int16
+	// RunsPerValue (default 20).
+	RunsPerValue int
+	BaseSeed     int64
+}
+
+func (c *LatencyConfig) applyDefaults() {
+	if len(c.Values) == 0 {
+		c.Values = []int16{8000, 12000, 16000, 20000, 24000, 28000}
+	}
+	if c.RunsPerValue == 0 {
+		c.RunsPerValue = 20
+	}
+}
+
+// LatencyRow is one value's latency distribution.
+type LatencyRow struct {
+	Value    int16
+	Detected int // runs where the guard alarmed at all
+	Runs     int
+	// Latency in control cycles (= ms), over detected runs.
+	Latency stats.Summary
+	// ImpactMargin is mean (impact tick - alarm tick) over runs where the
+	// unprotected system would have crossed the 1 mm criterion: how much
+	// earlier the guard fires than the injury would occur. Negative means
+	// the alarm came too late.
+	ImpactMargin stats.Summary
+}
+
+// LatencyResult is the full profile.
+type LatencyResult struct {
+	Rows []LatencyRow
+}
+
+// RunLatency profiles detection latency for scenario-B attacks.
+func RunLatency(cfg LatencyConfig) (LatencyResult, error) {
+	cfg.applyDefaults()
+	var out LatencyResult
+	for _, v := range cfg.Values {
+		row := LatencyRow{Value: v, Runs: cfg.RunsPerValue}
+		var lat, margin stats.Running
+		for rep := 0; rep < cfg.RunsPerValue; rep++ {
+			trial := Trial{
+				Seed:     cfg.BaseSeed + int64(9000+rep%23),
+				TrajIdx:  rep % 2,
+				Scenario: ScenarioB,
+				B: inject.ScenarioBParams{
+					Value:           v,
+					Channel:         rep % 3,
+					StartDelayTicks: 500 + 41*rep,
+					ActivationTicks: 256,
+					Seed:            int64(rep),
+				},
+			}
+			startTick, alarmTick, impactTick, err := latencyTrial(trial)
+			if err != nil {
+				return LatencyResult{}, err
+			}
+			if alarmTick >= 0 && startTick >= 0 {
+				row.Detected++
+				lat.Add(float64(alarmTick - startTick))
+				if impactTick >= 0 {
+					margin.Add(float64(impactTick - alarmTick))
+				}
+			}
+		}
+		row.Latency = lat.Summarize()
+		row.ImpactMargin = margin.Summarize()
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// latencyTrial runs the scored session tracking when the attack started,
+// when the guard alarmed, and when the counterfactual impact would have
+// manifested.
+func latencyTrial(tr Trial) (startTick, alarmTick, impactTick int, err error) {
+	ref, err := tr.reference()
+	if err != nil {
+		return -1, -1, -1, err
+	}
+	_, impactTick, err = tr.counterfactualImpact(ref)
+	if err != nil {
+		return -1, -1, -1, err
+	}
+
+	guard, err := core.NewGuard(core.Config{
+		Thresholds: core.DefaultThresholds(),
+		Mode:       core.ModeMonitor,
+	})
+	if err != nil {
+		return -1, -1, -1, err
+	}
+	inj, err := inject.NewScenarioB(tr.B)
+	if err != nil {
+		return -1, -1, -1, err
+	}
+	rig, err := sim.New(sim.Config{
+		Seed:    tr.Seed,
+		Script:  tr.script(),
+		Traj:    tr.trajectory(),
+		Preload: []interpose.Wrapper{inj},
+		Guards:  []sim.Hook{guard},
+	})
+	if err != nil {
+		return -1, -1, -1, err
+	}
+	startTick, alarmTick = -1, -1
+	step := 0
+	rig.Observe(func(si sim.StepInfo) {
+		if startTick < 0 && inj.Injected() > 0 {
+			startTick = step
+		}
+		if alarmTick < 0 && guard.Alarms() > 0 {
+			alarmTick = step
+		}
+		step++
+	})
+	if _, err := rig.Run(0); err != nil {
+		return -1, -1, -1, err
+	}
+	return startTick, alarmTick, impactTick, nil
+}
+
+// Write renders the latency profile.
+func (r LatencyResult) Write(w io.Writer) {
+	fmt.Fprintln(w, "DETECTION LATENCY (scenario B, 256 ms activation)")
+	fmt.Fprintf(w, "%-8s %10s %16s %16s %22s\n", "Value", "Detected", "latency mean ms", "latency max ms", "margin-to-injury ms")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8d %7d/%-3d %16.1f %16.0f %22.0f\n",
+			row.Value, row.Detected, row.Runs,
+			row.Latency.Mean, row.Latency.Max, row.ImpactMargin.Mean)
+	}
+}

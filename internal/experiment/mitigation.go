@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"ravenguard/internal/core"
+	"ravenguard/internal/inject"
+	"ravenguard/internal/mathx"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/statemachine"
+	"ravenguard/internal/stats"
+)
+
+// MitigationConfig sizes the mitigation-strategy comparison (an extension
+// experiment: the paper names both strategies — halting via E-STOP and
+// holding the last safe state — without quantifying the trade; this
+// experiment does).
+type MitigationConfig struct {
+	// Attacks per arm (default 60).
+	Attacks int
+	// Value/Duration of the scenario-B attack used for the comparison.
+	Value    int16
+	Duration int
+	BaseSeed int64
+}
+
+func (c *MitigationConfig) applyDefaults() {
+	if c.Attacks == 0 {
+		c.Attacks = 60
+	}
+	if c.Value == 0 {
+		c.Value = 18000
+	}
+	if c.Duration == 0 {
+		c.Duration = 128
+	}
+}
+
+// MitigationArm is one strategy's outcomes.
+type MitigationArm struct {
+	Name string
+	// JumpRate is the fraction of attacks that still produced a >1 mm
+	// unintended jump: a windowed measure (the deviation from the
+	// reference changing by more than 1 mm within 50 ms), so that a
+	// mitigation that *pauses* the robot is charged lag, not a jump.
+	JumpRate float64
+	// CompletionRate is the fraction of sessions that finished the
+	// procedure (no E-STOP): the availability the paper worries about
+	// ("practically make the robot unavailable to the surgical team").
+	CompletionRate float64
+	// Lag summarises the peak cumulative deviation from the reference
+	// (mm) — the catch-up cost of pausing mitigations.
+	Lag stats.Summary
+	// Jump summarises the peak windowed displacement (mm).
+	Jump stats.Summary
+}
+
+// jumpWindowTicks is the window of the jump oracle (50 ms at 1 kHz).
+const jumpWindowTicks = 50
+
+// MitigationResult compares the arms.
+type MitigationResult struct {
+	Config MitigationConfig
+	Arms   []MitigationArm
+}
+
+// RunMitigationComparison attacks identical sessions under three regimes:
+// no guard (RAVEN's built-in response only), guard with E-STOP mitigation,
+// and guard with hold-last-safe mitigation.
+func RunMitigationComparison(cfg MitigationConfig) (MitigationResult, error) {
+	cfg.applyDefaults()
+	out := MitigationResult{Config: cfg}
+	arms := []struct {
+		name string
+		mode core.Mode // 0 = no guard
+	}{
+		{"no guard (RAVEN only)", 0},
+		{"guard: E-STOP mitigation", core.ModeMitigate},
+		{"guard: hold-last-safe", core.ModeHoldSafe},
+	}
+	for _, armSpec := range arms {
+		arm := MitigationArm{Name: armSpec.name}
+		jumps, completions := 0, 0
+		var lags, jumpSizes stats.Running
+		for i := 0; i < cfg.Attacks; i++ {
+			trial := Trial{Seed: cfg.BaseSeed + int64(8000+i%37), TrajIdx: i % 2}
+			ref, err := trial.reference()
+			if err != nil {
+				return MitigationResult{}, err
+			}
+
+			simCfg := sim.Config{
+				Seed:   trial.Seed,
+				Script: trial.script(),
+				Traj:   trial.trajectory(),
+			}
+			inj, err := inject.NewScenarioB(inject.ScenarioBParams{
+				Value:           cfg.Value,
+				Channel:         i % 3,
+				StartDelayTicks: 500 + 53*(i%31),
+				ActivationTicks: cfg.Duration,
+				Seed:            int64(i),
+			})
+			if err != nil {
+				return MitigationResult{}, err
+			}
+			simCfg.Preload = append(simCfg.Preload, inj)
+
+			if armSpec.mode != 0 {
+				guard, err := core.NewGuard(core.Config{
+					Thresholds: core.DefaultThresholds(),
+					Mode:       armSpec.mode,
+				})
+				if err != nil {
+					return MitigationResult{}, err
+				}
+				simCfg.Guards = append(simCfg.Guards, guard)
+			}
+
+			rig, err := sim.New(simCfg)
+			if err != nil {
+				return MitigationResult{}, err
+			}
+			var (
+				maxLag  float64
+				maxJump float64
+				step    int
+				halted  bool
+				// devRing holds the recent deviation vectors for the
+				// windowed jump measure.
+				devRing [jumpWindowTicks]mathx.Vec3
+			)
+			rig.Observe(func(si sim.StepInfo) {
+				// Measure only while the system is live: after a halt the
+				// reference keeps moving while the robot is frozen, which
+				// is divergence, not motion.
+				if !halted && step < len(ref) {
+					dev := si.TipTrue.Sub(ref[step])
+					if lag := dev.Norm(); lag > maxLag {
+						maxLag = lag
+					}
+					if step >= jumpWindowTicks {
+						if j := dev.Sub(devRing[step%jumpWindowTicks]).Norm(); j > maxJump {
+							maxJump = j
+						}
+					}
+					devRing[step%jumpWindowTicks] = dev
+				}
+				if si.PLCEStop {
+					halted = true
+				}
+				step++
+			})
+			if _, err := rig.Run(0); err != nil {
+				return MitigationResult{}, err
+			}
+
+			if maxJump > AdverseJumpThreshold {
+				jumps++
+			}
+			if !rig.PLC().EStopped() && rig.Controller().State() != statemachine.EStop {
+				completions++
+			}
+			lags.Add(maxLag * 1e3)
+			jumpSizes.Add(maxJump * 1e3)
+		}
+		arm.JumpRate = float64(jumps) / float64(cfg.Attacks)
+		arm.CompletionRate = float64(completions) / float64(cfg.Attacks)
+		arm.Lag = lags.Summarize()
+		arm.Jump = jumpSizes.Summarize()
+		out.Arms = append(out.Arms, arm)
+	}
+	return out, nil
+}
+
+// Write renders the comparison.
+func (r MitigationResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "MITIGATION COMPARISON (scenario B, value=%d, period=%d ms, %d attacks/arm)\n",
+		r.Config.Value, r.Config.Duration, r.Config.Attacks)
+	fmt.Fprintf(w, "%-28s %10s %12s %18s %18s\n", "Strategy", "P(jump)", "P(complete)", "jump mean/max mm", "lag mean/max mm")
+	for _, arm := range r.Arms {
+		fmt.Fprintf(w, "%-28s %10.2f %12.2f %9.2f /%6.2f %9.2f /%6.2f\n",
+			arm.Name, arm.JumpRate, arm.CompletionRate,
+			arm.Jump.Mean, arm.Jump.Max, arm.Lag.Mean, arm.Lag.Max)
+	}
+}

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runTrials executes trials concurrently on up to GOMAXPROCS workers and
+// returns results in input order. Trials are fully independent (each owns
+// its rigs); the shared reference cache is internally locked. The first
+// error aborts the batch.
+func runTrials(trials []Trial) ([]Result, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(trials) {
+		workers = len(trials)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]Result, len(trials))
+	errs := make([]error, len(trials))
+	var (
+		wg   sync.WaitGroup
+		next int
+		mu   sync.Mutex
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(trials) {
+					return
+				}
+				results[i], errs[i] = trials[i].Run()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

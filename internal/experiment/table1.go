@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"ravenguard/internal/console"
+	"ravenguard/internal/inject"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/statemachine"
+	"ravenguard/internal/trajectory"
+)
+
+// Table1Row is one attack variant and its observed impact, reproduced live.
+type Table1Row struct {
+	Variant     inject.Variant
+	Installed   string // what the engine installed
+	Impact      string // classified observed impact
+	FinalState  statemachine.State
+	MaxDevMM    float64
+	IKFails     int
+	SafetyTrips int
+	PLCEStopped bool
+}
+
+// Table1Result is the variant matrix.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// RunTable1 executes every Table I variant against a standard session and
+// classifies the observed impact the way the paper's Table I reports them.
+func RunTable1(baseSeed int64) (Table1Result, error) {
+	var out Table1Result
+	for _, v := range inject.AllVariants() {
+		cfg := sim.Config{
+			Seed:   baseSeed + int64(v),
+			Script: console.StandardScript(6),
+			Traj:   trajectory.Standard()[0],
+		}
+		vc := inject.VariantConfig{Variant: v, StartAt: 4.0, Seed: int64(v)}
+		installed, err := vc.Apply(&cfg)
+		if err != nil {
+			return Table1Result{}, err
+		}
+		rig, err := sim.New(cfg)
+		if err != nil {
+			return Table1Result{}, err
+		}
+
+		// Reference trace for deviation classification.
+		refTrial := Trial{Seed: cfg.Seed, TrajIdx: 0, Teleop: 6}
+		ref, err := refTrial.reference()
+		if err != nil {
+			return Table1Result{}, err
+		}
+
+		row := Table1Row{Variant: v, Installed: installed}
+		step := 0
+		halted := false
+		brakedInDown := 0
+		rig.Observe(func(si sim.StepInfo) {
+			if !halted && step < len(ref) {
+				if d := si.TipTrue.DistanceTo(ref[step]); d > row.MaxDevMM/1e3 {
+					row.MaxDevMM = d * 1e3
+				}
+			}
+			if si.PLCEStop {
+				halted = true
+			}
+			if si.Ctrl.State == statemachine.PedalDown && rig.PLC().BrakesEngaged() {
+				brakedInDown++
+			}
+			step++
+		})
+		if _, err := rig.Run(0); err != nil {
+			return Table1Result{}, err
+		}
+		row.FinalState = rig.Controller().State()
+		row.IKFails = rig.Controller().IKFails()
+		row.SafetyTrips = rig.Controller().SafetyTrips()
+		row.PLCEStopped = rig.PLC().EStopped()
+		row.Impact = classifyImpact(row, brakedInDown)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// classifyImpact maps run observables to the paper's impact labels. The
+// order matters: root causes (IK failure, brake desync, lost console) are
+// reported ahead of their downstream symptoms (deviation from the
+// reference trajectory, cascaded E-STOP).
+func classifyImpact(row Table1Row, brakedInDown int) string {
+	switch {
+	case row.IKFails > 0:
+		return "Unwanted state (IK-fail)"
+	case brakedInDown > 0:
+		return "Brake engagement mid-operation (PLC desync)"
+	case row.Variant == inject.VariantPortChange && row.FinalState == statemachine.PedalUp:
+		return "Unwanted state (console lost, frozen arm)"
+	case row.Variant == inject.VariantPacketContent && row.MaxDevMM > AdverseJumpThreshold*1e3:
+		return "Hijacked trajectory"
+	case row.PLCEStopped || row.FinalState == statemachine.EStop:
+		if row.MaxDevMM > AdverseJumpThreshold*1e3 {
+			return "Abrupt jump + Unwanted state (E-STOP)"
+		}
+		return "Unwanted state (E-STOP)"
+	case row.MaxDevMM > AdverseJumpThreshold*1e3:
+		return "Abrupt jump"
+	default:
+		return "No observable impact"
+	}
+}
+
+// Write renders the variant matrix.
+func (r Table1Result) Write(w io.Writer) {
+	fmt.Fprintln(w, "TABLE I. Attack variants on the robot control structure and observed impact")
+	fmt.Fprintf(w, "%-44s %-42s %10s %8s %6s %6s\n", "Variant (target layer)", "Observed impact", "MaxDev(mm)", "IKfails", "Trips", "E-STOP")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-44s %-42s %10.2f %8d %6d %6v\n",
+			row.Variant, row.Impact, row.MaxDevMM, row.IKFails, row.SafetyTrips, row.PLCEStopped)
+	}
+}

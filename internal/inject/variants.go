@@ -1,0 +1,271 @@
+package inject
+
+import (
+	"fmt"
+
+	"ravenguard/internal/control"
+	"ravenguard/internal/interpose"
+	"ravenguard/internal/mathx"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/usb"
+)
+
+// Variant enumerates the attack variants of paper Table I, categorised by
+// the control-structure layer they target.
+type Variant int
+
+// Table I rows.
+const (
+	// VariantPortChange targets the socket communication (bind /
+	// recv_from): datagrams are diverted so the robot stops hearing the
+	// console. Observed impact: unwanted state (stale inputs, frozen arm).
+	VariantPortChange Variant = iota + 1
+	// VariantPacketContent targets socket communication: packet contents
+	// are replaced with attacker-chosen motion. Observed impact: hijacked
+	// trajectory.
+	VariantPacketContent
+	// VariantMathDrift targets the math library (sin/cos): a drift added
+	// to trigonometric results skews the kinematics until inverse
+	// kinematics fails. Observed impact: unwanted state (IK-fail).
+	VariantMathDrift
+	// VariantPLCState targets the software/hardware interface (read/
+	// write): the state byte relayed to the PLC is corrupted. Observed
+	// impact: homing failure / unwanted brake behaviour.
+	VariantPLCState
+	// VariantMotorCommand targets the software/physical interface: motor
+	// commands corrupted after the safety check (= scenario B). Observed
+	// impact: abrupt jump / unwanted state (E-STOP).
+	VariantMotorCommand
+	// VariantEncoderFeedback targets the software/physical interface:
+	// encoder feedback corrupted on the read path. Observed impact:
+	// abrupt jump / unwanted state (E-STOP).
+	VariantEncoderFeedback
+	// VariantWatchdogSpoof targets the software/hardware interface: the
+	// wrapper keeps forging a healthy watchdog square wave and an engaged
+	// state nibble after the control software has detected an unsafe
+	// command and tried to halt — defeating the PLC's supervision channel
+	// (an extension beyond Table I demonstrating why the paper wants the
+	// defense *below* the wrapper layer).
+	VariantWatchdogSpoof
+)
+
+// String names the variant as Table I does.
+func (v Variant) String() string {
+	switch v {
+	case VariantPortChange:
+		return "socket: change port number"
+	case VariantPacketContent:
+		return "socket: change packet content"
+	case VariantMathDrift:
+		return "math: add drift to sin/cos"
+	case VariantPLCState:
+		return "hw interface: change robot state in PLC"
+	case VariantMotorCommand:
+		return "physical: change motor commands"
+	case VariantEncoderFeedback:
+		return "physical: change encoder feedback"
+	case VariantWatchdogSpoof:
+		return "hw interface: spoof watchdog + state"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// AllVariants lists the Table I rows in order.
+func AllVariants() []Variant {
+	return []Variant{
+		VariantPortChange, VariantPacketContent, VariantMathDrift,
+		VariantPLCState, VariantMotorCommand, VariantEncoderFeedback,
+		VariantWatchdogSpoof,
+	}
+}
+
+// VariantConfig parameterises a Table I variant attack.
+type VariantConfig struct {
+	Variant Variant
+	// StartAt is the activation time, seconds into the session.
+	StartAt float64
+	// Magnitude scales the corruption where applicable (DAC counts for
+	// motor/encoder variants, meters for trajectory hijack, radians for
+	// math drift).
+	Magnitude float64
+	// Seed drives any randomness.
+	Seed int64
+}
+
+// Apply installs the variant onto a rig configuration. It returns a
+// human-readable description of what was installed.
+func (vc VariantConfig) Apply(cfg *sim.Config) (string, error) {
+	switch vc.Variant {
+	case VariantPortChange:
+		// Diverting the port means the robot hears nothing: drop every
+		// input after StartAt (pedal reads as released, deltas vanish).
+		prev := cfg.OnInput
+		cfg.OnInput = chainInput(prev, func(t float64, in *control.Input) {
+			if t >= vc.StartAt {
+				*in = control.Input{}
+			}
+		})
+		return "console datagrams diverted (robot receives nothing)", nil
+
+	case VariantPacketContent:
+		mag := vc.Magnitude
+		if mag == 0 {
+			mag = 1e-4
+		}
+		prev := cfg.OnInput
+		cfg.OnInput = chainInput(prev, func(t float64, in *control.Input) {
+			if t >= vc.StartAt && in.PedalDown {
+				// Replace the surgeon's motion with the attacker's: a
+				// steady pull, hijacking the trajectory.
+				in.Delta = mathx.Vec3{X: mag}
+			}
+		})
+		return "packet contents replaced (trajectory hijack)", nil
+
+	case VariantMathDrift:
+		// A growing drift on the control software's sin/cos evaluations:
+		// small values skew the inverse-kinematics solution (the arm
+		// wanders), large values push the arccosine argument out of range
+		// and IK fails outright — Table I's "Unwanted state (IK-fail)".
+		drift := vc.Magnitude
+		if drift == 0 {
+			// A decayed sine (sin 52deg + drift < 0) collapses the
+			// arccosine domain: inverse kinematics fails outright and the
+			// arm freezes at its last valid setpoint.
+			drift = -0.9
+		}
+		start := vc.StartAt
+		cfg.Control.TrigDrift = func(t float64) float64 {
+			if t < start {
+				return 0
+			}
+			return drift
+		}
+		return "trigonometry drift injected into control software's math calls", nil
+
+	case VariantPLCState:
+		cfg.Preload = append(cfg.Preload, &stateByteRewriter{startAt: vc.StartAt})
+		return "state byte relayed to PLC forced to E-STOP nibble", nil
+
+	case VariantMotorCommand:
+		mag := int16(8000)
+		if vc.Magnitude != 0 {
+			mag = int16(vc.Magnitude)
+		}
+		inj, err := NewScenarioB(ScenarioBParams{Value: mag, Channel: 0, ActivationTicks: 0, Seed: vc.Seed})
+		if err != nil {
+			return "", err
+		}
+		cfg.Preload = append(cfg.Preload, inj)
+		return "motor DAC commands corrupted after safety check", nil
+
+	case VariantEncoderFeedback:
+		mag := int32(2000)
+		if vc.Magnitude != 0 {
+			mag = int32(vc.Magnitude)
+		}
+		prevFb := cfg.OnFeedbackRead
+		cfg.OnFeedbackRead = func(t float64, fb *usb.Feedback) {
+			if prevFb != nil {
+				prevFb(t, fb)
+			}
+			if t >= vc.StartAt {
+				fb.Encoder[0] += mag
+			}
+		}
+		return "encoder feedback corrupted on read path", nil
+
+	case VariantWatchdogSpoof:
+		// Combine a motor-command attack with a wrapper that forges a
+		// healthy watchdog and a Pedal Down state nibble on every frame,
+		// so the software's halt (stopped watchdog, E-STOP nibble) never
+		// reaches the PLC: brakes stay released while the attack runs.
+		mag := int16(24000)
+		if vc.Magnitude != 0 {
+			mag = int16(vc.Magnitude)
+		}
+		inj, err := NewScenarioB(ScenarioBParams{Value: mag, Channel: 0, ActivationTicks: 0, Seed: vc.Seed})
+		if err != nil {
+			return "", err
+		}
+		// The spoofer resolves first so the injector sees the forged
+		// Pedal Down nibble and keeps corrupting even after the software
+		// tries to halt.
+		cfg.Preload = append(cfg.Preload, &watchdogSpoofer{}, inj)
+		return "watchdog + state spoofed while motor commands corrupted", nil
+
+	default:
+		return "", fmt.Errorf("inject: unknown variant %d", int(vc.Variant))
+	}
+}
+
+// watchdogSpoofer forges a healthy square wave and a Pedal Down nibble on
+// every outgoing frame once the robot has been seen in Pedal Down — the
+// same trigger condition the injector uses, so the spoof covers the attack
+// from its first frame.
+type watchdogSpoofer struct {
+	armed bool
+	ticks int
+}
+
+var _ interpose.Wrapper = (*watchdogSpoofer)(nil)
+
+func (w *watchdogSpoofer) Name() string { return "watchdog-spoofer" }
+
+func (w *watchdogSpoofer) OnWrite(buf []byte) interpose.Verdict {
+	if len(buf) != usb.CommandLen {
+		return interpose.Pass
+	}
+	if !w.armed {
+		if buf[usb.StateByte]&usb.StateMask == 0x0F {
+			w.armed = true
+		} else {
+			return interpose.Pass
+		}
+	}
+	w.ticks++
+	b := byte(0x0F) // Pedal Down nibble
+	if (w.ticks/10)%2 == 1 {
+		b |= usb.WatchdogBit // forged healthy square wave
+	}
+	buf[usb.StateByte] = b
+	return interpose.Pass
+}
+
+func chainInput(prev sim.InputHook, next sim.InputHook) sim.InputHook {
+	if prev == nil {
+		return next
+	}
+	return func(t float64, in *control.Input) {
+		prev(t, in)
+		next(t, in)
+	}
+}
+
+// stateByteRewriter is the PLC-state variant's wrapper: it rewrites the
+// state nibble of command frames headed to the board, so the PLC sees a
+// state the software is not in.
+type stateByteRewriter struct {
+	startAt float64
+	ticks   int
+}
+
+var _ interpose.Wrapper = (*stateByteRewriter)(nil)
+
+func (w *stateByteRewriter) Name() string { return "plc-state-rewriter" }
+
+func (w *stateByteRewriter) OnWrite(buf []byte) interpose.Verdict {
+	w.ticks++
+	if len(buf) != usb.CommandLen {
+		return interpose.Pass
+	}
+	if float64(w.ticks)*control.Period < w.startAt {
+		return interpose.Pass
+	}
+	// Force the E-STOP nibble while preserving the watchdog bit; the PLC
+	// engages brakes although the software believes it is operating.
+	wd := buf[usb.StateByte] & usb.WatchdogBit
+	buf[usb.StateByte] = wd // E-STOP nibble is 0x00
+	return interpose.Pass
+}

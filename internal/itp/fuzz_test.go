@@ -1,0 +1,34 @@
+package itp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	accepted := 0
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(2 * PacketLen)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if _, err := Decode(buf); err == nil {
+			accepted++
+		}
+	}
+	// Random bytes essentially never carry the magic; the decoder must be
+	// strict (a handful of lucky magics with finite floats may pass).
+	if accepted > 5 {
+		t.Fatalf("decoder accepted %d/5000 random buffers", accepted)
+	}
+}
+
+func TestDecodeTruncatedValidPacket(t *testing.T) {
+	p := Packet{Seq: 1, PedalDown: true}
+	buf := p.Encode()
+	for n := 0; n < PacketLen; n++ {
+		if _, err := Decode(buf[:n]); err == nil {
+			t.Fatalf("truncated packet of %d bytes accepted", n)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package itp implements an Interoperable Teleoperation Protocol (ITP)
+// style datagram format: the UDP-based protocol the RAVEN II master console
+// uses to ship the surgeon's incremental motions, foot-pedal state and
+// control mode to the robot control software. The format here follows the
+// published protocol's structure (sequence number, pedal/mode flags,
+// incremental desired pose) without reproducing its exact wire layout,
+// which the paper does not depend on.
+package itp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ravenguard/internal/mathx"
+)
+
+// Magic identifies ITP datagrams ("IT").
+const Magic = 0x4954
+
+// PacketLen is the wire size of one ITP datagram: magic, seq, flags,
+// reserved, 3 float64 position deltas, 3 float64 instrument-joint deltas
+// (roll, wrist pitch, grasp).
+const PacketLen = 2 + 4 + 1 + 1 + 3*8 + 3*8
+
+// Flag bits.
+const (
+	FlagPedalDown = 1 << 0
+	FlagStart     = 1 << 1
+	FlagEStop     = 1 << 2
+)
+
+// Packet is one console-to-robot datagram.
+type Packet struct {
+	Seq       uint32
+	PedalDown bool
+	Start     bool
+	EStop     bool
+	// Delta is the incremental desired end-effector motion, meters.
+	Delta mathx.Vec3
+	// OriDelta is the incremental desired instrument-joint motion
+	// (roll, wrist pitch, grasp), radians.
+	OriDelta [3]float64
+}
+
+// Encode serialises the packet.
+func (p Packet) Encode() [PacketLen]byte {
+	var b [PacketLen]byte
+	binary.BigEndian.PutUint16(b[0:], Magic)
+	binary.BigEndian.PutUint32(b[2:], p.Seq)
+	var flags byte
+	if p.PedalDown {
+		flags |= FlagPedalDown
+	}
+	if p.Start {
+		flags |= FlagStart
+	}
+	if p.EStop {
+		flags |= FlagEStop
+	}
+	b[6] = flags
+	binary.BigEndian.PutUint64(b[8:], math.Float64bits(p.Delta.X))
+	binary.BigEndian.PutUint64(b[16:], math.Float64bits(p.Delta.Y))
+	binary.BigEndian.PutUint64(b[24:], math.Float64bits(p.Delta.Z))
+	for i, v := range p.OriDelta {
+		binary.BigEndian.PutUint64(b[32+8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+// Decode parses a datagram.
+func Decode(b []byte) (Packet, error) {
+	if len(b) != PacketLen {
+		return Packet{}, fmt.Errorf("itp: datagram length %d, want %d", len(b), PacketLen)
+	}
+	if binary.BigEndian.Uint16(b[0:]) != Magic {
+		return Packet{}, fmt.Errorf("itp: bad magic %#04x", binary.BigEndian.Uint16(b[0:]))
+	}
+	var p Packet
+	p.Seq = binary.BigEndian.Uint32(b[2:])
+	flags := b[6]
+	p.PedalDown = flags&FlagPedalDown != 0
+	p.Start = flags&FlagStart != 0
+	p.EStop = flags&FlagEStop != 0
+	p.Delta.X = math.Float64frombits(binary.BigEndian.Uint64(b[8:]))
+	p.Delta.Y = math.Float64frombits(binary.BigEndian.Uint64(b[16:]))
+	p.Delta.Z = math.Float64frombits(binary.BigEndian.Uint64(b[24:]))
+	if !p.Delta.IsFinite() {
+		return Packet{}, fmt.Errorf("itp: non-finite delta in datagram seq %d", p.Seq)
+	}
+	for i := range p.OriDelta {
+		v := math.Float64frombits(binary.BigEndian.Uint64(b[32+8*i:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Packet{}, fmt.Errorf("itp: non-finite instrument delta in datagram seq %d", p.Seq)
+		}
+		p.OriDelta[i] = v
+	}
+	return p, nil
+}

@@ -1,0 +1,137 @@
+package itp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ravenguard/internal/mathx"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := Packet{
+		Seq:       123456,
+		PedalDown: true,
+		Start:     false,
+		EStop:     true,
+		Delta:     mathx.Vec3{X: 1e-4, Y: -2e-4, Z: 3.5e-5},
+	}
+	buf := p.Encode()
+	got, err := Decode(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip: got %+v want %+v", got, p)
+	}
+}
+
+func TestPacketRoundTripQuick(t *testing.T) {
+	f := func(seq uint32, pedal, start, estop bool, x, y, z float64) bool {
+		if anyNaNInf(x, y, z) {
+			return true
+		}
+		p := Packet{Seq: seq, PedalDown: pedal, Start: start, EStop: estop,
+			Delta: mathx.Vec3{X: x, Y: y, Z: z}}
+		buf := p.Encode()
+		got, err := Decode(buf[:])
+		return err == nil && got == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func anyNaNInf(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDecodeRejects(t *testing.T) {
+	tests := []struct {
+		name string
+		buf  []byte
+	}{
+		{"short", make([]byte, PacketLen-1)},
+		{"long", make([]byte, PacketLen+1)},
+		{"bad magic", make([]byte, PacketLen)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.buf); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsNaNDelta(t *testing.T) {
+	p := Packet{Seq: 1, Delta: mathx.Vec3{X: math.NaN()}}
+	buf := p.Encode()
+	if _, err := Decode(buf[:]); err == nil {
+		t.Fatal("NaN delta accepted")
+	}
+}
+
+func TestMemTransportFIFO(t *testing.T) {
+	tr := NewMemTransport()
+	for i := uint32(1); i <= 3; i++ {
+		if err := tr.Send(Packet{Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Pending() != 3 {
+		t.Fatalf("Pending = %d", tr.Pending())
+	}
+	for i := uint32(1); i <= 3; i++ {
+		p, ok, err := tr.Recv()
+		if err != nil || !ok || p.Seq != i {
+			t.Fatalf("Recv %d: %+v %v %v", i, p, ok, err)
+		}
+	}
+	if _, ok, _ := tr.Recv(); ok {
+		t.Fatal("empty transport returned a packet")
+	}
+}
+
+func TestUDPTransportEndToEnd(t *testing.T) {
+	recv, err := NewUDPReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	send, err := NewUDPSender(recv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	want := Packet{Seq: 77, PedalDown: true, Delta: mathx.Vec3{X: 0.001}}
+	if err := send.Send(want); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		got, ok, err := recv.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			if got != want {
+				t.Fatalf("got %+v want %+v", got, want)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("datagram never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

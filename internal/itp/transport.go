@@ -1,0 +1,172 @@
+package itp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Sender is the console's side of a datagram channel.
+type Sender interface {
+	// Send enqueues one datagram toward the robot.
+	Send(p Packet) error
+	// Close releases transport resources.
+	Close() error
+}
+
+// Receiver is the robot's side of a datagram channel.
+type Receiver interface {
+	// Recv dequeues the next pending datagram; ok is false when none is
+	// waiting (the control loop then reuses the previous command, exactly
+	// as the real software holds state on packet loss).
+	Recv() (p Packet, ok bool, err error)
+	// Close releases transport resources.
+	Close() error
+}
+
+// Transport moves ITP datagrams from a console to the control software.
+// Two implementations exist: an in-memory queue for deterministic
+// simulation, and a real UDP sender/receiver pair for the networked demo
+// binaries.
+type Transport interface {
+	Sender
+	Receiver
+}
+
+// MemTransport is a deterministic in-process transport. It is safe for
+// concurrent use.
+type MemTransport struct {
+	mu    sync.Mutex
+	queue []Packet
+}
+
+var _ Transport = (*MemTransport)(nil)
+
+// NewMemTransport returns an empty in-memory transport.
+func NewMemTransport() *MemTransport { return &MemTransport{} }
+
+// Send implements Transport.
+func (t *MemTransport) Send(p Packet) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.queue = append(t.queue, p)
+	return nil
+}
+
+// Recv implements Transport.
+func (t *MemTransport) Recv() (Packet, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.queue) == 0 {
+		return Packet{}, false, nil
+	}
+	p := t.queue[0]
+	t.queue = t.queue[1:]
+	return p, true, nil
+}
+
+// Close implements Transport.
+func (t *MemTransport) Close() error { return nil }
+
+// Pending returns the number of queued datagrams.
+func (t *MemTransport) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.queue)
+}
+
+// UDPSender ships ITP datagrams over real UDP (console side).
+type UDPSender struct {
+	conn *net.UDPConn
+}
+
+var _ Sender = (*UDPSender)(nil)
+
+// NewUDPSender dials the robot's ITP endpoint.
+func NewUDPSender(addr string) (*UDPSender, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("itp: resolve %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, fmt.Errorf("itp: dial %q: %w", addr, err)
+	}
+	return &UDPSender{conn: conn}, nil
+}
+
+// Send ships one datagram.
+func (s *UDPSender) Send(p Packet) error {
+	buf := p.Encode()
+	if _, err := s.conn.Write(buf[:]); err != nil {
+		return fmt.Errorf("itp: send: %w", err)
+	}
+	return nil
+}
+
+// Close releases the socket.
+func (s *UDPSender) Close() error { return s.conn.Close() }
+
+// UDPReceiver receives ITP datagrams over real UDP (robot side), with a
+// non-blocking Recv backed by a reader goroutine.
+type UDPReceiver struct {
+	conn *net.UDPConn
+	mem  *MemTransport
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+var _ Receiver = (*UDPReceiver)(nil)
+
+// NewUDPReceiver listens on addr (e.g. ":36000").
+func NewUDPReceiver(addr string) (*UDPReceiver, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("itp: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("itp: listen %q: %w", addr, err)
+	}
+	r := &UDPReceiver{conn: conn, mem: NewMemTransport(), done: make(chan struct{})}
+	r.wg.Add(1)
+	go r.readLoop()
+	return r, nil
+}
+
+func (r *UDPReceiver) readLoop() {
+	defer r.wg.Done()
+	buf := make([]byte, 2*PacketLen)
+	for {
+		n, _, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-r.done:
+				return
+			default:
+				// Transient error on a live socket: keep serving.
+				continue
+			}
+		}
+		p, err := Decode(buf[:n])
+		if err != nil {
+			continue // malformed datagrams are dropped, as UDP services do
+		}
+		// Send on MemTransport cannot fail.
+		_ = r.mem.Send(p)
+	}
+}
+
+// Recv dequeues the next datagram if one arrived.
+func (r *UDPReceiver) Recv() (Packet, bool, error) { return r.mem.Recv() }
+
+// Addr returns the bound local address.
+func (r *UDPReceiver) Addr() net.Addr { return r.conn.LocalAddr() }
+
+// Close stops the reader and releases the socket.
+func (r *UDPReceiver) Close() error {
+	close(r.done)
+	err := r.conn.Close()
+	r.wg.Wait()
+	return err
+}

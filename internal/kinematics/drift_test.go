@@ -1,0 +1,61 @@
+package kinematics
+
+import (
+	"errors"
+	"testing"
+
+	"ravenguard/internal/mathx"
+)
+
+func TestForwardWithZeroDriftMatchesForward(t *testing.T) {
+	jp := DefaultLimits().Center()
+	if got, want := ForwardWithTrigDrift(jp, 0), Forward(jp); got != want {
+		t.Fatalf("zero drift altered FK: %+v vs %+v", got, want)
+	}
+}
+
+func TestForwardDriftSkewsPosition(t *testing.T) {
+	jp := DefaultLimits().Center()
+	clean := Forward(jp)
+	skewed := ForwardWithTrigDrift(jp, 0.1)
+	if clean.DistanceTo(skewed) < 1e-4 {
+		t.Fatalf("0.1 drift barely moved FK output: %v m", clean.DistanceTo(skewed))
+	}
+}
+
+func TestInverseDriftZeroMatchesInverse(t *testing.T) {
+	pos := Forward(DefaultLimits().Center())
+	a, errA := Inverse(pos)
+	b, errB := InverseWithTrigDrift(pos, 0)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if a != b {
+		t.Fatalf("zero drift altered IK: %v vs %v", a, b)
+	}
+}
+
+func TestInverseLargeNegativeDriftFails(t *testing.T) {
+	// sin(52deg) - 0.9 < 0 collapses the arccosine domain for poses away
+	// from the degenerate axis: this is the IK-fail impact of the Table I
+	// math attack.
+	fails := 0
+	lim := DefaultLimits()
+	for s := 0.0; s <= 1.0; s += 0.1 {
+		jp := JointPos{
+			mathx.Lerp(lim.Min[Shoulder], lim.Max[Shoulder], s),
+			mathx.Lerp(lim.Min[Elbow], lim.Max[Elbow], s),
+			0.05,
+		}
+		pos := ForwardWithTrigDrift(jp, -0.9)
+		if _, err := InverseWithTrigDrift(pos, -0.9); err != nil {
+			if !errors.Is(err, ErrUnreachable) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Fatal("-0.9 trig drift never failed IK across the workspace")
+	}
+}

@@ -1,0 +1,235 @@
+// Package kinematics implements the positioning kinematics of the RAVEN II
+// surgical manipulator: a spherical mechanism whose first two revolute joint
+// axes intersect at a fixed remote center of motion, followed by a prismatic
+// tool-insertion joint along the instrument axis.
+//
+// The paper's detection framework models only these first three degrees of
+// freedom — the positioning joints that dominate end-effector position — so
+// this package provides forward kinematics (joint space -> Cartesian
+// end-effector position relative to the remote center), a closed-form
+// inverse, workspace limits, and the cable-transmission coupling between
+// motor shaft positions and joint positions.
+package kinematics
+
+import (
+	"fmt"
+	"math"
+
+	"ravenguard/internal/mathx"
+)
+
+// NumJoints is the number of modeled positioning degrees of freedom:
+// shoulder (revolute), elbow (revolute), tool insertion (prismatic).
+const NumJoints = 3
+
+// Joint indices into [NumJoints] arrays throughout the codebase.
+const (
+	Shoulder = 0 // revolute, radians
+	Elbow    = 1 // revolute, radians
+	Insert   = 2 // prismatic, meters
+)
+
+// Link twist angles of the RAVEN II spherical mechanism. The first link
+// subtends 75 degrees and the second 52 degrees (Hannaford et al., 2013).
+const (
+	Alpha12 = 75 * math.Pi / 180
+	Alpha23 = 52 * math.Pi / 180
+)
+
+// JointPos holds one value per positioning joint: radians for the two
+// revolute joints, meters for the insertion joint.
+type JointPos [NumJoints]float64
+
+// MotorPos holds motor shaft angles in radians, one per positioning joint's
+// drive motor.
+type MotorPos [NumJoints]float64
+
+// Sub returns element-wise j - other.
+func (j JointPos) Sub(other JointPos) JointPos {
+	for i := range j {
+		j[i] -= other[i]
+	}
+	return j
+}
+
+// Sub returns element-wise m - other.
+func (m MotorPos) Sub(other MotorPos) MotorPos {
+	for i := range m {
+		m[i] -= other[i]
+	}
+	return m
+}
+
+// Limits describes the admissible workspace in joint coordinates.
+type Limits struct {
+	Min JointPos
+	Max JointPos
+}
+
+// DefaultLimits returns the joint workspace used throughout the simulation,
+// matching the RAVEN II arm: shoulder in [10, 90] deg, elbow in [25, 120]
+// deg, insertion in [5, 100] mm past the cannula.
+func DefaultLimits() Limits {
+	return Limits{
+		Min: JointPos{mathx.Rad(10), mathx.Rad(25), 0.005},
+		Max: JointPos{mathx.Rad(90), mathx.Rad(120), 0.100},
+	}
+}
+
+// Contains reports whether jp lies inside the limits (inclusive).
+func (l Limits) Contains(jp JointPos) bool {
+	for i := 0; i < NumJoints; i++ {
+		if jp[i] < l.Min[i] || jp[i] > l.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clamp returns jp with every coordinate clamped into the limits.
+func (l Limits) Clamp(jp JointPos) JointPos {
+	for i := 0; i < NumJoints; i++ {
+		jp[i] = mathx.Clamp(jp[i], l.Min[i], l.Max[i])
+	}
+	return jp
+}
+
+// Center returns the midpoint of the workspace, a convenient neutral pose.
+func (l Limits) Center() JointPos {
+	var c JointPos
+	for i := 0; i < NumJoints; i++ {
+		c[i] = (l.Min[i] + l.Max[i]) / 2
+	}
+	return c
+}
+
+// toolAxis returns the unit vector of the instrument axis for the given
+// shoulder and elbow angles:
+//
+//	u = Rz(theta1) * Rx(Alpha12) * Rz(theta2) * Rx(Alpha23) * zhat
+func toolAxis(theta1, theta2 float64) mathx.Vec3 {
+	r := mathx.RotZ(theta1).
+		Mul(mathx.RotX(Alpha12)).
+		Mul(mathx.RotZ(theta2)).
+		Mul(mathx.RotX(Alpha23))
+	return r.Apply(mathx.Vec3{Z: 1})
+}
+
+// Forward computes the end-effector position relative to the remote center
+// of motion. The insertion depth scales the tool axis direction.
+func Forward(jp JointPos) mathx.Vec3 {
+	return toolAxis(jp[Shoulder], jp[Elbow]).Scale(jp[Insert])
+}
+
+// ForwardWithTrigDrift is Forward computed with an additive error on every
+// sine/cosine evaluation — the forward half of the Table I math-library
+// attack. The corrupted rotation matrices are no longer orthonormal, so
+// the computed position is skewed and downstream inverse kinematics can be
+// driven out of its valid domain.
+func ForwardWithTrigDrift(jp JointPos, drift float64) mathx.Vec3 {
+	if drift == 0 {
+		return Forward(jp)
+	}
+	rz := func(a float64) mathx.Mat3 {
+		c, s := math.Cos(a)+drift, math.Sin(a)+drift
+		return mathx.Mat3{M: [3][3]float64{{c, -s, 0}, {s, c, 0}, {0, 0, 1}}}
+	}
+	rx := func(a float64) mathx.Mat3 {
+		c, s := math.Cos(a)+drift, math.Sin(a)+drift
+		return mathx.Mat3{M: [3][3]float64{{1, 0, 0}, {0, c, -s}, {0, s, c}}}
+	}
+	u := rz(jp[Shoulder]).
+		Mul(rx(Alpha12)).
+		Mul(rz(jp[Elbow])).
+		Mul(rx(Alpha23)).
+		Apply(mathx.Vec3{Z: 1})
+	return u.Scale(jp[Insert])
+}
+
+// ErrUnreachable is returned (wrapped) by Inverse when the requested
+// position cannot be realised by the spherical mechanism.
+var ErrUnreachable = fmt.Errorf("kinematics: position unreachable")
+
+// Inverse computes joint coordinates that place the end-effector at pos
+// (relative to the remote center). It returns the elbow-down branch, which
+// is the configuration the RAVEN arm operates in. Positions with zero
+// insertion depth or tool-axis directions outside the mechanism's cone
+// return ErrUnreachable.
+func Inverse(pos mathx.Vec3) (JointPos, error) {
+	return InverseWithTrigDrift(pos, 0)
+}
+
+// InverseWithTrigDrift is Inverse with an additive error applied to every
+// trigonometric evaluation of the mechanism constants. It models the
+// Table I math-library attack ("add drift to sin/cos output"): small drift
+// skews the solution so the arm wanders; large drift pushes the arccosine
+// argument out of [-1, 1] and the solver fails — the paper's observed
+// "Unwanted state (IK-fail)".
+func InverseWithTrigDrift(pos mathx.Vec3, drift float64) (JointPos, error) {
+	d := pos.Norm()
+	if d < 1e-9 {
+		return JointPos{}, fmt.Errorf("%w: zero insertion depth", ErrUnreachable)
+	}
+	u := pos.Scale(1 / d)
+
+	// uz = cos(a1)cos(a2) - sin(a1)sin(a2)cos(theta2)
+	s1, c1 := math.Sin(Alpha12)+drift, math.Cos(Alpha12)+drift
+	s2, c2 := math.Sin(Alpha23)+drift, math.Cos(Alpha23)+drift
+	cosT2 := (c1*c2 - u.Z) / (s1 * s2)
+	if cosT2 < -1-1e-9 || cosT2 > 1+1e-9 {
+		return JointPos{}, fmt.Errorf("%w: tool axis outside mechanism cone (cos theta2 = %.4f)",
+			ErrUnreachable, cosT2)
+	}
+	cosT2 = mathx.Clamp(cosT2, -1, 1)
+	theta2 := math.Acos(cosT2) // elbow-down branch: theta2 in [0, pi]
+
+	// With theta2 known, w = Rx(a1)*Rz(theta2)*Rx(a2)*zhat and
+	// u = Rz(theta1)*w, so theta1 follows from the XY-plane angles.
+	w := mathx.RotX(Alpha12).
+		Mul(mathx.RotZ(theta2)).
+		Mul(mathx.RotX(Alpha23)).
+		Apply(mathx.Vec3{Z: 1})
+	wxy := math.Hypot(w.X, w.Y)
+	if wxy < 1e-12 {
+		// Tool axis aligned with the base Z axis: theta1 is unconstrained;
+		// pick zero.
+		return JointPos{0, theta2, d}, nil
+	}
+	theta1 := mathx.WrapAngle(math.Atan2(u.Y, u.X) - math.Atan2(w.Y, w.X))
+	return JointPos{theta1, theta2, d}, nil
+}
+
+// Transmission describes the cable-drive coupling between the motor shafts
+// and the joints. For revolute joints the ratio is dimensionless
+// (motor radians per joint radian); for the prismatic insertion joint it is
+// radians per meter of travel (capstan coupling).
+type Transmission struct {
+	// Ratio[i] converts joint-space to motor-space: mpos = Ratio * jpos.
+	Ratio [NumJoints]float64
+}
+
+// DefaultTransmission returns the RAVEN II cable reductions: about 12.1:1 on
+// the two rotational axes and a 9.5 mm effective capstan radius on the
+// insertion axis (1 rad of motor shaft = 9.5 mm of travel... i.e.
+// 105.26 rad/m).
+func DefaultTransmission() Transmission {
+	return Transmission{Ratio: [NumJoints]float64{12.1, 12.1, 1 / 0.0095}}
+}
+
+// ToMotor converts joint positions to motor shaft positions.
+func (t Transmission) ToMotor(jp JointPos) MotorPos {
+	var mp MotorPos
+	for i := 0; i < NumJoints; i++ {
+		mp[i] = jp[i] * t.Ratio[i]
+	}
+	return mp
+}
+
+// ToJoint converts motor shaft positions to joint positions.
+func (t Transmission) ToJoint(mp MotorPos) JointPos {
+	var jp JointPos
+	for i := 0; i < NumJoints; i++ {
+		jp[i] = mp[i] / t.Ratio[i]
+	}
+	return jp
+}

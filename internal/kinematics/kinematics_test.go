@@ -1,0 +1,159 @@
+package kinematics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ravenguard/internal/mathx"
+)
+
+func TestForwardAtWorkspaceCenter(t *testing.T) {
+	lim := DefaultLimits()
+	pos := Forward(lim.Center())
+	if !pos.IsFinite() {
+		t.Fatalf("Forward produced non-finite position %+v", pos)
+	}
+	d := pos.Norm()
+	want := lim.Center()[Insert]
+	if !mathx.ApproxEqual(d, want, 1e-12) {
+		t.Fatalf("end-effector distance from remote center = %v, want insertion depth %v", d, want)
+	}
+}
+
+func TestForwardDistanceEqualsInsertion(t *testing.T) {
+	// |Forward(jp)| must equal the insertion depth for any joint angles:
+	// the spherical mechanism only rotates the tool axis.
+	rng := rand.New(rand.NewSource(7))
+	lim := DefaultLimits()
+	for i := 0; i < 200; i++ {
+		jp := randomPose(rng, lim)
+		if got := Forward(jp).Norm(); !mathx.ApproxEqual(got, jp[Insert], 1e-12) {
+			t.Fatalf("pose %v: |pos| = %v, want %v", jp, got, jp[Insert])
+		}
+	}
+}
+
+func TestInverseRecoversForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lim := DefaultLimits()
+	for i := 0; i < 500; i++ {
+		jp := randomPose(rng, lim)
+		pos := Forward(jp)
+		got, err := Inverse(pos)
+		if err != nil {
+			t.Fatalf("Inverse(%+v) for pose %v: %v", pos, jp, err)
+		}
+		for k := 0; k < NumJoints; k++ {
+			if !mathx.ApproxEqual(got[k], jp[k], 1e-9) {
+				t.Fatalf("joint %d: IK gave %v, want %v (pose %v)", k, got[k], jp[k], jp)
+			}
+		}
+	}
+}
+
+func TestInverseForwardRoundTripQuick(t *testing.T) {
+	lim := DefaultLimits()
+	roundTrip := func(a, b, c float64) bool {
+		jp := JointPos{
+			lim.Min[Shoulder] + mod1(a)*(lim.Max[Shoulder]-lim.Min[Shoulder]),
+			lim.Min[Elbow] + mod1(b)*(lim.Max[Elbow]-lim.Min[Elbow]),
+			lim.Min[Insert] + mod1(c)*(lim.Max[Insert]-lim.Min[Insert]),
+		}
+		got, err := Inverse(Forward(jp))
+		if err != nil {
+			return false
+		}
+		pos, wantPos := Forward(got), Forward(jp)
+		return pos.DistanceTo(wantPos) < 1e-9
+	}
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseUnreachable(t *testing.T) {
+	tests := []struct {
+		name string
+		pos  mathx.Vec3
+	}{
+		{"origin", mathx.Vec3{}},
+		{"straight up outside cone", mathx.Vec3{Z: 0.05}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Inverse(tt.pos); !errors.Is(err, ErrUnreachable) {
+				t.Fatalf("Inverse(%+v) error = %v, want ErrUnreachable", tt.pos, err)
+			}
+		})
+	}
+}
+
+func TestLimitsClampAndContains(t *testing.T) {
+	lim := DefaultLimits()
+	out := JointPos{-1, 10, 0.5}
+	clamped := lim.Clamp(out)
+	if !lim.Contains(clamped) {
+		t.Fatalf("clamped pose %v not inside limits", clamped)
+	}
+	if lim.Contains(out) {
+		t.Fatalf("out-of-range pose %v reported inside limits", out)
+	}
+	if !lim.Contains(lim.Min) || !lim.Contains(lim.Max) {
+		t.Fatal("limits must be inclusive at the boundary")
+	}
+}
+
+func TestTransmissionRoundTrip(t *testing.T) {
+	tr := DefaultTransmission()
+	jp := JointPos{0.7, 1.1, 0.042}
+	got := tr.ToJoint(tr.ToMotor(jp))
+	for i := 0; i < NumJoints; i++ {
+		if !mathx.ApproxEqual(got[i], jp[i], 1e-12) {
+			t.Fatalf("joint %d round trip: got %v want %v", i, got[i], jp[i])
+		}
+	}
+}
+
+func TestTransmissionInsertionScale(t *testing.T) {
+	tr := DefaultTransmission()
+	// 9.5 mm of insertion travel should be ~1 rad of motor shaft.
+	mp := tr.ToMotor(JointPos{0, 0, 0.0095})
+	if !mathx.ApproxEqual(mp[Insert], 1.0, 1e-9) {
+		t.Fatalf("9.5 mm insertion -> %v rad motor, want 1.0", mp[Insert])
+	}
+}
+
+func TestSmallJointMotionSmallCartesianMotion(t *testing.T) {
+	// A 1 mrad joint perturbation at 50 mm insertion moves the tip well
+	// under 1 mm: the safety threshold semantics rely on this scale.
+	lim := DefaultLimits()
+	base := lim.Center()
+	perturbed := base
+	perturbed[Shoulder] += 1e-3
+	d := Forward(base).DistanceTo(Forward(perturbed))
+	if d > 1e-4 {
+		t.Fatalf("1 mrad shoulder motion moved tip %v m, expected < 0.1 mm", d)
+	}
+	if d == 0 {
+		t.Fatal("tip did not move at all; FK insensitive to shoulder")
+	}
+}
+
+func randomPose(rng *rand.Rand, lim Limits) JointPos {
+	var jp JointPos
+	for i := 0; i < NumJoints; i++ {
+		jp[i] = lim.Min[i] + rng.Float64()*(lim.Max[i]-lim.Min[i])
+	}
+	return jp
+}
+
+func mod1(x float64) float64 {
+	x = math.Abs(math.Mod(x, 1))
+	if math.IsNaN(x) {
+		return 0.5
+	}
+	return x
+}

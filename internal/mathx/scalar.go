@@ -1,0 +1,71 @@
+package mathx
+
+import "math"
+
+// Clamp limits v to the closed interval [lo, hi]. It panics if lo > hi,
+// which always indicates a programming error at the call site.
+func Clamp(v, lo, hi float64) float64 {
+	if lo > hi {
+		panic("mathx: Clamp called with lo > hi")
+	}
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	default:
+		return v
+	}
+}
+
+// ClampInt limits v to the closed interval [lo, hi].
+func ClampInt(v, lo, hi int) int {
+	if lo > hi {
+		panic("mathx: ClampInt called with lo > hi")
+	}
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	default:
+		return v
+	}
+}
+
+// Deg converts radians to degrees.
+func Deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Rad converts degrees to radians.
+func Rad(deg float64) float64 { return deg * math.Pi / 180 }
+
+// WrapAngle maps an angle to the half-open interval (-pi, pi].
+func WrapAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	switch {
+	case a > math.Pi:
+		a -= 2 * math.Pi
+	case a <= -math.Pi:
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// ApproxEqual reports whether a and b differ by at most tol.
+func ApproxEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Sign returns -1, 0 or +1 according to the sign of v.
+func Sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Lerp linearly interpolates between a and b; t=0 gives a, t=1 gives b.
+// t outside [0,1] extrapolates.
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }

@@ -1,0 +1,123 @@
+// Package metrics implements binary-classification metrics for the detection
+// evaluation (Table IV: accuracy, true-positive rate, false-positive rate,
+// F1 score) and the conditional-probability estimation used by Figure 9.
+package metrics
+
+import "fmt"
+
+// Confusion is a binary confusion matrix. Positives are runs in which the
+// attack would cause an adverse physical impact; a prediction is an alarm
+// raised by the detector under test.
+type Confusion struct {
+	TP int // attack with impact, alarm raised
+	FP int // no impact (fault-free or harmless injection), alarm raised
+	TN int // no impact, no alarm
+	FN int // attack with impact, missed
+}
+
+// Observe records one run outcome.
+func (c *Confusion) Observe(truth, predicted bool) {
+	switch {
+	case truth && predicted:
+		c.TP++
+	case truth && !predicted:
+		c.FN++
+	case !truth && predicted:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Merge adds the counts of other into c.
+func (c *Confusion) Merge(other Confusion) {
+	c.TP += other.TP
+	c.FP += other.FP
+	c.TN += other.TN
+	c.FN += other.FN
+}
+
+// Total returns the number of observed runs.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy returns (TP+TN)/total as a percentage, 0 when empty.
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(c.TP+c.TN) / float64(t)
+}
+
+// TPR returns the true-positive rate (recall) as a percentage, 0 when there
+// are no positives.
+func (c Confusion) TPR() float64 {
+	p := c.TP + c.FN
+	if p == 0 {
+		return 0
+	}
+	return 100 * float64(c.TP) / float64(p)
+}
+
+// FPR returns the false-positive rate as a percentage, 0 when there are no
+// negatives.
+func (c Confusion) FPR() float64 {
+	n := c.FP + c.TN
+	if n == 0 {
+		return 0
+	}
+	return 100 * float64(c.FP) / float64(n)
+}
+
+// Precision returns TP/(TP+FP) as a percentage, 0 when no alarms were raised.
+func (c Confusion) Precision() float64 {
+	a := c.TP + c.FP
+	if a == 0 {
+		return 0
+	}
+	return 100 * float64(c.TP) / float64(a)
+}
+
+// F1 returns the harmonic mean of precision and recall as a percentage,
+// 0 when either is zero.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.TPR()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the Table IV row for this confusion matrix.
+func (c Confusion) String() string {
+	return fmt.Sprintf("ACC=%.1f TPR=%.1f FPR=%.1f F1=%.1f (TP=%d FP=%d TN=%d FN=%d)",
+		c.Accuracy(), c.TPR(), c.FPR(), c.F1(), c.TP, c.FP, c.TN, c.FN)
+}
+
+// Proportion is a streaming estimator of a Bernoulli probability, used for
+// the marginal conditional probabilities in Figure 9 (P(adverse impact | v,d)
+// and P(detection | v,d), each estimated from >= 20 repetitions).
+type Proportion struct {
+	hits  int
+	total int
+}
+
+// Observe records one trial outcome.
+func (p *Proportion) Observe(hit bool) {
+	p.total++
+	if hit {
+		p.hits++
+	}
+}
+
+// N returns the number of trials.
+func (p Proportion) N() int { return p.total }
+
+// Value returns the estimated probability in [0,1], 0 when no trials were
+// observed.
+func (p Proportion) Value() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(p.total)
+}

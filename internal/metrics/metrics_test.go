@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	var c Confusion
+	c.Observe(true, true)   // TP
+	c.Observe(true, false)  // FN
+	c.Observe(false, true)  // FP
+	c.Observe(false, false) // TN
+	c.Observe(true, true)   // TP
+	if c.TP != 2 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 80, FN: 20, FP: 10, TN: 90}
+	if got := c.Accuracy(); !approx(got, 85, 1e-9) {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := c.TPR(); !approx(got, 80, 1e-9) {
+		t.Errorf("TPR = %v", got)
+	}
+	if got := c.FPR(); !approx(got, 10, 1e-9) {
+		t.Errorf("FPR = %v", got)
+	}
+	if got := c.Precision(); !approx(got, 100*80.0/90.0, 1e-9) {
+		t.Errorf("Precision = %v", got)
+	}
+	p, r := c.Precision(), c.TPR()
+	if got := c.F1(); !approx(got, 2*p*r/(p+r), 1e-9) {
+		t.Errorf("F1 = %v", got)
+	}
+}
+
+func TestConfusionEmptyDenominators(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.TPR() != 0 || c.FPR() != 0 || c.F1() != 0 || c.Precision() != 0 {
+		t.Fatal("empty confusion must report zeros, not NaN")
+	}
+	onlyNeg := Confusion{TN: 5}
+	if onlyNeg.TPR() != 0 {
+		t.Fatal("TPR with no positives must be 0")
+	}
+	onlyPos := Confusion{TP: 5}
+	if onlyPos.FPR() != 0 {
+		t.Fatal("FPR with no negatives must be 0")
+	}
+}
+
+func TestConfusionMerge(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	b := Confusion{TP: 10, FP: 20, TN: 30, FN: 40}
+	a.Merge(b)
+	if a != (Confusion{TP: 11, FP: 22, TN: 33, FN: 44}) {
+		t.Fatalf("Merge = %+v", a)
+	}
+}
+
+func TestMetricsBoundedQuick(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		for _, v := range []float64{c.Accuracy(), c.TPR(), c.FPR(), c.F1(), c.Precision()} {
+			if math.IsNaN(v) || v < 0 || v > 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := Confusion{TP: 1, FP: 1, TN: 1, FN: 1}
+	if c.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestProportion(t *testing.T) {
+	var p Proportion
+	if p.Value() != 0 || p.N() != 0 {
+		t.Fatal("zero-value Proportion must report zeros")
+	}
+	p.Observe(true)
+	p.Observe(false)
+	p.Observe(true)
+	p.Observe(true)
+	if p.N() != 4 {
+		t.Fatalf("N = %d", p.N())
+	}
+	if !approx(p.Value(), 0.75, 1e-12) {
+		t.Fatalf("Value = %v", p.Value())
+	}
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,133 @@
+// Package plc models the RAVEN II Programmable Logic Controller: the
+// independent safety processor that controls the fail-safe power-off brakes
+// on the robotic joints and supervises the control software through the
+// square-wave watchdog signal relayed by the USB interface boards.
+//
+// The control software toggles the watchdog bit periodically while its
+// safety checks pass; upon detecting an unsafe motor command it simply stops
+// toggling. The PLC monitors the bit and, when no edge arrives within its
+// supervision window, latches the whole system into the emergency-stop
+// state and engages the brakes.
+package plc
+
+import (
+	"time"
+
+	"ravenguard/internal/statemachine"
+	"ravenguard/internal/usb"
+)
+
+// DefaultWatchdogTimeout is the supervision window: the watchdog square
+// wave toggles every 10 control cycles (10 ms half-period), so 50 ms with
+// no edge means the control software has stopped petting it.
+const DefaultWatchdogTimeout = 50 * time.Millisecond
+
+// PLC is the safety processor. It is driven with the status byte the board
+// relays each control tick, using simulated time. The zero value is not
+// valid; use New.
+type PLC struct {
+	timeout time.Duration
+
+	lastBit     bool
+	haveBit     bool
+	sinceEdge   time.Duration
+	estopped    bool
+	estopCause  string
+	brakesOn    bool
+	statusState statemachine.State
+}
+
+// New returns a PLC in the powered-up condition: brakes engaged, not yet
+// E-STOP latched (the robot starts in E-STOP at the state-machine level,
+// which keeps brakes on anyway). timeout <= 0 selects the default window.
+func New(timeout time.Duration) *PLC {
+	if timeout <= 0 {
+		timeout = DefaultWatchdogTimeout
+	}
+	return &PLC{timeout: timeout, brakesOn: true, statusState: statemachine.EStop}
+}
+
+// Tick feeds the PLC one control period's worth of observation: the status
+// byte relayed by the board (state nibble + watchdog bit), whether a status
+// byte was available at all, and the elapsed simulated time. It returns
+// true when the PLC is commanding an emergency stop.
+func (p *PLC) Tick(status byte, haveStatus bool, dt time.Duration) bool {
+	if p.estopped {
+		return true
+	}
+	if !haveStatus {
+		// No traffic from the control software at all counts as a missing
+		// watchdog once the supervision window expires.
+		p.sinceEdge += dt
+		if p.sinceEdge >= p.timeout {
+			p.latch("watchdog silent: no status traffic")
+		}
+		return p.estopped
+	}
+
+	bit := status&usb.WatchdogBit != 0
+	if st, ok := statemachine.FromNibble(status); ok {
+		p.statusState = st
+	}
+	if !p.haveBit {
+		p.haveBit = true
+		p.lastBit = bit
+		p.sinceEdge = 0
+	} else if bit != p.lastBit {
+		p.lastBit = bit
+		p.sinceEdge = 0
+	} else {
+		p.sinceEdge += dt
+		if p.sinceEdge >= p.timeout {
+			p.latch("watchdog stuck: no edge within supervision window")
+		}
+	}
+
+	p.updateBrakes()
+	return p.estopped
+}
+
+// latch records an E-STOP with its cause and engages the brakes.
+func (p *PLC) latch(cause string) {
+	p.estopped = true
+	p.estopCause = cause
+	p.brakesOn = true
+}
+
+// ForceEStop latches the E-STOP externally (the physical emergency-stop
+// button, or the software requesting a halt).
+func (p *PLC) ForceEStop(cause string) { p.latch(cause) }
+
+// Reset clears the E-STOP latch; only the physical start button does this.
+func (p *PLC) Reset() {
+	p.estopped = false
+	p.estopCause = ""
+	p.haveBit = false
+	p.sinceEdge = 0
+	p.updateBrakes()
+}
+
+func (p *PLC) updateBrakes() {
+	if p.estopped {
+		p.brakesOn = true
+		return
+	}
+	// Brakes release only when the relayed state says the operator is
+	// engaged (Pedal Down) or the robot is homing (Init).
+	switch p.statusState {
+	case statemachine.PedalDown, statemachine.Init:
+		p.brakesOn = false
+	default:
+		p.brakesOn = true
+	}
+}
+
+// EStopped reports whether the E-STOP latch is set.
+func (p *PLC) EStopped() bool { return p.estopped }
+
+// EStopCause returns the recorded cause of the latch, empty when not
+// latched.
+func (p *PLC) EStopCause() string { return p.estopCause }
+
+// BrakesEngaged reports whether the fail-safe brakes are currently engaged.
+func (p *PLC) BrakesEngaged() bool { return p.brakesOn }

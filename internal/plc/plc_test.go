@@ -1,0 +1,131 @@
+package plc
+
+import (
+	"testing"
+	"time"
+
+	"ravenguard/internal/statemachine"
+	"ravenguard/internal/usb"
+)
+
+const tick = time.Millisecond
+
+// feed runs n ticks with a watchdog square wave of the given half-period
+// (in ticks) and state nibble, starting from the given phase.
+func feed(p *PLC, nibble byte, halfPeriod, n int) {
+	bit := false
+	for i := 0; i < n; i++ {
+		if halfPeriod > 0 && i%halfPeriod == 0 && i > 0 {
+			bit = !bit
+		}
+		status := nibble
+		if bit {
+			status |= usb.WatchdogBit
+		}
+		p.Tick(status, true, tick)
+	}
+}
+
+func TestHealthyWatchdogNoEStop(t *testing.T) {
+	p := New(0)
+	feed(p, statemachine.PedalDown.Nibble(), 10, 1000)
+	if p.EStopped() {
+		t.Fatalf("healthy watchdog latched E-STOP: %s", p.EStopCause())
+	}
+}
+
+func TestStuckWatchdogLatches(t *testing.T) {
+	p := New(0)
+	feed(p, statemachine.PedalDown.Nibble(), 10, 100) // healthy for 100 ms
+	feed(p, statemachine.PedalDown.Nibble(), 0, 60)   // then stuck 60 ms > 50 ms window
+	if !p.EStopped() {
+		t.Fatal("stuck watchdog did not latch E-STOP")
+	}
+	if p.EStopCause() == "" {
+		t.Fatal("latch recorded no cause")
+	}
+	if !p.BrakesEngaged() {
+		t.Fatal("E-STOP must engage brakes")
+	}
+}
+
+func TestSilentBusLatches(t *testing.T) {
+	p := New(0)
+	for i := 0; i < 60; i++ {
+		p.Tick(0, false, tick)
+	}
+	if !p.EStopped() {
+		t.Fatal("silent bus did not latch")
+	}
+}
+
+func TestLatchIsSticky(t *testing.T) {
+	p := New(0)
+	feed(p, statemachine.PedalDown.Nibble(), 0, 60)
+	if !p.EStopped() {
+		t.Fatal("setup: no latch")
+	}
+	// Resuming a healthy watchdog must NOT clear the latch.
+	feed(p, statemachine.PedalDown.Nibble(), 10, 200)
+	if !p.EStopped() {
+		t.Fatal("latch cleared by resumed watchdog")
+	}
+}
+
+func TestResetClearsLatch(t *testing.T) {
+	p := New(0)
+	feed(p, statemachine.PedalDown.Nibble(), 0, 60)
+	p.Reset()
+	if p.EStopped() {
+		t.Fatal("Reset did not clear the latch")
+	}
+	feed(p, statemachine.PedalDown.Nibble(), 10, 500)
+	if p.EStopped() {
+		t.Fatal("healthy watchdog re-latched after reset")
+	}
+}
+
+func TestForceEStop(t *testing.T) {
+	p := New(0)
+	p.ForceEStop("physical button")
+	if !p.EStopped() || p.EStopCause() != "physical button" {
+		t.Fatalf("ForceEStop: estopped=%v cause=%q", p.EStopped(), p.EStopCause())
+	}
+}
+
+func TestBrakesFollowRelayedState(t *testing.T) {
+	p := New(0)
+	feed(p, statemachine.PedalUp.Nibble(), 10, 20)
+	if !p.BrakesEngaged() {
+		t.Fatal("Pedal Up must keep brakes engaged")
+	}
+	feed(p, statemachine.PedalDown.Nibble(), 10, 20)
+	if p.BrakesEngaged() {
+		t.Fatal("Pedal Down must release brakes")
+	}
+	feed(p, statemachine.Init.Nibble(), 10, 20)
+	if p.BrakesEngaged() {
+		t.Fatal("Init must release brakes for homing")
+	}
+	feed(p, statemachine.EStop.Nibble(), 10, 20)
+	if !p.BrakesEngaged() {
+		t.Fatal("E-STOP state must engage brakes")
+	}
+}
+
+func TestCustomTimeout(t *testing.T) {
+	p := New(10 * time.Millisecond)
+	feed(p, statemachine.PedalDown.Nibble(), 0, 15)
+	if !p.EStopped() {
+		t.Fatal("10 ms supervision window did not latch after 15 ms of stuck bit")
+	}
+}
+
+func TestWatchdogToleratesSlowToggle(t *testing.T) {
+	// A 40 ms half-period is inside the 50 ms window: no latch.
+	p := New(0)
+	feed(p, statemachine.PedalDown.Nibble(), 40, 1000)
+	if p.EStopped() {
+		t.Fatalf("40 ms half-period watchdog latched: %s", p.EStopCause())
+	}
+}

@@ -1,0 +1,314 @@
+// Package robot implements the physical plant: the software stand-in for
+// the real RAVEN II arm's electromechanics. It integrates the two-mass
+// cable-drive dynamics with a 4th-order Runge-Kutta scheme at a 50 us
+// sub-step — far finer than the 1 ms control period — and layers on the
+// non-idealities a real arm has and the detector's 1 ms model does not:
+// per-unit parameter mismatch, stochastic torque disturbances, encoder
+// quantisation, joint hard stops, fail-safe brakes, and cable breakage
+// under extreme transients (the failure the paper observed when attacks
+// caused abrupt jumps).
+package robot
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ravenguard/internal/dynamics"
+	"ravenguard/internal/kinematics"
+	"ravenguard/internal/mathx"
+	"ravenguard/internal/motor"
+	"ravenguard/internal/usb"
+	"ravenguard/internal/wrist"
+)
+
+// Config assembles a plant.
+type Config struct {
+	// Params are the nominal dynamic constants; the plant perturbs them by
+	// ParamJitter to model the real arm differing from the detector's model.
+	Params dynamics.Params
+	// Bank are the motor/amplifier/encoder channels (joint order).
+	Bank motor.Bank
+	// Seed drives all stochastic behaviour; runs are reproducible.
+	Seed int64
+	// ParamJitter is the relative perturbation applied to each dynamic
+	// constant (default 0.03 = +/-3%).
+	ParamJitter float64
+	// TorqueNoise is the standard deviation of the white disturbance torque
+	// added motor-side each sub-step, N m (default 0.0015).
+	TorqueNoise float64
+	// Substeps is the number of RK4 sub-steps per control period
+	// (default 20, i.e. 50 us at 1 ms).
+	Substeps int
+	// Limits are the joint soft limits; hard stops sit 5% of range beyond.
+	Limits kinematics.Limits
+	// BreakTension is the cable tension (link-side N m, or N for the
+	// prismatic joint) at which each joint's cable snaps. Zero selects
+	// defaults.
+	BreakTension [kinematics.NumJoints]float64
+	// StartPose is the pose the arm rests in at power-up (defaults to the
+	// lower workspace corner, where the arm hangs against its stops).
+	StartPose kinematics.JointPos
+}
+
+func (c *Config) applyDefaults() {
+	if c.ParamJitter == 0 {
+		c.ParamJitter = 0.03
+	}
+	if c.TorqueNoise == 0 {
+		c.TorqueNoise = 0.0015
+	}
+	if c.Substeps == 0 {
+		c.Substeps = 20
+	}
+	zero := kinematics.Limits{}
+	if c.Limits == zero {
+		c.Limits = kinematics.DefaultLimits()
+	}
+	if c.BreakTension == [kinematics.NumJoints]float64{} {
+		c.BreakTension = [kinematics.NumJoints]float64{8, 6, 60}
+	}
+	if c.StartPose == (kinematics.JointPos{}) {
+		c.StartPose = kinematics.JointPos{
+			c.Limits.Min[0] + 0.02,
+			c.Limits.Min[1] + 0.02,
+			c.Limits.Min[2] + 0.002,
+		}
+	}
+}
+
+// Plant is the simulated physical robot arm. It is not safe for concurrent
+// use: the simulation loop owns it.
+type Plant struct {
+	cfg    Config
+	model  *dynamics.Model
+	integ  *dynamics.RK4
+	state  dynamics.State
+	trans  kinematics.Transmission
+	rng    *rand.Rand
+	brakes bool
+	broken [kinematics.NumJoints]bool
+	hard   kinematics.Limits
+	wrist  *wrist.Servo
+	t      float64
+}
+
+// NewPlant builds a plant with per-run perturbed parameters.
+func NewPlant(cfg Config) (*Plant, error) {
+	cfg.applyDefaults()
+	if err := cfg.Bank.Validate(); err != nil {
+		return nil, fmt.Errorf("robot: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perturbed := perturb(cfg.Params, cfg.ParamJitter, rng)
+	model, err := dynamics.NewModel(perturbed)
+	if err != nil {
+		return nil, fmt.Errorf("robot: %w", err)
+	}
+
+	// Hard stops 5% of joint range beyond the soft limits.
+	hard := cfg.Limits
+	for i := 0; i < kinematics.NumJoints; i++ {
+		margin := 0.05 * (cfg.Limits.Max[i] - cfg.Limits.Min[i])
+		hard.Min[i] -= margin
+		hard.Max[i] += margin
+	}
+
+	var tr kinematics.Transmission
+	for i := 0; i < kinematics.NumJoints; i++ {
+		tr.Ratio[i] = perturbed.Joints[i].Ratio
+	}
+
+	wristServo, err := wrist.NewServo(wrist.DefaultParams(), wrist.DefaultLimits())
+	if err != nil {
+		return nil, fmt.Errorf("robot: %w", err)
+	}
+
+	p := &Plant{
+		cfg:    cfg,
+		model:  model,
+		integ:  dynamics.NewRK4(dynamics.StateDim),
+		trans:  tr,
+		rng:    rng,
+		brakes: true,
+		hard:   hard,
+		wrist:  wristServo,
+	}
+	p.state.SetJointPos(cfg.StartPose, tr)
+	return p, nil
+}
+
+// perturb scales every physical constant by 1 + jitter*U(-1,1).
+func perturb(p dynamics.Params, jitter float64, rng *rand.Rand) dynamics.Params {
+	scale := func(v float64) float64 { return v * (1 + jitter*(2*rng.Float64()-1)) }
+	for i := range p.Joints {
+		j := &p.Joints[i]
+		j.MotorInertia = scale(j.MotorInertia)
+		j.MotorDamping = scale(j.MotorDamping)
+		j.CableStiffness = scale(j.CableStiffness)
+		j.CableDamping = scale(j.CableDamping)
+		j.LinkInertia = scale(j.LinkInertia)
+		j.LinkDamping = scale(j.LinkDamping)
+		j.Coulomb = scale(j.Coulomb)
+		j.GravConst = scale(j.GravConst)
+		// Transmission ratio and gravity phase are geometric, not jittered.
+	}
+	return p
+}
+
+// SetBrakes engages or releases the fail-safe power-off brakes. Engaged
+// brakes freeze the arm: a braked joint holds position regardless of DAC
+// input (the amplifier outputs are mechanically irrelevant).
+func (p *Plant) SetBrakes(on bool) { p.brakes = on }
+
+// BrakesEngaged reports the brake state.
+func (p *Plant) BrakesEngaged() bool { return p.brakes }
+
+// Step advances the plant by one control period dt (seconds), driven by the
+// DAC values currently latched on the board's first NumJoints channels.
+func (p *Plant) Step(dacs [usb.NumChannels]int16, dt float64) {
+	if p.brakes {
+		// Power-off brakes clamp the motors; the arm holds. Zero all
+		// velocities so releasing the brakes starts from rest.
+		for i := 0; i < kinematics.NumJoints; i++ {
+			p.state.X[4*i+1] = 0
+			p.state.X[4*i+3] = 0
+		}
+		p.wrist.Step([wrist.NumJoints]int16{}, dt, true)
+		p.t += dt
+		return
+	}
+
+	var tau [kinematics.NumJoints]float64
+	for i := 0; i < kinematics.NumJoints; i++ {
+		tau[i] = p.cfg.Bank[i].DACToTorque(dacs[i])
+	}
+
+	// Instrument wrist servos (channels 3..5): light direct-drive joints
+	// integrated at the control period.
+	var wristDACs [wrist.NumJoints]int16
+	for i := 0; i < wrist.NumJoints; i++ {
+		wristDACs[i] = dacs[kinematics.NumJoints+i]
+	}
+	p.wrist.Step(wristDACs, dt, false)
+
+	sub := dt / float64(p.cfg.Substeps)
+	for s := 0; s < p.cfg.Substeps; s++ {
+		noisy := tau
+		for i := 0; i < kinematics.NumJoints; i++ {
+			noisy[i] += p.rng.NormFloat64() * p.cfg.TorqueNoise
+			if p.broken[i] {
+				// A snapped cable decouples motor from link: model it by
+				// removing motor drive (the free-spinning motor no longer
+				// matters for safety) and letting the link coast.
+				noisy[i] = 0
+			}
+		}
+		p.model.SetTorque(noisy)
+		p.integ.Step(p.model.Deriv, p.t, p.state.X[:], sub)
+		p.t += sub
+		p.enforceHardStops()
+		p.checkCables()
+	}
+}
+
+// enforceHardStops clamps link positions at the mechanical stops with an
+// inelastic collision (velocity zeroed into the stop).
+func (p *Plant) enforceHardStops() {
+	for i := 0; i < kinematics.NumJoints; i++ {
+		pos := p.state.X[4*i+2]
+		vel := p.state.X[4*i+3]
+		if pos < p.hard.Min[i] {
+			p.state.X[4*i+2] = p.hard.Min[i]
+			if vel < 0 {
+				p.state.X[4*i+3] = 0
+			}
+		} else if pos > p.hard.Max[i] {
+			p.state.X[4*i+2] = p.hard.Max[i]
+			if vel > 0 {
+				p.state.X[4*i+3] = 0
+			}
+		}
+	}
+}
+
+// checkCables snaps a cable whose tension exceeds the break limit.
+func (p *Plant) checkCables() {
+	params := p.model.Params()
+	for i := 0; i < kinematics.NumJoints; i++ {
+		if p.broken[i] {
+			continue
+		}
+		jc := params.Joints[i]
+		stretch := p.state.X[4*i]/jc.Ratio - p.state.X[4*i+2]
+		stretchVel := p.state.X[4*i+1]/jc.Ratio - p.state.X[4*i+3]
+		tension := jc.CableStiffness*stretch + jc.CableDamping*stretchVel
+		if mathAbs(tension) > p.cfg.BreakTension[i] {
+			p.broken[i] = true
+		}
+	}
+}
+
+func mathAbs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// CableBroken reports whether any joint's cable has snapped, and which.
+func (p *Plant) CableBroken() (any bool, which [kinematics.NumJoints]bool) {
+	for _, b := range p.broken {
+		if b {
+			return true, p.broken
+		}
+	}
+	return false, p.broken
+}
+
+// JointPos returns the true link-side joint positions.
+func (p *Plant) JointPos() kinematics.JointPos { return p.state.JointPos() }
+
+// JointVel returns the true link-side joint velocities.
+func (p *Plant) JointVel() [kinematics.NumJoints]float64 { return p.state.JointVel() }
+
+// MotorPos returns the true motor shaft angles.
+func (p *Plant) MotorPos() kinematics.MotorPos { return p.state.MotorPos() }
+
+// MotorVel returns the true motor shaft velocities.
+func (p *Plant) MotorVel() [kinematics.NumJoints]float64 { return p.state.MotorVel() }
+
+// TipPosition returns the true end-effector position (from link states).
+func (p *Plant) TipPosition() mathx.Vec3 {
+	return kinematics.Forward(p.state.JointPos())
+}
+
+// EncoderCounts returns the quantised motor encoder counts as the board
+// reads them: positioning motors on channels 0..2, instrument joints on
+// channels 3..5; the remaining channels read zero.
+func (p *Plant) EncoderCounts() [usb.NumChannels]int32 {
+	var counts [usb.NumChannels]int32
+	mp := p.state.MotorPos()
+	for i := 0; i < kinematics.NumJoints; i++ {
+		counts[i] = p.cfg.Bank[i].EncoderCounts(mp[i])
+	}
+	wp := p.wrist.Pos()
+	for i := 0; i < wrist.NumJoints; i++ {
+		counts[kinematics.NumJoints+i] = wrist.EncoderCounts(wp[i])
+	}
+	return counts
+}
+
+// WristPos returns the true instrument-joint positions (roll, wrist
+// pitch, grasp).
+func (p *Plant) WristPos() [wrist.NumJoints]float64 { return p.wrist.Pos() }
+
+// ToolOrientation returns the instrument's orientation matrix.
+func (p *Plant) ToolOrientation() mathx.Mat3 { return wrist.Orientation(p.wrist.Pos()) }
+
+// Transmission returns the plant's (perturbed) transmission ratios; the
+// control software uses the nominal ones, which is part of the model
+// mismatch.
+func (p *Plant) Transmission() kinematics.Transmission { return p.trans }
+
+// Time returns the plant-local simulated time in seconds.
+func (p *Plant) Time() float64 { return p.t }

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"ravenguard/internal/console"
+	"ravenguard/internal/interpose"
+)
+
+// dropAfter passes frames until a tick count, then drops everything — a
+// denial-of-service wrapper starving the USB boards.
+type dropAfter struct {
+	after int
+	seen  int
+}
+
+func (d *dropAfter) Name() string { return "frame-dropper" }
+
+func (d *dropAfter) OnWrite([]byte) interpose.Verdict {
+	d.seen++
+	if d.seen > d.after {
+		return interpose.Drop
+	}
+	return interpose.Pass
+}
+
+func TestFrameDropperStarvesWatchdogAndPLCLatches(t *testing.T) {
+	// If the malicious wrapper silently discards the control software's
+	// USB writes, the watchdog square wave stops reaching the PLC — the
+	// PLC's silent-bus supervision must latch E-STOP.
+	rig, err := New(Config{
+		Seed:    501,
+		Script:  console.StandardScript(5),
+		Preload: []interpose.Wrapper{&dropAfter{after: 3500}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rig.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !rig.PLC().EStopped() {
+		t.Fatal("PLC did not latch although the bus went silent")
+	}
+	if !strings.Contains(rig.PLC().EStopCause(), "watchdog") {
+		t.Fatalf("cause = %q", rig.PLC().EStopCause())
+	}
+	if !rig.Plant().BrakesEngaged() {
+		t.Fatal("brakes not engaged after the silent-bus latch")
+	}
+}
+
+func TestCableBreakVisibleInStepInfo(t *testing.T) {
+	// A violent unbounded attack can snap a drive cable; the step info
+	// must report it so experiments can classify the damage.
+	cfg := Config{
+		Seed:   502,
+		Script: console.StandardScript(8),
+	}
+	cfg.Plant.BreakTension = [3]float64{1.2, 99, 999} // fragile shoulder cable
+	cfg.Control.SafetyChecksOff = true                // nothing halts the attack
+	inj := &alternatingSlam{}
+	cfg.Preload = []interpose.Wrapper{inj}
+	rig, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broke := false
+	rig.Observe(func(si StepInfo) {
+		if si.Broken {
+			broke = true
+		}
+	})
+	if _, err := rig.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !broke {
+		t.Fatal("cable never snapped under unbounded alternating full-scale torque")
+	}
+}
+
+// alternatingSlam drives channel 0 with alternating full-scale DAC values
+// during Pedal Down.
+type alternatingSlam struct {
+	ticks int
+}
+
+func (a *alternatingSlam) Name() string { return "alternating-slam" }
+
+func (a *alternatingSlam) OnWrite(buf []byte) interpose.Verdict {
+	if len(buf) != 18 || buf[0]&0x0F != 0x0F {
+		return interpose.Pass
+	}
+	a.ticks++
+	v := int16(32767)
+	if (a.ticks/25)%2 == 0 {
+		v = -32768
+	}
+	buf[2] = byte(uint16(v))
+	buf[3] = byte(uint16(v) >> 8)
+	return interpose.Pass
+}

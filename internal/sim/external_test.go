@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+
+	"ravenguard/internal/console"
+	"ravenguard/internal/itp"
+	"ravenguard/internal/statemachine"
+	"ravenguard/internal/trajectory"
+	"time"
+)
+
+func TestExternallyDrivenRigOverUDP(t *testing.T) {
+	// Robot side: a rig fed by a real UDP receiver.
+	recv, err := itp.NewUDPReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	rig, err := New(Config{
+		Seed:             71,
+		ExternalInput:    recv,
+		ExternalDuration: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Operator side: a console streaming over a real UDP socket.
+	sender, err := itp.NewUDPSender(recv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	cons, err := console.New(console.StandardScript(4), trajectory.Standard()[0], sender)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive both sides in lock-step (no wall-clock pacing in tests). The
+	// datagram path is asynchronous, so the rig consumes packets as they
+	// arrive — exactly the loss-tolerant behaviour the protocol assumes.
+	// One-shot flags (the start button) can race the reader goroutine at
+	// this unthrottled rate, so the operator re-presses start if the robot
+	// has not left E-STOP — as a human would.
+	seen := map[statemachine.State]bool{}
+	for !rig.Done() {
+		if !cons.Done() {
+			if _, err := cons.Tick(1e-3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Pace the loop: an unthrottled sender floods the socket buffer
+		// faster than the reader goroutine drains it, dropping most
+		// datagrams (including one-shot flags). 20 us per cycle is still
+		// 50x faster than the real 1 kHz pacing of cmd/teleopd.
+		time.Sleep(20 * time.Microsecond)
+		si, err := rig.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[si.Ctrl.State] = true
+		if si.T > 1 && !seen[statemachine.Init] {
+			if err := sender.Send(itp.Packet{Seq: 1 << 20, Start: true}); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(time.Millisecond) // let the reader goroutine deliver
+		}
+		if cons.Done() && si.T > cons.Time()+1 {
+			break // operator left; a second of trailing robot time is enough
+		}
+	}
+
+	if !seen[statemachine.Init] {
+		t.Fatal("robot never homed: start button lost over UDP")
+	}
+	if !seen[statemachine.PedalDown] {
+		t.Fatal("robot never reached Pedal Down over UDP")
+	}
+	if rig.PLC().EStopped() {
+		t.Fatalf("PLC latched during networked session: %s", rig.PLC().EStopCause())
+	}
+}
+
+func TestExternalRigDoneByDuration(t *testing.T) {
+	recv := itp.NewMemTransport()
+	rig, err := New(Config{Seed: 72, ExternalInput: recv, ExternalDuration: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := rig.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 50 {
+		t.Fatalf("steps = %d, want 50 (0.05 s at 1 kHz)", steps)
+	}
+}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ravenguard/internal/console"
+	"ravenguard/internal/control"
+	"ravenguard/internal/statemachine"
+	"ravenguard/internal/trajectory"
+)
+
+func TestFaultFreeSessionReachesPedalDown(t *testing.T) {
+	rig, err := New(Config{
+		Seed:   1,
+		Script: console.StandardScript(5),
+		Traj:   trajectory.Standard()[0],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[statemachine.State]bool{}
+	rig.Observe(func(si StepInfo) { seen[si.Ctrl.State] = true })
+	if _, err := rig.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []statemachine.State{statemachine.EStop, statemachine.Init, statemachine.PedalUp, statemachine.PedalDown} {
+		if !seen[st] {
+			t.Errorf("state %v never reached; saw %v", st, seen)
+		}
+	}
+	if rig.PLC().EStopped() {
+		t.Errorf("PLC latched E-STOP in fault-free run: %s", rig.PLC().EStopCause())
+	}
+	if trips := rig.Controller().SafetyTrips(); trips != 0 {
+		t.Errorf("software safety tripped %d times in fault-free run", trips)
+	}
+	if broken, which := rig.Plant().CableBroken(); broken {
+		t.Errorf("cable broke in fault-free run: %v", which)
+	}
+}
+
+func TestFaultFreeTrackingAccuracy(t *testing.T) {
+	rig, err := New(Config{
+		Seed:   2,
+		Script: console.StandardScript(8),
+		Traj:   trajectory.Standard()[1],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	samples := 0
+	settle := 0
+	rig.Observe(func(si StepInfo) {
+		if si.Ctrl.State != statemachine.PedalDown {
+			settle = 0
+			return
+		}
+		// Allow 500 ms to settle after the pedal goes down.
+		settle++
+		if settle < 500 {
+			return
+		}
+		err := si.TipTrue.DistanceTo(si.Ctrl.TipDesired)
+		if err > worst {
+			worst = err
+		}
+		samples++
+	})
+	if _, err := rig.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if samples == 0 {
+		t.Fatal("no pedal-down samples collected")
+	}
+	// The real RAVEN tracks teleoperation within a couple of millimeters;
+	// the plant+controller pair must do the same or the detection
+	// experiments are meaningless.
+	if worst > 0.003 {
+		t.Fatalf("worst tracking error %.2f mm, want < 3 mm", worst*1e3)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() (tipX float64) {
+		rig, err := New(Config{Seed: 3, Script: console.StandardScript(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rig.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return rig.Plant().TipPosition().X
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different trajectories: %v vs %v", a, b)
+	}
+	if math.IsNaN(a) {
+		t.Fatal("NaN tip position")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	run := func(seed int64) float64 {
+		rig, err := New(Config{Seed: seed, Script: console.StandardScript(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rig.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return rig.Plant().TipPosition().X
+	}
+	if run(10) == run(11) {
+		t.Fatal("different seeds produced identical outcomes; noise not seeded")
+	}
+}
+
+func TestPedalUpHoldsPosition(t *testing.T) {
+	script := console.Script{
+		StartAt:    0.05,
+		HomingWait: 2.5,
+		Segments: []console.Segment{
+			{Duration: 2, PedalDown: true},
+			{Duration: 1.5, PedalDown: false},
+			{Duration: 1, PedalDown: true},
+		},
+	}
+	rig, err := New(Config{Seed: 4, Script: script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drift float64
+	var upStart, upEnd [2]float64 // tip X at pedal-up entry/exit
+	inUp := false
+	rig.Observe(func(si StepInfo) {
+		if si.Ctrl.State == statemachine.PedalUp && si.T > 3 && si.T < 5.9 {
+			if !inUp {
+				inUp = true
+				upStart[0], upStart[1] = si.TipTrue.X, si.TipTrue.Y
+			}
+			upEnd[0], upEnd[1] = si.TipTrue.X, si.TipTrue.Y
+			d := math.Hypot(si.TipTrue.X-upStart[0], si.TipTrue.Y-upStart[1])
+			if d > drift {
+				drift = d
+			}
+		}
+	})
+	if _, err := rig.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !inUp {
+		t.Fatal("mid-session pedal-up phase never observed")
+	}
+	// Brakes hold the arm: essentially zero drift while pedal is up.
+	if drift > 1e-6 {
+		t.Fatalf("arm drifted %.3g m with brakes engaged", drift)
+	}
+}
+
+func TestEStopViaInputHook(t *testing.T) {
+	cfg := Config{Seed: 5, Script: console.StandardScript(5)}
+	cfg.OnInput = func(tm float64, in *control.Input) {
+		if tm > 4 {
+			in.EStopButton = true
+		}
+	}
+	rig, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rig.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := rig.Controller().State(); got != statemachine.EStop {
+		t.Fatalf("state after E-STOP button = %v", got)
+	}
+	if !rig.Plant().BrakesEngaged() {
+		t.Fatal("brakes not engaged after E-STOP")
+	}
+}
+
+func TestEStopRestartRecovery(t *testing.T) {
+	// An operator slaps the emergency stop mid-procedure and restarts:
+	// the full loop must recover — PLC latch cleared by the start button,
+	// re-homing, and a return to teleoperation.
+	script := console.Script{
+		StartAt:    0.05,
+		HomingWait: 2.5,
+		Segments: []console.Segment{
+			{Duration: 6, PedalDown: true},
+		},
+		EStopAt:   4.0,
+		RestartAt: 5.0,
+	}
+	rig, err := New(Config{Seed: 33, Script: script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var timeline []statemachine.State
+	rig.Observe(func(si StepInfo) {
+		if len(timeline) == 0 || timeline[len(timeline)-1] != si.Ctrl.State {
+			timeline = append(timeline, si.Ctrl.State)
+		}
+	})
+	if _, err := rig.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// The essential recovery arc must appear in order: teleoperation,
+	// then the emergency stop, then a fresh homing, then teleoperation
+	// again. (One-tick pedal transitions around the button press are
+	// allowed in between.)
+	arc := []statemachine.State{
+		statemachine.PedalDown, statemachine.EStop, statemachine.Init, statemachine.PedalDown,
+	}
+	i := 0
+	for _, st := range timeline {
+		if i < len(arc) && st == arc[i] {
+			i++
+		}
+	}
+	if i != len(arc) {
+		t.Fatalf("recovery arc %v not found in timeline %v", arc, timeline)
+	}
+	if rig.PLC().EStopped() {
+		t.Fatal("PLC still latched after restart")
+	}
+}
+
+func TestGravityFeedforwardImprovesTracking(t *testing.T) {
+	// The controller's gravity feedforward carries most of the static
+	// load; without it the integrator alone must hold the arm and
+	// tracking degrades measurably.
+	worst := func(noFF bool) float64 {
+		rig, err := New(Config{
+			Seed:        44,
+			Script:      console.StandardScript(5),
+			Traj:        trajectory.Standard()[0],
+			NoGravityFF: noFF,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, settle := 0.0, 0
+		rig.Observe(func(si StepInfo) {
+			if si.Ctrl.State != statemachine.PedalDown {
+				settle = 0
+				return
+			}
+			settle++
+			if settle < 500 {
+				return
+			}
+			if d := si.TipTrue.DistanceTo(si.Ctrl.TipDesired); d > w {
+				w = d
+			}
+		})
+		if _, err := rig.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	withFF := worst(false)
+	withoutFF := worst(true)
+	if withoutFF <= withFF {
+		t.Fatalf("removing gravity feedforward did not degrade tracking: %.3f mm vs %.3f mm",
+			withoutFF*1e3, withFF*1e3)
+	}
+}

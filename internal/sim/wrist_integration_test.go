@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+
+	"ravenguard/internal/console"
+	"ravenguard/internal/interpose"
+	"ravenguard/internal/malware"
+	"ravenguard/internal/statemachine"
+	"ravenguard/internal/usb"
+	"ravenguard/internal/wrist"
+)
+
+func TestWristChannelsCarryLiveTraffic(t *testing.T) {
+	// Figure 5 realism: during teleoperation the wrist DAC channels
+	// (3..5) must flicker like the positioning channels, so the
+	// attacker's byte analysis faces a realistic packet stream.
+	exfil := malware.NewMemExfil()
+	rig, err := New(Config{
+		Seed:    61,
+		Script:  console.StandardScript(5),
+		Preload: []interpose.Wrapper{malware.NewLogger(exfil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rig.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	distinct := make(map[int]map[int16]bool)
+	for ch := 3; ch <= 5; ch++ {
+		distinct[ch] = make(map[int16]bool)
+	}
+	for _, frame := range exfil.Frames() {
+		cmd, err := usb.DecodeCommand(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ch := 3; ch <= 5; ch++ {
+			distinct[ch][cmd.DAC[ch]] = true
+		}
+	}
+	for ch := 3; ch <= 5; ch++ {
+		if len(distinct[ch]) < 20 {
+			t.Errorf("wrist channel %d saw only %d distinct DAC values; expected live traffic", ch, len(distinct[ch]))
+		}
+	}
+}
+
+func TestWristTracksOperatorMotion(t *testing.T) {
+	rig, err := New(Config{Seed: 62, Script: console.StandardScript(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rig.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// The standard wrist weave rolls the instrument; by session end the
+	// roll joint must have moved from its zero start.
+	pos := rig.Plant().WristPos()
+	if pos[wrist.Roll] == 0 {
+		t.Fatal("wrist roll never moved under the standard weave profile")
+	}
+}
+
+func TestWristChannelAttackDoesNotMovePositioningJoints(t *testing.T) {
+	// An injection on a wrist channel cannot cause a positioning jump —
+	// the reason the paper's detector can afford to ignore the distal
+	// DOF. The instrument still jerks, but the tip stays on trajectory.
+	run := func(channel int) (tipDev float64, wristMoved float64) {
+		inj := malware.NewInjector(malware.InjectorConfig{
+			Mode:            malware.ModeDACOffset,
+			Channel:         channel,
+			Value:           20000,
+			StartDelayTicks: 1000,
+			ActivationTicks: 128,
+		})
+		rig, err := New(Config{
+			Seed:    63,
+			Script:  console.StandardScript(5),
+			Preload: []interpose.Wrapper{inj},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cleanRig *Rig
+		cleanRig, err = New(Config{Seed: 63, Script: console.StandardScript(5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !rig.Done() && !cleanRig.Done() {
+			si, err := rig.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ci, err := cleanRig.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if si.Ctrl.State != statemachine.PedalDown {
+				continue
+			}
+			if d := si.TipTrue.DistanceTo(ci.TipTrue); d > tipDev {
+				tipDev = d
+			}
+			wp, cp := rig.Plant().WristPos(), cleanRig.Plant().WristPos()
+			for i := range wp {
+				d := wp[i] - cp[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > wristMoved {
+					wristMoved = d
+				}
+			}
+		}
+		return tipDev, wristMoved
+	}
+
+	tipDev, wristMoved := run(3) // attack the roll servo
+	if wristMoved < 0.05 {
+		t.Fatalf("wrist-channel attack barely moved the instrument (%v rad)", wristMoved)
+	}
+	if tipDev > 0.0005 {
+		t.Fatalf("wrist-channel attack moved the tip %v m; channels must be independent", tipDev)
+	}
+}

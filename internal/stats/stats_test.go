@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningAgainstClosedForm(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d", r.N())
+	}
+	if !approx(r.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v", r.Mean())
+	}
+	// Sample variance with n-1 denominator: sum sq dev = 32, / 7.
+	if !approx(r.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v", r.Variance())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningZeroAndOneObservation(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Std() != 0 || r.N() != 0 {
+		t.Fatal("zero-value Running must report zeros")
+	}
+	r.Add(42)
+	if r.Mean() != 42 || r.Variance() != 0 || r.Min() != 42 || r.Max() != 42 {
+		t.Fatalf("single observation summary wrong: %+v", r.Summarize())
+	}
+}
+
+func TestRunningMatchesBatchQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		xs := make([]float64, n)
+		var r Running
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			r.Add(xs[i])
+		}
+		mean := Mean(xs)
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		wantVar := varSum / float64(n-1)
+		return approx(r.Mean(), mean, 1e-9) && approx(r.Variance(), wantVar, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if !approx(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Fatal("empty slice must error")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Fatal("negative p must error")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Fatal("p > 100 must error")
+	}
+}
+
+func TestPercentileMonotoneQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 2.5 {
+		v, err := Percentile(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("percentile not monotone at p=%v: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestPercentileSingleElement(t *testing.T) {
+	got, err := Percentile([]float64{7}, 99.85)
+	if err != nil || got != 7 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMeanAbs(t *testing.T) {
+	if got := MeanAbs([]float64{-1, 1, -3, 3}); got != 2 {
+		t.Fatalf("MeanAbs = %v", got)
+	}
+	if MeanAbs(nil) != 0 {
+		t.Fatal("MeanAbs(nil) must be 0")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var r Running
+	r.Add(1)
+	r.Add(2)
+	if s := r.Summarize().String(); s == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,99 @@
+package usb
+
+import "fmt"
+
+// Board emulates one custom 8-channel USB interface board: the commodity
+// programmable device that receives command frames from the control
+// software, drives the DACs feeding the motor amplifiers, reads the motor
+// encoders back, and relays the state/watchdog byte to the PLC safety
+// processor.
+//
+// The board trusts its input completely. It does not validate DAC values
+// against safety limits and does not authenticate the sender — the paper's
+// fuzzing result ("the integrity of the packets is not checked after the
+// USB boards receive them") is reproduced by construction.
+type Board struct {
+	lastCmd     Command
+	haveCmd     bool
+	encoders    [NumChannels]int32
+	encoderSeq  byte
+	rxCount     int
+	malformedRx int
+}
+
+// NewBoard returns a board with all DACs at zero.
+func NewBoard() *Board { return &Board{} }
+
+// Receive accepts one command frame exactly as a write() to the board's
+// endpoint would. Malformed (wrong-length) frames are counted and dropped,
+// matching hardware that ignores short transfers; well-formed frames are
+// applied without any further checking.
+func (b *Board) Receive(frame []byte) error {
+	cmd, err := DecodeCommand(frame)
+	if err != nil {
+		b.malformedRx++
+		return fmt.Errorf("usb: board dropped frame: %w", err)
+	}
+	b.lastCmd = cmd
+	b.haveCmd = true
+	b.rxCount++
+	return nil
+}
+
+// DAC returns the value currently driving channel ch's amplifier.
+// Channels with no command yet received sit at zero.
+func (b *Board) DAC(ch int) int16 {
+	if !b.haveCmd || ch < 0 || ch >= NumChannels {
+		return 0
+	}
+	return b.lastCmd.DAC[ch]
+}
+
+// DACs returns all channel outputs.
+func (b *Board) DACs() [NumChannels]int16 {
+	if !b.haveCmd {
+		return [NumChannels]int16{}
+	}
+	return b.lastCmd.DAC
+}
+
+// StatusByte returns the last received Byte 0 (state nibble + watchdog bit)
+// as relayed to the PLC safety processor, and whether any command has been
+// received yet.
+func (b *Board) StatusByte() (byte, bool) {
+	if !b.haveCmd {
+		return 0, false
+	}
+	status := b.lastCmd.StateNibble
+	if b.lastCmd.Watchdog {
+		status |= WatchdogBit
+	}
+	return status, true
+}
+
+// LastSeq returns the sequence number of the last executed command.
+func (b *Board) LastSeq() byte { return b.lastCmd.Seq }
+
+// SetEncoders latches the encoder counts read from the motors; the plant
+// calls this each control tick.
+func (b *Board) SetEncoders(counts [NumChannels]int32) {
+	b.encoders = counts
+	b.encoderSeq = b.lastCmd.Seq
+}
+
+// ReadFeedback produces the feedback frame the control software reads back
+// each cycle.
+func (b *Board) ReadFeedback() [FeedbackLen]byte {
+	status, _ := b.StatusByte()
+	fb := Feedback{
+		StatusEcho: status,
+		Seq:        b.encoderSeq,
+		Encoder:    b.encoders,
+	}
+	return fb.Encode()
+}
+
+// Stats returns (frames accepted, malformed frames dropped).
+func (b *Board) Stats() (received, malformed int) {
+	return b.rxCount, b.malformedRx
+}

@@ -1,0 +1,78 @@
+package usb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeCommandArbitraryBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 5000; i++ {
+		frame := make([]byte, CommandLen)
+		rng.Read(frame)
+		cmd, err := DecodeCommand(frame)
+		if err != nil {
+			t.Fatalf("well-sized random frame rejected: %v", err)
+		}
+		// Re-encoding must reproduce the wire bytes except any high bits
+		// of Byte 0 beyond the defined layout (the codec masks them).
+		back := cmd.Encode()
+		for b := 1; b < CommandLen; b++ {
+			if back[b] != frame[b] {
+				t.Fatalf("byte %d changed across decode/encode: %#02x -> %#02x", b, frame[b], back[b])
+			}
+		}
+		if back[0]&(StateMask|WatchdogBit) != frame[0]&(StateMask|WatchdogBit) {
+			t.Fatalf("Byte 0 layout bits changed: %#02x -> %#02x", frame[0], back[0])
+		}
+	}
+}
+
+func TestDecodeFeedbackArbitraryBytesRoundTrips(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		frame := make([]byte, FeedbackLen)
+		rng.Read(frame)
+		fb, err := DecodeFeedback(frame)
+		if err != nil {
+			return false
+		}
+		back := fb.Encode()
+		for i := range frame {
+			if back[i] != frame[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoardSurvivesGarbageStream(t *testing.T) {
+	// A board fed random garbage of random lengths must never panic and
+	// must keep serving its last well-formed command.
+	b := NewBoard()
+	good := Command{StateNibble: 0x0F, Seq: 9, DAC: [NumChannels]int16{123}}.Encode()
+	if err := b.Receive(good[:]); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(64)
+		if n == CommandLen {
+			n++ // keep every frame malformed in this storm
+		}
+		junk := make([]byte, n)
+		rng.Read(junk)
+		_ = b.Receive(junk) // errors expected; must not disturb state
+	}
+	if b.DAC(0) != 123 || b.LastSeq() != 9 {
+		t.Fatalf("garbage storm disturbed the latched command: DAC0=%d seq=%d", b.DAC(0), b.LastSeq())
+	}
+	if rx, bad := b.Stats(); rx != 1 || bad != 2000 {
+		t.Fatalf("stats = %d/%d", rx, bad)
+	}
+}

@@ -1,0 +1,117 @@
+// Package usb implements the packet protocol spoken between the RAVEN
+// control software and the custom 8-channel USB interface boards, and an
+// emulation of the board itself.
+//
+// The command packet is the 18-byte frame whose byte-level structure the
+// paper's attacker reverse-engineers (Figures 5-6): Byte 0 carries the
+// operational-state nibble in its low four bits and the square-wave
+// watchdog signal in bit 4; Byte 1 is a free-running sequence counter; the
+// remaining 16 bytes are eight little-endian int16 DAC commands, one per
+// motor channel. Crucially — and this is the vulnerability attack scenario
+// B exploits — the board performs no integrity check on received frames:
+// whatever DAC values arrive are applied to the motor amplifiers.
+package usb
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Geometry of the command frame.
+const (
+	CommandLen  = 18 // bytes per command packet
+	NumChannels = 8  // DAC/encoder channels per board
+
+	// StateByte is the offset of the state/watchdog byte that leaks the
+	// robot's operational state to anyone who can observe the write path.
+	StateByte = 0
+	// SeqByte is the offset of the sequence counter.
+	SeqByte = 1
+	// DACBase is the offset of the first DAC channel.
+	DACBase = 2
+
+	// WatchdogBit is the bit of Byte 0 that carries the PLC watchdog
+	// square wave ("the fifth bit toggles periodically between 0 and 1").
+	WatchdogBit = 0x10
+	// StateMask extracts the operational-state nibble from Byte 0.
+	StateMask = 0x0F
+)
+
+// Command is the decoded form of a command frame.
+type Command struct {
+	StateNibble byte // low 4 bits of Byte 0
+	Watchdog    bool // bit 4 of Byte 0
+	Seq         byte // Byte 1
+	DAC         [NumChannels]int16
+}
+
+// Encode serialises the command into an 18-byte frame.
+func (c Command) Encode() [CommandLen]byte {
+	var frame [CommandLen]byte
+	frame[StateByte] = c.StateNibble & StateMask
+	if c.Watchdog {
+		frame[StateByte] |= WatchdogBit
+	}
+	frame[SeqByte] = c.Seq
+	for ch := 0; ch < NumChannels; ch++ {
+		binary.LittleEndian.PutUint16(frame[DACBase+2*ch:], uint16(c.DAC[ch]))
+	}
+	return frame
+}
+
+// DecodeCommand parses an 18-byte frame. It returns an error only for a
+// wrong length: the board itself accepts any content (no integrity check),
+// so neither does the decoder.
+func DecodeCommand(frame []byte) (Command, error) {
+	if len(frame) != CommandLen {
+		return Command{}, fmt.Errorf("usb: command frame length %d, want %d", len(frame), CommandLen)
+	}
+	var c Command
+	c.StateNibble = frame[StateByte] & StateMask
+	c.Watchdog = frame[StateByte]&WatchdogBit != 0
+	c.Seq = frame[SeqByte]
+	for ch := 0; ch < NumChannels; ch++ {
+		c.DAC[ch] = int16(binary.LittleEndian.Uint16(frame[DACBase+2*ch:]))
+	}
+	return c, nil
+}
+
+// Geometry of the feedback frame (board -> control software): a status echo,
+// the sequence number of the last executed command, and eight little-endian
+// int32 encoder counts.
+const (
+	FeedbackLen     = 2 + 4*NumChannels
+	FeedbackEncBase = 2
+)
+
+// Feedback is the decoded form of a feedback frame read back from the board.
+type Feedback struct {
+	StatusEcho byte // echo of the last command's Byte 0
+	Seq        byte
+	Encoder    [NumChannels]int32 // quadrature counts per channel
+}
+
+// Encode serialises the feedback frame.
+func (f Feedback) Encode() [FeedbackLen]byte {
+	var frame [FeedbackLen]byte
+	frame[0] = f.StatusEcho
+	frame[1] = f.Seq
+	for ch := 0; ch < NumChannels; ch++ {
+		binary.LittleEndian.PutUint32(frame[FeedbackEncBase+4*ch:], uint32(f.Encoder[ch]))
+	}
+	return frame
+}
+
+// DecodeFeedback parses a feedback frame.
+func DecodeFeedback(frame []byte) (Feedback, error) {
+	if len(frame) != FeedbackLen {
+		return Feedback{}, fmt.Errorf("usb: feedback frame length %d, want %d", len(frame), FeedbackLen)
+	}
+	var f Feedback
+	f.StatusEcho = frame[0]
+	f.Seq = frame[1]
+	for ch := 0; ch < NumChannels; ch++ {
+		f.Encoder[ch] = int32(binary.LittleEndian.Uint32(frame[FeedbackEncBase+4*ch:]))
+	}
+	return f, nil
+}

@@ -1,0 +1,169 @@
+package usb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCommandRoundTrip(t *testing.T) {
+	cmd := Command{
+		StateNibble: 0x0F,
+		Watchdog:    true,
+		Seq:         42,
+		DAC:         [NumChannels]int16{100, -200, 32767, -32768, 0, 7, -7, 1},
+	}
+	frame := cmd.Encode()
+	got, err := DecodeCommand(frame[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cmd {
+		t.Fatalf("round trip: got %+v, want %+v", got, cmd)
+	}
+}
+
+func TestCommandRoundTripQuick(t *testing.T) {
+	f := func(nib, seq byte, wd bool, d0, d1, d2, d3 int16) bool {
+		cmd := Command{
+			StateNibble: nib & StateMask,
+			Watchdog:    wd,
+			Seq:         seq,
+			DAC:         [NumChannels]int16{d0, d1, d2, d3, d0, d1, d2, d3},
+		}
+		frame := cmd.Encode()
+		got, err := DecodeCommand(frame[:])
+		return err == nil && got == cmd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByte0Layout(t *testing.T) {
+	// The attack's state inference depends on Byte 0 = state nibble +
+	// watchdog in bit 4: 0x0F with watchdog set must read 0x1F.
+	cmd := Command{StateNibble: 0x0F, Watchdog: true}
+	frame := cmd.Encode()
+	if frame[StateByte] != 0x1F {
+		t.Fatalf("Byte 0 = %#02x, want 0x1F", frame[StateByte])
+	}
+	cmd.Watchdog = false
+	frame = cmd.Encode()
+	if frame[StateByte] != 0x0F {
+		t.Fatalf("Byte 0 = %#02x, want 0x0F", frame[StateByte])
+	}
+}
+
+func TestDecodeCommandWrongLength(t *testing.T) {
+	if _, err := DecodeCommand(make([]byte, CommandLen-1)); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	if _, err := DecodeCommand(make([]byte, CommandLen+1)); err == nil {
+		t.Fatal("long frame accepted")
+	}
+}
+
+func TestFeedbackRoundTrip(t *testing.T) {
+	fb := Feedback{
+		StatusEcho: 0x17,
+		Seq:        9,
+		Encoder:    [NumChannels]int32{1, -1, 1 << 30, -(1 << 30), 0, 5, -5, 123456},
+	}
+	frame := fb.Encode()
+	got, err := DecodeFeedback(frame[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fb {
+		t.Fatalf("round trip: got %+v, want %+v", got, fb)
+	}
+}
+
+func TestDecodeFeedbackWrongLength(t *testing.T) {
+	if _, err := DecodeFeedback(make([]byte, FeedbackLen+3)); err == nil {
+		t.Fatal("wrong-length feedback accepted")
+	}
+}
+
+func TestBoardAppliesCommandsWithoutIntegrityCheck(t *testing.T) {
+	// The vulnerability under study: the board latches whatever DAC values
+	// arrive, including values far beyond the software safety threshold.
+	b := NewBoard()
+	cmd := Command{StateNibble: 0x0F, Seq: 1, DAC: [NumChannels]int16{32767, -32768}}
+	frame := cmd.Encode()
+	if err := b.Receive(frame[:]); err != nil {
+		t.Fatal(err)
+	}
+	if b.DAC(0) != 32767 || b.DAC(1) != -32768 {
+		t.Fatalf("board DACs = %v", b.DACs())
+	}
+}
+
+func TestBoardDropsMalformedFrames(t *testing.T) {
+	b := NewBoard()
+	good := Command{Seq: 1, DAC: [NumChannels]int16{5}}.Encode()
+	if err := b.Receive(good[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Receive([]byte{1, 2, 3}); err == nil {
+		t.Fatal("malformed frame accepted")
+	}
+	if b.DAC(0) != 5 {
+		t.Fatal("malformed frame disturbed the latched command")
+	}
+	rx, bad := b.Stats()
+	if rx != 1 || bad != 1 {
+		t.Fatalf("stats = %d, %d", rx, bad)
+	}
+}
+
+func TestBoardStatusRelay(t *testing.T) {
+	b := NewBoard()
+	if _, ok := b.StatusByte(); ok {
+		t.Fatal("status available before any command")
+	}
+	cmd := Command{StateNibble: 0x0F, Watchdog: true, Seq: 3}
+	frame := cmd.Encode()
+	if err := b.Receive(frame[:]); err != nil {
+		t.Fatal(err)
+	}
+	status, ok := b.StatusByte()
+	if !ok || status != 0x1F {
+		t.Fatalf("status = %#02x, %v", status, ok)
+	}
+	if b.LastSeq() != 3 {
+		t.Fatalf("LastSeq = %d", b.LastSeq())
+	}
+}
+
+func TestBoardFeedbackPath(t *testing.T) {
+	b := NewBoard()
+	cmd := Command{StateNibble: 0x07, Seq: 11}
+	frame := cmd.Encode()
+	if err := b.Receive(frame[:]); err != nil {
+		t.Fatal(err)
+	}
+	counts := [NumChannels]int32{100, 200, -300}
+	b.SetEncoders(counts)
+	fbFrame := b.ReadFeedback()
+	fb, err := DecodeFeedback(fbFrame[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Encoder != counts {
+		t.Fatalf("encoders = %v", fb.Encoder)
+	}
+	if fb.Seq != 11 {
+		t.Fatalf("feedback seq = %d", fb.Seq)
+	}
+	if fb.StatusEcho != 0x07 {
+		t.Fatalf("status echo = %#02x", fb.StatusEcho)
+	}
+}
+
+func TestBoardDACOutOfRangeChannel(t *testing.T) {
+	b := NewBoard()
+	if b.DAC(-1) != 0 || b.DAC(NumChannels) != 0 {
+		t.Fatal("out-of-range channel must read 0")
+	}
+}

@@ -1,0 +1,219 @@
+// Package viz renders simulation traces for human inspection — the
+// offline stand-in for the paper's graphic simulator ("animates the robot
+// movements in real time ... in a 3D virtual environment"). It produces
+// self-contained SVG plots of end-effector paths and deviation timelines,
+// and CSV exports of experiment grids for external plotting.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"ravenguard/internal/mathx"
+)
+
+// Series is one named polyline of samples.
+type Series struct {
+	Name   string
+	Color  string // CSS color; empty picks from the default cycle
+	Points []mathx.Vec3
+}
+
+// defaultColors is the series color cycle.
+var defaultColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// PathPlotConfig controls the XY path rendering.
+type PathPlotConfig struct {
+	Title  string
+	Width  int // pixels (default 640)
+	Height int // pixels (default 480)
+}
+
+func (c *PathPlotConfig) applyDefaults() {
+	if c.Width == 0 {
+		c.Width = 640
+	}
+	if c.Height == 0 {
+		c.Height = 480
+	}
+}
+
+// WritePathSVG renders the XY projection of the series (millimeter axes)
+// as a standalone SVG document.
+func WritePathSVG(w io.Writer, cfg PathPlotConfig, series ...Series) error {
+	cfg.applyDefaults()
+	if len(series) == 0 {
+		return fmt.Errorf("viz: no series")
+	}
+
+	// Bounds over all series, in mm, padded 10%.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	total := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			x, y := p.X*1e3, p.Y*1e3
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+			total++
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("viz: all series empty")
+	}
+	padX := 0.1*(maxX-minX) + 1e-9
+	padY := 0.1*(maxY-minY) + 1e-9
+	minX, maxX = minX-padX, maxX+padX
+	minY, maxY = minY-padY, maxY+padY
+
+	const margin = 48.0
+	plotW := float64(cfg.Width) - 2*margin
+	plotH := float64(cfg.Height) - 2*margin
+	toPx := func(p mathx.Vec3) (float64, float64) {
+		x := margin + (p.X*1e3-minX)/(maxX-minX)*plotW
+		// SVG Y grows downward.
+		y := margin + (1-(p.Y*1e3-minY)/(maxY-minY))*plotH
+		return x, y
+	}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		cfg.Width, cfg.Height, cfg.Width, cfg.Height)
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	fmt.Fprintf(w, `<text x="%d" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		cfg.Width/2, xmlEscape(cfg.Title))
+	// Axes frame and labels.
+	fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#888"/>`+"\n",
+		margin, margin, plotW, plotH)
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">X (mm): %.1f .. %.1f</text>`+"\n",
+		cfg.Width/2, cfg.Height-10, minX, maxX)
+	fmt.Fprintf(w, `<text x="14" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %d)">Y (mm): %.1f .. %.1f</text>`+"\n",
+		cfg.Height/2, cfg.Height/2, minY, maxY)
+
+	for i, s := range series {
+		color := s.Color
+		if color == "" {
+			color = defaultColors[i%len(defaultColors)]
+		}
+		fmt.Fprintf(w, `<polyline fill="none" stroke="%s" stroke-width="1.4" points="`, color)
+		for _, p := range s.Points {
+			x, y := toPx(p)
+			fmt.Fprintf(w, "%.1f,%.1f ", x, y)
+		}
+		fmt.Fprintln(w, `"/>`)
+		// Legend entry.
+		ly := 40 + 16*i
+		fmt.Fprintf(w, `<rect x="%.1f" y="%d" width="12" height="3" fill="%s"/>`+"\n", margin+6, ly, color)
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			margin+24, ly+5, xmlEscape(s.Name))
+	}
+	fmt.Fprintln(w, `</svg>`)
+	return nil
+}
+
+// TimelineSeries is one named scalar-vs-time trace.
+type TimelineSeries struct {
+	Name   string
+	Color  string
+	T      []float64 // seconds
+	Values []float64
+}
+
+// WriteTimelineSVG renders scalar traces against time (e.g. deviation in
+// millimeters) with optional horizontal marker lines.
+func WriteTimelineSVG(w io.Writer, cfg PathPlotConfig, markers map[string]float64, series ...TimelineSeries) error {
+	cfg.applyDefaults()
+	if len(series) == 0 {
+		return fmt.Errorf("viz: no series")
+	}
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range series {
+		if len(s.T) != len(s.Values) {
+			return fmt.Errorf("viz: series %q has %d times but %d values", s.Name, len(s.T), len(s.Values))
+		}
+		for i := range s.T {
+			minT, maxT = math.Min(minT, s.T[i]), math.Max(maxT, s.T[i])
+			minV, maxV = math.Min(minV, s.Values[i]), math.Max(maxV, s.Values[i])
+			total++
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("viz: all series empty")
+	}
+	for _, v := range markers {
+		minV, maxV = math.Min(minV, v), math.Max(maxV, v)
+	}
+	pad := 0.08*(maxV-minV) + 1e-9
+	minV, maxV = minV-pad, maxV+pad
+	if maxT <= minT {
+		maxT = minT + 1e-9
+	}
+
+	const margin = 48.0
+	plotW := float64(cfg.Width) - 2*margin
+	plotH := float64(cfg.Height) - 2*margin
+	px := func(t, v float64) (float64, float64) {
+		return margin + (t-minT)/(maxT-minT)*plotW,
+			margin + (1-(v-minV)/(maxV-minV))*plotH
+	}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		cfg.Width, cfg.Height, cfg.Width, cfg.Height)
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	fmt.Fprintf(w, `<text x="%d" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		cfg.Width/2, xmlEscape(cfg.Title))
+	fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#888"/>`+"\n",
+		margin, margin, plotW, plotH)
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">t (s): %.2f .. %.2f</text>`+"\n",
+		cfg.Width/2, cfg.Height-10, minT, maxT)
+	fmt.Fprintf(w, `<text x="14" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %d)">value: %.3g .. %.3g</text>`+"\n",
+		cfg.Height/2, cfg.Height/2, minV, maxV)
+
+	for name, v := range markers {
+		_, y := px(minT, v)
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#aaa" stroke-dasharray="5,4"/>`+"\n",
+			margin, y, margin+plotW, y)
+		fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" fill="#777">%s</text>`+"\n",
+			margin+plotW-120, y-4, xmlEscape(name))
+	}
+
+	for i, s := range series {
+		color := s.Color
+		if color == "" {
+			color = defaultColors[i%len(defaultColors)]
+		}
+		fmt.Fprintf(w, `<polyline fill="none" stroke="%s" stroke-width="1.4" points="`, color)
+		for j := range s.T {
+			x, y := px(s.T[j], s.Values[j])
+			fmt.Fprintf(w, "%.1f,%.1f ", x, y)
+		}
+		fmt.Fprintln(w, `"/>`)
+		ly := 40 + 16*i
+		fmt.Fprintf(w, `<rect x="%.1f" y="%d" width="12" height="3" fill="%s"/>`+"\n", margin+6, ly, color)
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			margin+24, ly+5, xmlEscape(s.Name))
+	}
+	fmt.Fprintln(w, `</svg>`)
+	return nil
+}
+
+func xmlEscape(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, []rune("&lt;")...)
+		case '>':
+			out = append(out, []rune("&gt;")...)
+		case '&':
+			out = append(out, []rune("&amp;")...)
+		case '"':
+			out = append(out, []rune("&quot;")...)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

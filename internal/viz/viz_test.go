@@ -1,0 +1,70 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"ravenguard/internal/mathx"
+)
+
+func TestWritePathSVG(t *testing.T) {
+	var sb strings.Builder
+	err := WritePathSVG(&sb, PathPlotConfig{Title: "tip <path>"},
+		Series{Name: "reference", Points: []mathx.Vec3{{X: 0.01}, {X: 0.02, Y: 0.01}, {X: 0.03}}},
+		Series{Name: "attacked", Points: []mathx.Vec3{{X: 0.01}, {X: 0.025, Y: 0.012}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"<svg", "polyline", "reference", "attacked", "&lt;path&gt;", "</svg>"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("polylines = %d", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestWritePathSVGErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePathSVG(&sb, PathPlotConfig{}); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if err := WritePathSVG(&sb, PathPlotConfig{}, Series{Name: "empty"}); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestWriteTimelineSVG(t *testing.T) {
+	var sb strings.Builder
+	err := WriteTimelineSVG(&sb, PathPlotConfig{Title: "deviation"},
+		map[string]float64{"1 mm injury threshold": 1.0},
+		TimelineSeries{Name: "dev", T: []float64{0, 1, 2}, Values: []float64{0, 0.5, 2.0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"stroke-dasharray", "injury threshold", "polyline"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+}
+
+func TestWriteTimelineSVGMismatch(t *testing.T) {
+	var sb strings.Builder
+	err := WriteTimelineSVG(&sb, PathPlotConfig{}, nil,
+		TimelineSeries{Name: "bad", T: []float64{0, 1}, Values: []float64{0}})
+	if err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Fatalf("xmlEscape = %q", got)
+	}
+}

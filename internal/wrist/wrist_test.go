@@ -1,0 +1,148 @@
+package wrist
+
+import (
+	"math"
+	"testing"
+
+	"ravenguard/internal/mathx"
+)
+
+func newServo(t *testing.T) *Servo {
+	t.Helper()
+	s, err := NewServo(DefaultParams(), DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	p := DefaultParams()
+	p.Inertia[1] = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero inertia accepted")
+	}
+	p = DefaultParams()
+	p.TorquePerDAC[0] = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero torque gain accepted")
+	}
+	if _, err := NewServo(p, DefaultLimits()); err == nil {
+		t.Fatal("NewServo accepted bad params")
+	}
+}
+
+func TestServoRespondsToDAC(t *testing.T) {
+	s := newServo(t)
+	for i := 0; i < 200; i++ {
+		s.Step([NumJoints]int16{8000, 0, 0}, 1e-3, false)
+	}
+	if s.Pos()[Roll] <= 0 {
+		t.Fatalf("roll position %v after sustained positive DAC", s.Pos()[Roll])
+	}
+	if s.Pos()[Pitch] != 0 || s.Pos()[Grasp] != 0 {
+		t.Fatalf("uncommanded joints moved: %v", s.Pos())
+	}
+}
+
+func TestServoBrakedHolds(t *testing.T) {
+	s := newServo(t)
+	s.SetPos([NumJoints]float64{0.5, 0.2, 0.3})
+	before := s.Pos()
+	for i := 0; i < 100; i++ {
+		s.Step([NumJoints]int16{20000, -20000, 20000}, 1e-3, true)
+	}
+	if s.Pos() != before {
+		t.Fatalf("braked servo moved: %v -> %v", before, s.Pos())
+	}
+}
+
+func TestServoHardStops(t *testing.T) {
+	s := newServo(t)
+	lim := DefaultLimits()
+	for i := 0; i < 5000; i++ {
+		s.Step([NumJoints]int16{28000, 28000, 28000}, 1e-3, false)
+	}
+	p := s.Pos()
+	for i := 0; i < NumJoints; i++ {
+		if p[i] > lim.Max[i]+1e-9 {
+			t.Fatalf("joint %d at %v beyond limit %v", i, p[i], lim.Max[i])
+		}
+	}
+	// Grasp must have saturated exactly at its limit under full drive.
+	if math.Abs(p[Grasp]-lim.Max[Grasp]) > 1e-6 {
+		t.Fatalf("grasp at %v, want saturated at %v", p[Grasp], lim.Max[Grasp])
+	}
+}
+
+func TestSetPosClamps(t *testing.T) {
+	s := newServo(t)
+	s.SetPos([NumJoints]float64{99, -99, 99})
+	lim := DefaultLimits()
+	p := s.Pos()
+	for i := 0; i < NumJoints; i++ {
+		if p[i] < lim.Min[i] || p[i] > lim.Max[i] {
+			t.Fatalf("SetPos did not clamp joint %d: %v", i, p[i])
+		}
+	}
+}
+
+func TestControllerTracksSetpoint(t *testing.T) {
+	s := newServo(t)
+	c := NewController()
+	c.SetSetpoint(s.Pos())
+	// Command a 0.4 rad roll move via incremental tracking.
+	for i := 0; i < 800; i++ {
+		if i < 400 {
+			c.Track([NumJoints]float64{0.001, 0, 0})
+		}
+		dac := c.Update(s.Pos(), 1e-3)
+		s.Step(dac, 1e-3, false)
+	}
+	if err := math.Abs(s.Pos()[Roll] - 0.4); err > 0.02 {
+		t.Fatalf("roll tracking error %v rad after settle", err)
+	}
+}
+
+func TestControllerSetpointClamped(t *testing.T) {
+	c := NewController()
+	c.SetSetpoint([NumJoints]float64{})
+	for i := 0; i < 10000; i++ {
+		c.Track([NumJoints]float64{0, 0.01, 0})
+	}
+	lim := DefaultLimits()
+	if got := c.Setpoint()[Pitch]; got > lim.Max[Pitch]+1e-9 {
+		t.Fatalf("setpoint %v escaped limit %v", got, lim.Max[Pitch])
+	}
+}
+
+func TestOrientationComposition(t *testing.T) {
+	// Pure roll spins about Z: X-hat rotates in the XY plane.
+	r := Orientation([NumJoints]float64{math.Pi / 2, 0, 0})
+	got := r.Apply(mathx.Vec3{X: 1})
+	if !mathx.ApproxEqual(got.Y, 1, 1e-12) || !mathx.ApproxEqual(got.X, 0, 1e-12) {
+		t.Fatalf("roll 90deg maps X-hat to %+v", got)
+	}
+	// Grasp does not change orientation.
+	a := Orientation([NumJoints]float64{0.3, 0.2, 0})
+	b := Orientation([NumJoints]float64{0.3, 0.2, 0.5})
+	if a != b {
+		t.Fatal("grasp changed the orientation matrix")
+	}
+}
+
+func TestEncoderRoundTrip(t *testing.T) {
+	for _, angle := range []float64{0, 0.5, -1.2, 3.0} {
+		counts := EncoderCounts(angle)
+		back := AngleFromCounts(counts)
+		if math.Abs(back-angle) > 2*math.Pi/4000 {
+			t.Fatalf("round trip at %v: %v", angle, back)
+		}
+	}
+}

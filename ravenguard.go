@@ -1,0 +1,187 @@
+// Package ravenguard is a full-system reproduction of "Targeted Attacks on
+// Teleoperated Surgical Robots: Dynamic Model-Based Detection and
+// Mitigation" (Alemzadeh et al., DSN 2016).
+//
+// It provides, as one coherent library:
+//
+//   - a simulated RAVEN II teleoperated surgical robot — kinematics,
+//     two-mass cable-drive dynamics, 1 kHz PID control with the robot's
+//     built-in safety checks, USB interface boards, PLC watchdog
+//     supervision, and a master-console emulator (NewSystem);
+//   - the paper's attack tooling — an LD_PRELOAD-style write-interposition
+//     chain, eavesdropping/exfiltration malware, offline byte-pattern
+//     analysis that recovers the robot's operational state from USB
+//     traffic, and a triggered command-injection engine (subpackages
+//     re-exported below);
+//   - the paper's defense — the dynamic model-based detector and mitigator
+//     that estimates every command's physical consequence one control
+//     period ahead and neutralises commands that would violate a learned
+//     safety envelope (NewGuard, LearnThresholds).
+//
+// The evaluation harness in internal/experiment regenerates every table
+// and figure of the paper; `go test -bench .` and cmd/labrunner drive it.
+//
+// Quick start:
+//
+//	guard, _ := ravenguard.NewGuard(ravenguard.GuardConfig{
+//		Thresholds: ravenguard.DefaultThresholds(),
+//		Mode:       ravenguard.ModeMitigate,
+//	})
+//	sys, _ := ravenguard.NewSystem(ravenguard.SystemConfig{
+//		Seed:   1,
+//		Script: ravenguard.StandardScript(10), // 10 s of teleoperation
+//		Guards: []ravenguard.Hook{guard},
+//	})
+//	for !sys.Done() {
+//		if _, err := sys.Step(); err != nil { ... }
+//	}
+package ravenguard
+
+import (
+	"ravenguard/internal/analysis"
+	"ravenguard/internal/console"
+	"ravenguard/internal/core"
+	"ravenguard/internal/inject"
+	"ravenguard/internal/interpose"
+	"ravenguard/internal/kinematics"
+	"ravenguard/internal/malware"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/statemachine"
+	"ravenguard/internal/trajectory"
+)
+
+// System assembly: the simulated robot + console + control stack of the
+// paper's Figure 7(a).
+type (
+	// SystemConfig assembles a simulated teleoperation session.
+	SystemConfig = sim.Config
+	// System is one running session: console, control software, USB
+	// write-interposition chain, interface board, PLC, and physical plant.
+	System = sim.Rig
+	// StepInfo is everything one 1 ms control cycle produced.
+	StepInfo = sim.StepInfo
+	// Hook is a write-chain wrapper that also receives encoder feedback —
+	// the shape of the dynamic-model guard.
+	Hook = sim.Hook
+	// Wrapper observes/mutates frames on the write path (what a
+	// maliciously preloaded shared library can do).
+	Wrapper = interpose.Wrapper
+	// Script is the operator's session timeline.
+	Script = console.Script
+	// Segment is one pedal phase of a Script.
+	Segment = console.Segment
+	// Trajectory is a surgical-motion profile the console replays.
+	Trajectory = trajectory.Trajectory
+	// State is the robot's operational state (E-STOP, Init, Pedal Up,
+	// Pedal Down).
+	State = statemachine.State
+	// JointPos holds the three positioning-joint coordinates.
+	JointPos = kinematics.JointPos
+)
+
+// NewSystem assembles a simulated session.
+func NewSystem(cfg SystemConfig) (*System, error) { return sim.New(cfg) }
+
+// StandardScript returns a typical session: start button, homing, then one
+// pedal-down phase of the given length in seconds.
+func StandardScript(teleopSeconds float64) Script {
+	return console.StandardScript(teleopSeconds)
+}
+
+// StandardTrajectories returns the two standard surgical-motion profiles
+// used for threshold training and evaluation.
+func StandardTrajectories() []Trajectory { return trajectory.Standard() }
+
+// Operational states (paper Figure 1c).
+const (
+	StateEStop     = statemachine.EStop
+	StateInit      = statemachine.Init
+	StatePedalUp   = statemachine.PedalUp
+	StatePedalDown = statemachine.PedalDown
+)
+
+// The paper's contribution: dynamic model-based detection and mitigation.
+type (
+	// GuardConfig assembles a Guard.
+	GuardConfig = core.Config
+	// Guard is the dynamic model-based detector/mitigator. Install it in
+	// SystemConfig.Guards; it sits at the hardware boundary of the write
+	// chain, below any malicious wrapper.
+	Guard = core.Guard
+	// Thresholds are the learned per-joint alarm limits.
+	Thresholds = core.Thresholds
+	// LearnConfig parameterises threshold learning over fault-free runs.
+	LearnConfig = core.LearnConfig
+	// GuardSample is one cycle's model estimates.
+	GuardSample = core.Sample
+)
+
+// Guard modes and fusion strategies.
+const (
+	// ModeMonitor raises alarms but never interferes (shadow deployment).
+	ModeMonitor = core.ModeMonitor
+	// ModeMitigate neutralises alarming frames and forces E-STOP.
+	ModeMitigate = core.ModeMitigate
+	// ModeHoldSafe replaces alarming frames with the last safe command and
+	// keeps the procedure running (the paper's alternative mitigation).
+	ModeHoldSafe = core.ModeHoldSafe
+	// FusionAll is the paper's three-way AND alarm fusion.
+	FusionAll = core.FusionAll
+	// FusionAny alarms on any single variable (ablation baseline).
+	FusionAny = core.FusionAny
+)
+
+// NewGuard builds the detector/mitigator.
+func NewGuard(cfg GuardConfig) (*Guard, error) { return core.NewGuard(cfg) }
+
+// LearnThresholds learns the alarm thresholds from fault-free runs
+// (paper: the 99.8-99.9th percentile of instantaneous velocities over 600
+// runs on two trajectories).
+func LearnThresholds(cfg LearnConfig) (Thresholds, error) { return core.Learn(cfg) }
+
+// DefaultThresholds returns the pre-learned thresholds shipped with the
+// library (regenerate with `labrunner -exp learn`).
+func DefaultThresholds() Thresholds { return core.DefaultThresholds() }
+
+// LoadThresholds reads learned thresholds from a JSON file (written by
+// Thresholds.Save or `labrunner -exp learn -out`).
+func LoadThresholds(path string) (Thresholds, error) { return core.LoadThresholds(path) }
+
+// Attack tooling (for red-team experiments against the simulated robot).
+type (
+	// EavesdropLogger is the Phase-1 malware: it ships every USB frame to
+	// an exfiltration sink without disturbing the robot.
+	EavesdropLogger = malware.Logger
+	// Exfil receives eavesdropped frames.
+	Exfil = malware.Exfil
+	// Inference is the offline analysis' conclusion: which byte carries
+	// the state, the watchdog bit, and the Pedal Down trigger value.
+	Inference = analysis.Inference
+	// ScenarioAParams parameterises unintended-user-input attacks.
+	ScenarioAParams = inject.ScenarioAParams
+	// ScenarioBParams parameterises unintended-torque-command attacks.
+	ScenarioBParams = inject.ScenarioBParams
+	// AttackVariant enumerates the Table I attack matrix.
+	AttackVariant = inject.Variant
+	// AttackVariantConfig installs a Table I variant onto a SystemConfig.
+	AttackVariantConfig = inject.VariantConfig
+)
+
+// NewEavesdropLogger builds the Phase-1 wrapper; preload it via
+// SystemConfig.Preload.
+func NewEavesdropLogger(exfil Exfil) *EavesdropLogger { return malware.NewLogger(exfil) }
+
+// NewMemExfil returns an in-memory capture buffer for eavesdropped frames.
+func NewMemExfil() *malware.MemExfil { return malware.NewMemExfil() }
+
+// InferState runs the Phase-2 offline analysis over one or more captured
+// runs of USB frames.
+func InferState(runs [][][]byte) (Inference, error) { return analysis.Infer(runs) }
+
+// NewScenarioA builds an unintended-user-input attack; install its Hook as
+// SystemConfig.OnInput.
+func NewScenarioA(p ScenarioAParams) (*inject.ScenarioA, error) { return inject.NewScenarioA(p) }
+
+// NewScenarioB builds the malicious injector wrapper (unintended torque
+// commands); preload it via SystemConfig.Preload.
+func NewScenarioB(p ScenarioBParams) (*malware.Injector, error) { return inject.NewScenarioB(p) }

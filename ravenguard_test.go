@@ -1,0 +1,148 @@
+package ravenguard
+
+import (
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the façade the way a downstream user
+// would: assemble a guarded system, run an attacked session, inspect the
+// outcome — everything through the root package only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	guard, err := NewGuard(GuardConfig{
+		Thresholds: DefaultThresholds(),
+		Mode:       ModeMitigate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := NewScenarioB(ScenarioBParams{
+		Value: 20000, Channel: 0, StartDelayTicks: 1000, ActivationTicks: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(SystemConfig{
+		Seed:    1001,
+		Script:  StandardScript(5),
+		Traj:    StandardTrajectories()[0],
+		Guards:  []Hook{guard},
+		Preload: []Wrapper{inj},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var states []State
+	sys.Observe(func(si StepInfo) {
+		if len(states) == 0 || states[len(states)-1] != si.Ctrl.State {
+			states = append(states, si.Ctrl.State)
+		}
+	})
+	if _, err := sys.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	if guard.Mitigated() == 0 {
+		t.Fatal("guard did not mitigate the attack")
+	}
+	sawPedalDown := false
+	for _, st := range states {
+		if st == StatePedalDown {
+			sawPedalDown = true
+		}
+	}
+	if !sawPedalDown {
+		t.Fatalf("session never reached teleoperation: %v", states)
+	}
+	if got := states[len(states)-1]; got != StateEStop {
+		t.Fatalf("final state = %v, want E-STOP after mitigation", got)
+	}
+}
+
+func TestPublicAPIKillChain(t *testing.T) {
+	// Eavesdrop a session through the façade and infer the trigger.
+	exfil := NewMemExfil()
+	sys, err := NewSystem(SystemConfig{
+		Seed:    1002,
+		Script:  StandardScript(4),
+		Preload: []Wrapper{NewEavesdropLogger(exfil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	inf, err := InferState([][][]byte{exfil.Frames()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.PedalDownByte != 0x0F {
+		t.Fatalf("inferred trigger = %#02x", inf.PedalDownByte)
+	}
+}
+
+func TestPublicAPILearnThresholds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning is slow")
+	}
+	th, err := LearnThresholds(LearnConfig{Runs: 3, TeleopSeconds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Save/Load through the façade-visible methods.
+	path := t.TempDir() + "/th.json"
+	if err := th.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadThresholds(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != th {
+		t.Fatal("threshold round trip mismatch")
+	}
+}
+
+func TestPublicAPIScenarioAHook(t *testing.T) {
+	att, err := NewScenarioA(ScenarioAParams{Magnitude: 4e-4, StartAfterTicks: 800, ActivationTicks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(SystemConfig{
+		Seed:    1003,
+		Script:  StandardScript(4),
+		OnInput: att.Hook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if att.Injected() == 0 {
+		t.Fatal("scenario A never activated through the façade")
+	}
+}
+
+func TestStateConstantsWired(t *testing.T) {
+	// The façade's state constants must match the internal encoding used
+	// in Byte 0 (the attack trigger contract).
+	if StatePedalDown.Nibble() != 0x0F {
+		t.Fatalf("StatePedalDown nibble = %#02x", StatePedalDown.Nibble())
+	}
+	names := map[State]string{
+		StateEStop:     "E-STOP",
+		StateInit:      "Init",
+		StatePedalUp:   "Pedal Up",
+		StatePedalDown: "Pedal Down",
+	}
+	for st, want := range names {
+		if st.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(st), st.String(), want)
+		}
+	}
+}
