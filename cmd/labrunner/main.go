@@ -13,6 +13,7 @@
 //	labrunner -exp mitigation  mitigation-strategy comparison (extension)
 //	labrunner -exp latency    detection-latency profile (extension)
 //	labrunner -exp persistence availability under persistent malware (extension)
+//	labrunner -exp faultcampaign accidental-fault kinds × guard policies (extension)
 //	labrunner -exp all        everything above except learn
 //
 // -quick shrinks the campaigns for a fast smoke pass.
@@ -39,7 +40,7 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (table1|table2|fig5|fig6|fig8|table4|fig9|ablation|mitigation|latency|persistence|learn|all)")
+		exp    = flag.String("exp", "all", "experiment id (table1|table2|fig5|fig6|fig8|table4|fig9|ablation|mitigation|latency|persistence|faultcampaign|learn|all)")
 		quick  = flag.Bool("quick", false, "shrink campaigns for a fast pass")
 		seed   = flag.Int64("seed", 1, "base seed")
 		csvDir = flag.String("csvdir", "", "also export fig8/table4/fig9 results as CSV into this directory")
@@ -280,6 +281,24 @@ func run() error {
 			res, err := experiment.RunPersistence(experiment.PersistenceConfig{
 				Attempts: attempts, BaseSeed: *seed,
 			})
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if all || *exp == "faultcampaign" {
+		ran = true
+		cfg := experiment.FaultCampaignConfig{BaseSeed: *seed, Seeds: 3, Teleop: 6}
+		if *quick {
+			cfg.Seeds, cfg.Teleop = 1, 4
+		}
+		if err := run("Fault campaign", func() error {
+			res, err := experiment.RunFaultCampaign(cfg)
 			if err != nil {
 				return err
 			}

@@ -152,6 +152,11 @@ type Controller struct {
 	// safetyTrips counts DAC-limit and joint-limit violations the software
 	// checks caught: this is the RAVEN baseline detector's alarm signal.
 	safetyTrips int
+
+	// sanitized counts non-finite operator-input fields zeroed before use;
+	// a NaN delta integrated into the setpoint would poison the whole
+	// kinematic chain, so corrupt inputs degrade to "no motion" instead.
+	sanitized int
 }
 
 // NewController builds the control node writing frames into chain.
@@ -181,6 +186,29 @@ func (c *Controller) State() statemachine.State { return c.sm.State() }
 // SafetyTrips returns how many times the built-in software checks fired.
 func (c *Controller) SafetyTrips() int { return c.safetyTrips }
 
+// SanitizedInputs returns how many non-finite operator-input fields were
+// zeroed before use.
+func (c *Controller) SanitizedInputs() int { return c.sanitized }
+
+// sanitizeInput zeroes non-finite motion fields in place and returns how
+// many fields were corrupt. Every transport into the controller is supposed
+// to reject non-finite values already (itp.Decode does); this is the last
+// line of defense for hooks and fault injectors that bypass the decoders.
+func sanitizeInput(in *Input) int {
+	n := 0
+	if !in.Delta.IsFinite() {
+		in.Delta = mathx.Vec3{}
+		n++
+	}
+	for i, v := range in.OriDelta {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			in.OriDelta[i] = 0
+			n++
+		}
+	}
+	return n
+}
+
 // DesiredJoints returns the current joint-space setpoint.
 func (c *Controller) DesiredJoints() kinematics.JointPos { return c.jposD }
 
@@ -204,6 +232,7 @@ func (c *Controller) SetGravity(m GravityModel) { c.grav = m; c.gravSet = true }
 // the machine into E-STOP (the PLC latched).
 func (c *Controller) Tick(in Input, feedback usb.Feedback, estopFromPLC bool) Output {
 	c.tick++
+	c.sanitized += sanitizeInput(&in)
 	c.driveStateMachine(in, estopFromPLC)
 
 	st := c.sm.State()

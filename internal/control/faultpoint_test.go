@@ -1,6 +1,7 @@
 package control
 
 import (
+	"math"
 	"testing"
 
 	"ravenguard/internal/interpose"
@@ -65,3 +66,28 @@ func TestTrigDriftFaultPointWiredThroughIK(t *testing.T) {
 }
 
 func deltaX(v float64) mathx.Vec3 { return mathx.Vec3{X: v} }
+
+func TestSanitizeInputZeroesNonFinite(t *testing.T) {
+	// Transport faults can hand the controller NaN/Inf deltas (e.g. bit
+	// flips in a float field); they must be neutralised before the state
+	// machine and IK ever see them.
+	in := Input{
+		Delta:    mathx.Vec3{X: math.NaN(), Y: 1, Z: math.Inf(1)},
+		OriDelta: [3]float64{math.Inf(-1), 0.2, math.NaN()},
+	}
+	if n := sanitizeInput(&in); n != 3 {
+		t.Fatalf("sanitized %d fields, want 3 (whole Delta + two OriDelta)", n)
+	}
+	if in.Delta != (mathx.Vec3{}) {
+		t.Fatalf("non-finite Delta not zeroed: %+v", in.Delta)
+	}
+	if in.OriDelta != [3]float64{0, 0.2, 0} {
+		t.Fatalf("OriDelta = %v", in.OriDelta)
+	}
+
+	clean := Input{Delta: mathx.Vec3{X: 1e-4}, OriDelta: [3]float64{0.1, 0, 0}}
+	want := clean
+	if n := sanitizeInput(&clean); n != 0 || clean != want {
+		t.Fatalf("finite input disturbed: n=%d %+v", n, clean)
+	}
+}

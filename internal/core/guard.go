@@ -209,6 +209,9 @@ type Guard struct {
 	fbSuspect   bool
 	innovStats  stats.Running
 
+	gapPending   bool // a feedback frame was lost since the last good one
+	feedbackGaps int
+
 	alarms    int
 	mitigated int
 	estopSent bool
@@ -317,13 +320,10 @@ func (g *Guard) OnFeedback(fb usb.Feedback, _ float64) {
 		g.synced = true
 		g.prevFbMpos = mposMeas
 		g.havePrevFb = true
+		g.gapPending = false
 		return
 	}
 
-	// Residual check: a persistent large innovation means the encoder
-	// stream and the model disagree far beyond model error — either the
-	// model diverged or the feedback is being tampered with on the read
-	// path (Table I). The flag is advisory; consumers decide the response.
 	worstInnov := 0.0
 	for i := 0; i < kinematics.NumJoints; i++ {
 		innov := estimator.Innovation(estimator.JointState{MotorPos: g.state.X[4*i]}, mposMeas[i])
@@ -331,6 +331,29 @@ func (g *Guard) OnFeedback(fb usb.Feedback, _ float64) {
 			worstInnov = innov
 		}
 	}
+
+	if g.gapPending {
+		// First frame after a feedback gap: the measurement may be many
+		// cycles newer than the last one the filters saw, so neither the
+		// finite-difference velocity innovation nor the tamper residual is
+		// meaningful. Resynchronise instead — hard-snap the positions when
+		// the model drifted past the innovation limit during the gap, and
+		// restart the velocity differencing from this frame.
+		g.gapPending = false
+		if worstInnov > g.cfg.InnovationLimit {
+			jp := g.cfg.Trans.ToJoint(mposMeas)
+			g.state.SetJointPos(jp, g.cfg.Trans)
+		}
+		g.innovStreak = 0
+		g.prevFbMpos = mposMeas
+		g.havePrevFb = true
+		return
+	}
+
+	// Residual check: a persistent large innovation means the encoder
+	// stream and the model disagree far beyond model error — either the
+	// model diverged or the feedback is being tampered with on the read
+	// path (Table I). The flag is advisory; consumers decide the response.
 	g.innovStats.Add(worstInnov)
 	if worstInnov > g.cfg.InnovationLimit {
 		g.innovStreak++
@@ -375,6 +398,19 @@ func (g *Guard) OnFeedback(fb usb.Feedback, _ float64) {
 	g.prevFbMpos = mposMeas
 	g.havePrevFb = true
 }
+
+// OnFeedbackGap implements sim.FeedbackGapObserver: the rig reports a lost
+// (undecodable) feedback frame. The model keeps dead-reckoning on its own
+// integration; the next good frame triggers a resynchronisation rather
+// than being misread as a one-cycle jump (which would spike the velocity
+// innovation and could raise a false tamper flag).
+func (g *Guard) OnFeedbackGap(float64) {
+	g.feedbackGaps++
+	g.gapPending = true
+}
+
+// FeedbackGaps returns how many feedback-frame losses the rig reported.
+func (g *Guard) FeedbackGaps() int { return g.feedbackGaps }
 
 // FeedbackSuspect reports whether the innovation residual has flagged the
 // encoder stream as inconsistent with the model (possible read-path

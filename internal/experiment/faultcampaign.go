@@ -1,0 +1,390 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"ravenguard/internal/console"
+	"ravenguard/internal/core"
+	"ravenguard/internal/fault"
+	"ravenguard/internal/metrics"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/statemachine"
+	"ravenguard/internal/trajectory"
+)
+
+// GuardPolicy is the guard-mode axis of the fault campaign.
+type GuardPolicy int
+
+// Guard policies.
+const (
+	// PolicyOff runs without the dynamic-model guard (RAVEN's built-in
+	// checks and the PLC watchdog stay active). Its runs establish the
+	// per-fault ground truth for the guarded cells.
+	PolicyOff GuardPolicy = iota + 1
+	// PolicyMonitor runs the guard in shadow mode.
+	PolicyMonitor
+	// PolicyMitigate lets the guard neutralise frames and force E-STOP.
+	PolicyMitigate
+	// PolicyHoldSafe lets the guard hold the last safe command instead.
+	PolicyHoldSafe
+)
+
+// String names the policy.
+func (p GuardPolicy) String() string {
+	switch p {
+	case PolicyOff:
+		return "off"
+	case PolicyMonitor:
+		return "monitor"
+	case PolicyMitigate:
+		return "mitigate"
+	case PolicyHoldSafe:
+		return "holdsafe"
+	default:
+		return fmt.Sprintf("GuardPolicy(%d)", int(p))
+	}
+}
+
+func (p GuardPolicy) guardMode() core.Mode {
+	switch p {
+	case PolicyMitigate:
+		return core.ModeMitigate
+	case PolicyHoldSafe:
+		return core.ModeHoldSafe
+	default:
+		return core.ModeMonitor
+	}
+}
+
+// AllPolicies lists the campaign's guard policies, ground-truth runs first.
+func AllPolicies() []GuardPolicy {
+	return []GuardPolicy{PolicyOff, PolicyMonitor, PolicyMitigate, PolicyHoldSafe}
+}
+
+// FaultOutcome classifies how one faulted run ended.
+type FaultOutcome int
+
+// Fault outcomes, in classification precedence order.
+const (
+	// OutcomeCrash means the run panicked — the robustness failure the
+	// campaign exists to prove absent.
+	OutcomeCrash FaultOutcome = iota + 1
+	// OutcomeFalseAlarm means the guard alarmed although the fault caused
+	// no adverse impact in the unguarded run.
+	OutcomeFalseAlarm
+	// OutcomeEStop means the run ended halted (guard mitigation, RAVEN
+	// checks or the PLC watchdog) — a safe, if disruptive, end state.
+	OutcomeEStop
+	// OutcomeMissedImpact means the fault caused an adverse impact and
+	// nothing alarmed or halted.
+	OutcomeMissedImpact
+	// OutcomeRodeThrough means the system absorbed the fault: no crash,
+	// no halt, no false alarm, no unhandled impact.
+	OutcomeRodeThrough
+)
+
+// String names the outcome.
+func (o FaultOutcome) String() string {
+	switch o {
+	case OutcomeCrash:
+		return "crash"
+	case OutcomeFalseAlarm:
+		return "false-alarm"
+	case OutcomeEStop:
+		return "e-stop"
+	case OutcomeMissedImpact:
+		return "missed-impact"
+	case OutcomeRodeThrough:
+		return "rode-through"
+	default:
+		return fmt.Sprintf("FaultOutcome(%d)", int(o))
+	}
+}
+
+// FaultCampaignConfig sizes the fault-kind × guard-policy matrix.
+type FaultCampaignConfig struct {
+	// BaseSeed seeds the rigs (run i uses BaseSeed+i) and the fault plans.
+	BaseSeed int64
+	// Seeds is the number of seeded runs per cell (default 3).
+	Seeds int
+	// Teleop is the pedal-down duration per run in seconds (default 6).
+	Teleop float64
+	// Kinds restricts the fault kinds exercised (default fault.AllKinds()).
+	Kinds []fault.Kind
+}
+
+// FaultCell aggregates the seeded runs of one fault kind under one guard
+// policy.
+type FaultCell struct {
+	Kind   fault.Kind
+	Policy GuardPolicy
+	Seeds  int
+
+	// Outcome counts across the cell's seeds.
+	Crashes, FalseAlarms, EStops, Missed, RodeThrough int
+	// Detected counts runs in which the guard alarmed (useful under
+	// PolicyMonitor, where a correct detection still ends rode-through).
+	Detected int
+	// FaultsApplied sums the injector counters: how many fault actions
+	// actually fired across the cell's runs.
+	FaultsApplied int
+	// MaxDevMM is the peak deviation from the fault-free reference across
+	// the cell's runs, millimeters, measured up to the first halt.
+	MaxDevMM float64
+}
+
+// Outcomes renders the cell's outcome counts compactly.
+func (c FaultCell) Outcomes() string {
+	s := ""
+	add := func(n int, label string) {
+		if n == 0 {
+			return
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%d×%s", n, label)
+	}
+	add(c.Crashes, OutcomeCrash.String())
+	add(c.FalseAlarms, OutcomeFalseAlarm.String())
+	add(c.EStops, OutcomeEStop.String())
+	add(c.Missed, OutcomeMissedImpact.String())
+	add(c.RodeThrough, OutcomeRodeThrough.String())
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// FaultCampaignResult is the full matrix plus the guard's detection score.
+type FaultCampaignResult struct {
+	Cells []FaultCell
+	// Confusion scores the guard across every guarded, non-crashed run:
+	// truth is the adverse impact observed in the same fault's unguarded
+	// run, the prediction is the guard alarming.
+	Confusion metrics.Confusion
+}
+
+// faultRun is what one seeded run produced.
+type faultRun struct {
+	crashed bool
+	alarm   bool
+	halted  bool
+	impact  bool
+	maxDev  float64
+	applied int
+}
+
+// campaignFaultAt is when the fault window opens: mid-teleoperation, after
+// homing (console.StandardScript starts pedal-down around t=2.6 s).
+const campaignFaultAt = 3.5
+
+// campaignPlan schedules one representative event for kind k. The window
+// sits inside the teleoperation segment even at the quick campaign's
+// shortest session.
+func campaignPlan(k fault.Kind, seed int64) fault.Plan {
+	e := fault.Event{At: campaignFaultAt, Duration: 1.0, Kind: k}
+	switch k {
+	case fault.KindPacketLoss:
+		// A total loss burst; short enough that the stale-input hold
+		// carries the arm through.
+		e.Duration = 0.6
+	case fault.KindFrameTruncate:
+		// Partial truncation so most frames still reach the board and the
+		// watchdog keeps getting petted.
+		e.Params.Rate = 0.2
+	case fault.KindStuckDAC, fault.KindEncoderStuck:
+		e.Params.Channel = 0
+		e.Duration = 0.6
+	case fault.KindEncoderDropout:
+		// Half the feedback frames become undecodable.
+		e.Params.Rate = 0.5
+	case fault.KindBoardStall:
+		// Long enough to starve the 50 ms watchdog many times over.
+		e.Duration = 0.4
+	}
+	return fault.Plan{Seed: seed, Events: []fault.Event{e}}
+}
+
+// runOne executes one seeded run of kind k under policy pol. A panic
+// anywhere in the pipeline is caught and reported as a crashed run.
+func (c FaultCampaignConfig) runOne(k fault.Kind, pol GuardPolicy, seedIdx int) (rec faultRun, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rec = faultRun{crashed: true}
+			err = nil
+		}
+	}()
+
+	rigSeed := c.BaseSeed + int64(seedIdx)
+	ref, err := (Trial{Seed: rigSeed, TrajIdx: 0, Teleop: c.Teleop}).reference()
+	if err != nil {
+		return rec, err
+	}
+
+	cfg := sim.Config{
+		Seed:   rigSeed,
+		Script: console.StandardScript(c.Teleop),
+		Traj:   trajectory.Standard()[0],
+	}
+	var guard *core.Guard
+	if pol != PolicyOff {
+		guard, err = core.NewGuard(core.Config{
+			Thresholds: core.DefaultThresholds(),
+			Mode:       pol.guardMode(),
+		})
+		if err != nil {
+			return rec, err
+		}
+		cfg.Guards = append(cfg.Guards, guard)
+	}
+	// Apply after the guard so the write-path faulter lands below it, at
+	// the bus.
+	inj, err := campaignPlan(k, c.BaseSeed*1000+int64(seedIdx)).Apply(&cfg)
+	if err != nil {
+		return rec, err
+	}
+	rig, err := sim.New(cfg)
+	if err != nil {
+		return rec, err
+	}
+
+	halted, step := false, 0
+	rig.Observe(func(si sim.StepInfo) {
+		if !halted && step < len(ref) {
+			if d := si.TipTrue.DistanceTo(ref[step]); d > rec.maxDev {
+				rec.maxDev = d
+			}
+		}
+		if si.PLCEStop {
+			halted = true
+		}
+		step++
+	})
+	if _, err := rig.Run(0); err != nil {
+		return rec, err
+	}
+
+	rec.applied = inj.Total()
+	rec.alarm = guard != nil && guard.Alarms() > 0
+	rec.halted = rig.PLC().EStopped() || rig.Controller().State() == statemachine.EStop
+	rec.impact = rec.maxDev > AdverseJumpThreshold
+	return rec, nil
+}
+
+// classifyFaultOutcome maps one run to its outcome. truthImpact is the
+// adverse impact the same fault caused in the unguarded run.
+func classifyFaultOutcome(rec faultRun, truthImpact bool) FaultOutcome {
+	switch {
+	case rec.crashed:
+		return OutcomeCrash
+	case rec.alarm && !truthImpact:
+		return OutcomeFalseAlarm
+	case rec.halted:
+		return OutcomeEStop
+	case truthImpact && !rec.alarm:
+		return OutcomeMissedImpact
+	default:
+		return OutcomeRodeThrough
+	}
+}
+
+// RunFaultCampaign executes the fault-kind × guard-policy matrix. Cells are
+// run sequentially in a fixed order and every random decision derives from
+// BaseSeed, so the same configuration reproduces the identical matrix.
+func RunFaultCampaign(c FaultCampaignConfig) (FaultCampaignResult, error) {
+	if c.Seeds <= 0 {
+		c.Seeds = 3
+	}
+	if c.Teleop <= 0 {
+		c.Teleop = 6
+	}
+	kinds := c.Kinds
+	if len(kinds) == 0 {
+		kinds = fault.AllKinds()
+	}
+
+	var out FaultCampaignResult
+	for _, k := range kinds {
+		truth := make([]bool, c.Seeds)
+		for _, pol := range AllPolicies() {
+			cell := FaultCell{Kind: k, Policy: pol, Seeds: c.Seeds}
+			for s := 0; s < c.Seeds; s++ {
+				rec, err := c.runOne(k, pol, s)
+				if err != nil {
+					return FaultCampaignResult{}, fmt.Errorf("experiment: fault campaign %v/%v seed %d: %w", k, pol, s, err)
+				}
+				if pol == PolicyOff {
+					truth[s] = rec.impact
+				}
+				switch classifyFaultOutcome(rec, truth[s]) {
+				case OutcomeCrash:
+					cell.Crashes++
+				case OutcomeFalseAlarm:
+					cell.FalseAlarms++
+				case OutcomeEStop:
+					cell.EStops++
+				case OutcomeMissedImpact:
+					cell.Missed++
+				case OutcomeRodeThrough:
+					cell.RodeThrough++
+				}
+				if rec.alarm {
+					cell.Detected++
+				}
+				cell.FaultsApplied += rec.applied
+				if mm := rec.maxDev * 1e3; mm > cell.MaxDevMM {
+					cell.MaxDevMM = mm
+				}
+				if pol != PolicyOff && !rec.crashed {
+					out.Confusion.Observe(truth[s], rec.alarm)
+				}
+			}
+			out.Cells = append(out.Cells, cell)
+		}
+	}
+	return out, nil
+}
+
+// Crashes returns the total crash-outcome count across the matrix.
+func (r FaultCampaignResult) Crashes() int {
+	n := 0
+	for _, c := range r.Cells {
+		n += c.Crashes
+	}
+	return n
+}
+
+// KindsExercised reports whether every campaigned kind fired at least one
+// fault action in at least one cell.
+func (r FaultCampaignResult) KindsExercised() bool {
+	fired := map[fault.Kind]bool{}
+	scheduled := map[fault.Kind]bool{}
+	for _, c := range r.Cells {
+		scheduled[c.Kind] = true
+		if c.FaultsApplied > 0 {
+			fired[c.Kind] = true
+		}
+	}
+	for k := range scheduled {
+		if !fired[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Write renders the matrix.
+func (r FaultCampaignResult) Write(w io.Writer) {
+	fmt.Fprintln(w, "FAULT CAMPAIGN. Accidental-fault kinds × guard policies (seeded runs per cell)")
+	fmt.Fprintf(w, "%-36s %-9s %-36s %8s %7s %10s\n", "Fault kind", "Guard", "Outcomes", "Detected", "Faults", "MaxDev(mm)")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-36s %-9s %-36s %8d %7d %10.2f\n",
+			c.Kind, c.Policy, c.Outcomes(), c.Detected, c.FaultsApplied, c.MaxDevMM)
+	}
+	fmt.Fprintf(w, "Guarded-run detection vs unguarded impact: TP=%d FP=%d TN=%d FN=%d (acc %.1f%%, TPR %.1f%%, FPR %.1f%%)\n",
+		r.Confusion.TP, r.Confusion.FP, r.Confusion.TN, r.Confusion.FN,
+		r.Confusion.Accuracy(), r.Confusion.TPR(), r.Confusion.FPR())
+	fmt.Fprintf(w, "Crash outcomes: %d; every fault kind exercised: %v\n", r.Crashes(), r.KindsExercised())
+}

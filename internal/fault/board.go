@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+
+	"ravenguard/internal/control"
+	"ravenguard/internal/usb"
+)
+
+// feedbackHook builds the read-path fault hook installed as
+// sim.Config.OnFeedbackRead: faults of the read system call, corrupting
+// the decoded feedback after the hardware produced it and before the
+// control software consumes it (the accidental counterpart of Table I's
+// "change encoder feedback" attack; the guard, below this layer, still
+// sees the true stream).
+func feedbackHook(events []Event, rng *rand.Rand, inj *Injector) func(t float64, fb *usb.Feedback) {
+	stuck := make(map[int]int32) // event index -> latched stuck value
+	return func(t float64, fb *usb.Feedback) {
+		for i, e := range events {
+			if !e.active(t) {
+				continue
+			}
+			switch e.Kind {
+			case KindEncoderStuck:
+				ch := e.Params.Channel
+				v, latched := stuck[i]
+				if !latched {
+					if e.Params.Value != 0 {
+						v = e.Params.Value
+					} else {
+						v = fb.Encoder[ch]
+					}
+					stuck[i] = v
+				}
+				fb.Encoder[ch] = v
+				inj.count(KindEncoderStuck)
+			case KindEncoderGlitch:
+				if rate := e.Params.Rate; rate >= 1 || rng.Float64() < rate {
+					spike := int32(math.Round(e.Params.Magnitude))
+					if rng.Intn(2) == 0 {
+						spike = -spike
+					}
+					fb.Encoder[e.Params.Channel] += spike
+					inj.count(KindEncoderGlitch)
+				}
+			}
+		}
+	}
+}
+
+// boardFaulter drives the board-level faults: feedback-frame corruption
+// (undecodable frames) and firmware stall. It owns the board's read-fault
+// hook and self-clocks on it — the rig reads feedback exactly once per
+// control period, so the call counter is the simulated time.
+type boardFaulter struct {
+	events []Event
+	rng    *rand.Rand
+	inj    *Injector
+	board  *usb.Board
+	tick   int
+}
+
+func newBoardFaulter(events []Event, rng *rand.Rand, inj *Injector) *boardFaulter {
+	return &boardFaulter{events: events, rng: rng, inj: inj}
+}
+
+// install binds the faulter to the assembled board (sim.Config.OnBoard).
+func (bf *boardFaulter) install(b *usb.Board) {
+	bf.board = b
+	b.SetReadFault(bf.onRead)
+}
+
+// onRead is the board's read-fault hook: advance the clock, drive the
+// stall state, and corrupt the raw feedback frame while a dropout event is
+// active.
+func (bf *boardFaulter) onRead(frame []byte) []byte {
+	t := float64(bf.tick) * control.Period
+	bf.tick++
+
+	stall := false
+	for _, e := range bf.events {
+		if !e.active(t) {
+			continue
+		}
+		switch e.Kind {
+		case KindBoardStall:
+			stall = true
+			bf.inj.count(KindBoardStall)
+		case KindEncoderDropout:
+			if rate := e.Params.Rate; rate >= 1 || bf.rng.Float64() < rate {
+				// Truncate the frame: the decoder rejects any length
+				// other than usb.FeedbackLen, so the cycle's feedback is
+				// lost and the rig degrades to the last good frame.
+				if len(frame) > 0 {
+					frame = frame[:bf.rng.Intn(len(frame))]
+				}
+				bf.inj.count(KindEncoderDropout)
+			}
+		}
+	}
+	// SetStalled snapshots from board fields only, so flipping it from
+	// inside the read hook does not recurse into ReadFeedback.
+	bf.board.SetStalled(stall)
+	return frame
+}

@@ -1,0 +1,395 @@
+// Package fault is the accidental-fault injection engine — the benign twin
+// of internal/inject. Where inject programs *targeted attacks* onto a
+// simulation rig, fault schedules the *accidental* failures the paper's
+// threat model also covers (and that the authors' earlier work assessed by
+// software fault injection): transport faults on the ITP link, bit errors
+// and truncation on the USB write path, encoder faults and undecodable
+// frames on the read path, and board firmware stalls that starve the PLC
+// watchdog.
+//
+// A Plan is a declarative, seed-reproducible schedule of Events. Applying
+// it wires fault decorators onto a sim.Config at every boundary of the
+// Figure 7(a) pipeline, mirroring how inject.VariantConfig installs
+// attacks:
+//
+//	plan := fault.Plan{Seed: 7, Events: []fault.Event{
+//	    {At: 2, Duration: 0.5, Kind: fault.KindPacketLoss},
+//	    {At: 4, Duration: 1, Kind: fault.KindEncoderGlitch,
+//	     Params: fault.Params{Channel: 0, Magnitude: 2000, Rate: 0.05}},
+//	}}
+//	inj, err := plan.Apply(&cfg) // then sim.New(cfg)
+//
+// Every random decision is drawn from rand sources derived from Plan.Seed;
+// the same plan against the same rig seed reproduces the identical fault
+// sequence. The returned Injector counts how often each fault actually
+// fired, so campaigns can verify coverage.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ravenguard/internal/sim"
+	"ravenguard/internal/usb"
+)
+
+// Kind enumerates the accidental-fault types, grouped by the pipeline
+// boundary they corrupt.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindPacketLoss drops console datagrams (a loss burst; Rate makes it
+	// probabilistic instead of total).
+	KindPacketLoss Kind = iota + 1
+	// KindPacketDup delivers console datagrams twice.
+	KindPacketDup
+	// KindPacketReorder swaps the order of consecutive datagrams.
+	KindPacketReorder
+	// KindPacketDelay holds every datagram for Ticks control cycles.
+	KindPacketDelay
+	// KindBitFlip flips random bits in command frames on the write path
+	// (below the guard — bus-level corruption).
+	KindBitFlip
+	// KindFrameTruncate shortens command frames on the write path; the
+	// board rejects them as malformed.
+	KindFrameTruncate
+	// KindStuckDAC freezes one DAC channel of every command frame at a
+	// stuck value (Params.Value, or the first value seen while active).
+	KindStuckDAC
+	// KindEncoderStuck freezes one encoder channel of the decoded
+	// feedback at a stuck value on the read path.
+	KindEncoderStuck
+	// KindEncoderGlitch adds transient spikes to one encoder channel of
+	// the decoded feedback on the read path.
+	KindEncoderGlitch
+	// KindEncoderDropout corrupts the raw feedback frame at board level
+	// so it becomes undecodable; the control software must survive on the
+	// last good frame.
+	KindEncoderDropout
+	// KindBoardStall hangs the board firmware: command frames are
+	// discarded and the relayed status byte freezes, starving the PLC
+	// watchdog.
+	KindBoardStall
+
+	kindEnd // one past the last kind
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPacketLoss:
+		return "transport: packet loss burst"
+	case KindPacketDup:
+		return "transport: packet duplication"
+	case KindPacketReorder:
+		return "transport: packet reordering"
+	case KindPacketDelay:
+		return "transport: packet delay"
+	case KindBitFlip:
+		return "write path: frame bit flips"
+	case KindFrameTruncate:
+		return "write path: frame truncation"
+	case KindStuckDAC:
+		return "write path: stuck DAC channel"
+	case KindEncoderStuck:
+		return "read path: stuck encoder channel"
+	case KindEncoderGlitch:
+		return "read path: encoder glitch spikes"
+	case KindEncoderDropout:
+		return "board: undecodable feedback frames"
+	case KindBoardStall:
+		return "board: firmware stall"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// AllKinds lists every fault kind in declaration order.
+func AllKinds() []Kind {
+	kinds := make([]Kind, 0, int(kindEnd)-1)
+	for k := KindPacketLoss; k < kindEnd; k++ {
+		kinds = append(kinds, k)
+	}
+	return kinds
+}
+
+// boundary groups kinds by the rig hook that implements them.
+type boundary int
+
+const (
+	boundaryTransport boundary = iota + 1
+	boundaryWrite
+	boundaryRead
+	boundaryBoard
+)
+
+func (k Kind) boundary() boundary {
+	switch k {
+	case KindPacketLoss, KindPacketDup, KindPacketReorder, KindPacketDelay:
+		return boundaryTransport
+	case KindBitFlip, KindFrameTruncate, KindStuckDAC:
+		return boundaryWrite
+	case KindEncoderStuck, KindEncoderGlitch:
+		return boundaryRead
+	case KindEncoderDropout, KindBoardStall:
+		return boundaryBoard
+	default:
+		return 0
+	}
+}
+
+// Params tunes one Event. The zero value selects per-kind defaults; all
+// fields are sanitised (clamped, defaulted) before use, so arbitrary
+// values degrade to something applicable rather than panicking.
+type Params struct {
+	// Channel selects the DAC/encoder channel for per-channel faults.
+	// Out-of-range values are clamped into [0, usb.NumChannels).
+	Channel int
+	// Value is the stuck value for KindStuckDAC (DAC counts, clamped to
+	// int16) and KindEncoderStuck (encoder counts). Zero means "freeze at
+	// the first value seen while the fault is active".
+	Value int32
+	// Magnitude is the glitch amplitude in encoder counts for
+	// KindEncoderGlitch (default 2000; the sign of each spike is random).
+	Magnitude float64
+	// Rate is the per-cycle fault probability in [0,1]. Zero selects a
+	// kind-specific default (1 for loss/truncate/dropout windows, lower
+	// for bit flips and glitches).
+	Rate float64
+	// Ticks is a count parameter: delay in control cycles for
+	// KindPacketDelay (default 25), bits flipped per corrupted frame for
+	// KindBitFlip (default 1).
+	Ticks int
+}
+
+// sanitized returns a copy with every field forced into its usable domain.
+func (p Params) sanitized(k Kind) Params {
+	if p.Channel < 0 {
+		p.Channel = 0
+	}
+	if p.Channel >= usb.NumChannels {
+		p.Channel = usb.NumChannels - 1
+	}
+	if math.IsNaN(p.Magnitude) || math.IsInf(p.Magnitude, 0) || p.Magnitude < 0 {
+		p.Magnitude = 0
+	}
+	if p.Magnitude == 0 {
+		p.Magnitude = 2000
+	}
+	if math.IsNaN(p.Rate) || p.Rate < 0 || p.Rate > 1 {
+		p.Rate = 0
+	}
+	if p.Rate == 0 {
+		switch k {
+		case KindBitFlip:
+			p.Rate = 0.05
+		case KindEncoderGlitch:
+			p.Rate = 0.05
+		default:
+			p.Rate = 1
+		}
+	}
+	if p.Ticks <= 0 {
+		switch k {
+		case KindPacketDelay:
+			p.Ticks = 25
+		default:
+			p.Ticks = 1
+		}
+	}
+	if p.Ticks > 10000 {
+		p.Ticks = 10000
+	}
+	return p
+}
+
+// Event is one scheduled fault: Kind with Params, active from At for
+// Duration seconds of simulated time (Duration <= 0 means until the end of
+// the session).
+type Event struct {
+	At       float64
+	Duration float64
+	Kind     Kind
+	Params   Params
+}
+
+// active reports whether the event covers simulated time t. Non-finite
+// schedule fields make the event permanently inactive.
+func (e Event) active(t float64) bool {
+	if !(t >= e.At) { // also false for NaN At
+		return false
+	}
+	if e.Duration <= 0 {
+		return !math.IsNaN(e.At)
+	}
+	return t < e.At+e.Duration
+}
+
+// Validate rejects events that cannot be scheduled.
+func (e Event) Validate() error {
+	if e.Kind <= 0 || e.Kind >= kindEnd {
+		return fmt.Errorf("unknown kind %d", int(e.Kind))
+	}
+	if math.IsNaN(e.At) || math.IsInf(e.At, 0) || e.At < 0 {
+		return fmt.Errorf("%v: invalid start time %v", e.Kind, e.At)
+	}
+	if math.IsNaN(e.Duration) || math.IsInf(e.Duration, 1) {
+		return fmt.Errorf("%v: invalid duration %v", e.Kind, e.Duration)
+	}
+	return nil
+}
+
+// Plan is a declarative, seed-reproducible fault schedule.
+type Plan struct {
+	// Seed drives every random fault decision. The same seed and events
+	// produce the identical fault sequence against the same rig.
+	Seed int64
+	// Events are the scheduled faults; order does not matter.
+	Events []Event
+}
+
+// Validate checks every event.
+func (p Plan) Validate() error {
+	for i, e := range p.Events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("fault: event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Kinds returns the distinct fault kinds the plan schedules, in kind order.
+func (p Plan) Kinds() []Kind {
+	seen := map[Kind]bool{}
+	for _, e := range p.Events {
+		seen[e.Kind] = true
+	}
+	kinds := make([]Kind, 0, len(seen))
+	for k := range seen {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
+// Injector is one applied plan's live state: per-kind counters of how
+// often each fault actually fired. Not safe for concurrent use — the rig's
+// step loop owns it, like every other per-rig object.
+type Injector struct {
+	applied [kindEnd]int
+}
+
+// count records one applied fault action.
+func (in *Injector) count(k Kind) {
+	if k > 0 && k < kindEnd {
+		in.applied[k]++
+	}
+}
+
+// Applied returns how many times faults of kind k fired (packets dropped,
+// frames corrupted, cycles stalled, ...).
+func (in *Injector) Applied(k Kind) int {
+	if k <= 0 || k >= kindEnd {
+		return 0
+	}
+	return in.applied[k]
+}
+
+// Total returns the number of fault actions across all kinds.
+func (in *Injector) Total() int {
+	n := 0
+	for _, c := range in.applied {
+		n += c
+	}
+	return n
+}
+
+// Summary renders the per-kind counters for kinds that fired at least once.
+func (in *Injector) Summary() string {
+	s := ""
+	for _, k := range AllKinds() {
+		if c := in.Applied(k); c > 0 {
+			if s != "" {
+				s += ", "
+			}
+			s += fmt.Sprintf("%v ×%d", k, c)
+		}
+	}
+	if s == "" {
+		return "no faults fired"
+	}
+	return s
+}
+
+// Apply wires the plan's faults onto a rig configuration and returns the
+// live Injector tracking them. It mirrors inject.VariantConfig.Apply: call
+// it after the defensive Guards are set (the write-path faulter is
+// installed below them, at the bus level) and before sim.New.
+func (p Plan) Apply(cfg *sim.Config) (*Injector, error) {
+	if cfg == nil {
+		return nil, fmt.Errorf("fault: nil config")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	inj := &Injector{}
+	var transport, write, read, board []Event
+	for _, e := range p.Events {
+		e.Params = e.Params.sanitized(e.Kind)
+		switch e.Kind.boundary() {
+		case boundaryTransport:
+			transport = append(transport, e)
+		case boundaryWrite:
+			write = append(write, e)
+		case boundaryRead:
+			read = append(read, e)
+		case boundaryBoard:
+			board = append(board, e)
+		}
+	}
+
+	// Each boundary gets its own seeded source so the fault sequence at
+	// one boundary does not depend on how many draws another consumed.
+	sub := func(b boundary) *rand.Rand {
+		return rand.New(rand.NewSource(p.Seed*1_000_003 + int64(b)))
+	}
+
+	if len(transport) > 0 {
+		prev := cfg.WrapTransport
+		events, rng := transport, sub(boundaryTransport)
+		cfg.WrapTransport = func(r itpReceiver) itpReceiver {
+			if prev != nil {
+				r = prev(r)
+			}
+			return newFaultyReceiver(r, events, rng, inj)
+		}
+	}
+	if len(write) > 0 {
+		cfg.Guards = append(cfg.Guards, newFrameFaulter(write, sub(boundaryWrite), inj))
+	}
+	if len(read) > 0 {
+		prev := cfg.OnFeedbackRead
+		hook := feedbackHook(read, sub(boundaryRead), inj)
+		cfg.OnFeedbackRead = func(t float64, fb *usb.Feedback) {
+			if prev != nil {
+				prev(t, fb)
+			}
+			hook(t, fb)
+		}
+	}
+	if len(board) > 0 {
+		prev := cfg.OnBoard
+		bf := newBoardFaulter(board, sub(boundaryBoard), inj)
+		cfg.OnBoard = func(b *usb.Board) {
+			if prev != nil {
+				prev(b)
+			}
+			bf.install(b)
+		}
+	}
+	return inj, nil
+}

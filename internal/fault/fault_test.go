@@ -1,0 +1,169 @@
+package fault_test
+
+import (
+	"strings"
+	"testing"
+
+	"ravenguard/internal/console"
+	"ravenguard/internal/core"
+	"ravenguard/internal/fault"
+	"ravenguard/internal/sim"
+)
+
+func TestBoardStallLatchesWatchdogEStop(t *testing.T) {
+	// A stalled board stops relaying the watchdog square wave; the PLC's
+	// supervision (50 ms window) must latch E-STOP shortly after the stall
+	// begins.
+	plan := fault.Plan{Seed: 1, Events: []fault.Event{
+		{At: 3.0, Duration: 1.0, Kind: fault.KindBoardStall},
+	}}
+	cfg := sim.Config{Seed: 601, Script: console.StandardScript(5)}
+	inj, err := plan.Apply(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estopAt := -1.0
+	rig.Observe(func(si sim.StepInfo) {
+		if estopAt < 0 && si.PLCEStop {
+			estopAt = si.T
+		}
+	})
+	if _, err := rig.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !rig.PLC().EStopped() {
+		t.Fatal("PLC did not latch although the board stalled for 1 s")
+	}
+	if cause := rig.PLC().EStopCause(); !strings.Contains(cause, "watchdog") {
+		t.Fatalf("E-STOP cause = %q, want watchdog supervision", cause)
+	}
+	// The latch must land within roughly two supervision windows of the
+	// stall onset (50 ms window + sampling slack).
+	if estopAt < 3.0 || estopAt > 3.12 {
+		t.Fatalf("E-STOP latched at t=%.3f, want within [3.0, 3.12]", estopAt)
+	}
+	if inj.Applied(fault.KindBoardStall) == 0 {
+		t.Fatal("injector recorded no stalled cycles")
+	}
+	if fc := rig.FaultCounters(); fc.BoardStallDrops == 0 {
+		t.Fatal("stalled board dropped no command frames")
+	}
+}
+
+func TestHoldSafeRidesThroughEncoderDropout(t *testing.T) {
+	// Total encoder dropout for half a second with the guard in hold-safe
+	// mode: the pipeline must stay numerically sane end to end — every
+	// command bounded, every plant state finite, no crash.
+	guard, err := core.NewGuard(core.Config{
+		Thresholds: core.DefaultThresholds(),
+		Mode:       core.ModeHoldSafe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.Plan{Seed: 2, Events: []fault.Event{
+		{At: 3.0, Duration: 0.5, Kind: fault.KindEncoderDropout, Params: fault.Params{Rate: 1}},
+	}}
+	cfg := sim.Config{Seed: 602, Script: console.StandardScript(5)}
+	cfg.Guards = append(cfg.Guards, guard)
+	inj, err := plan.Apply(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 0
+	rig.Observe(func(si sim.StepInfo) {
+		step++
+		if !si.TipTrue.IsFinite() {
+			t.Fatalf("step %d: non-finite end-effector position %v", step, si.TipTrue)
+		}
+	})
+	if _, err := rig.Run(0); err != nil {
+		t.Fatalf("run aborted under encoder dropout: %v", err)
+	}
+	if inj.Applied(fault.KindEncoderDropout) == 0 {
+		t.Fatal("injector recorded no dropped feedback frames")
+	}
+	if fc := rig.FaultCounters(); fc.FeedbackDrops == 0 {
+		t.Fatal("rig counted no feedback drops despite total dropout")
+	}
+	if guard.FeedbackGaps() == 0 {
+		t.Fatal("guard was never told about the feedback gaps")
+	}
+}
+
+func TestPlanValidateRejectsBadEvents(t *testing.T) {
+	cases := []fault.Plan{
+		{Events: []fault.Event{{Kind: 0}}},
+		{Events: []fault.Event{{Kind: fault.Kind(99)}}},
+		{Events: []fault.Event{{Kind: fault.KindBitFlip, At: -1}}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: invalid plan validated", i)
+		}
+		var cfg sim.Config
+		if _, err := p.Apply(&cfg); err == nil {
+			t.Fatalf("case %d: invalid plan applied", i)
+		}
+	}
+	if _, err := (fault.Plan{}).Apply(nil); err == nil {
+		t.Fatal("nil config accepted")
+	}
+}
+
+func TestPlanKindsAndInjectorSummary(t *testing.T) {
+	p := fault.Plan{Events: []fault.Event{
+		{Kind: fault.KindEncoderGlitch},
+		{Kind: fault.KindPacketLoss},
+		{Kind: fault.KindPacketLoss},
+	}}
+	kinds := p.Kinds()
+	if len(kinds) != 2 || kinds[0] != fault.KindPacketLoss || kinds[1] != fault.KindEncoderGlitch {
+		t.Fatalf("Kinds() = %v", kinds)
+	}
+	var inj fault.Injector
+	if got := inj.Summary(); got != "no faults fired" {
+		t.Fatalf("empty summary = %q", got)
+	}
+}
+
+func TestPlanDeterministicAcrossRuns(t *testing.T) {
+	// The same plan and rig seed must reproduce the identical degradation
+	// statistics and final state.
+	run := func() (sim.FaultCounters, int) {
+		plan := fault.Plan{Seed: 7, Events: []fault.Event{
+			{At: 3.0, Duration: 0.5, Kind: fault.KindPacketLoss, Params: fault.Params{Rate: 0.3}},
+			{At: 3.2, Duration: 0.5, Kind: fault.KindEncoderDropout, Params: fault.Params{Rate: 0.4}},
+			{At: 3.4, Duration: 0.3, Kind: fault.KindBitFlip},
+		}}
+		cfg := sim.Config{Seed: 603, Script: console.StandardScript(5)}
+		inj, err := plan.Apply(&cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rig.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return rig.FaultCounters(), inj.Total()
+	}
+	fc1, n1 := run()
+	fc2, n2 := run()
+	if fc1 != fc2 || n1 != n2 {
+		t.Fatalf("non-deterministic: %+v/%d vs %+v/%d", fc1, n1, fc2, n2)
+	}
+	if n1 == 0 {
+		t.Fatal("plan fired no faults")
+	}
+}

@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"ravenguard/internal/interpose"
+	"ravenguard/internal/usb"
+)
+
+// frameFaulter is the write-path fault wrapper: bus-level bit flips,
+// truncated transfers and stuck DAC channels. It is installed at the
+// bottom of the interposition chain (below the guards, via sim.Config
+// Guards) because these faults strike the physical bus, after every
+// software layer — including the detector — has seen the frame.
+//
+// It implements sim.Hook so the rig delivers it the per-cycle feedback,
+// which it uses only as a clock; interpose.Reslicer provides the
+// truncation capability the in-place OnWrite contract lacks.
+type frameFaulter struct {
+	events []Event
+	rng    *rand.Rand
+	inj    *Injector
+
+	t     float64
+	stuck map[int]int16 // event index -> latched stuck value
+	trunc int           // pending truncation length for Reslice, -1 = none
+}
+
+func newFrameFaulter(events []Event, rng *rand.Rand, inj *Injector) *frameFaulter {
+	return &frameFaulter{events: events, rng: rng, inj: inj, stuck: make(map[int]int16), trunc: -1}
+}
+
+// Name implements interpose.Wrapper.
+func (f *frameFaulter) Name() string { return "fault-frame" }
+
+// OnFeedback implements sim.Hook: the faulter only reads the clock.
+func (f *frameFaulter) OnFeedback(_ usb.Feedback, t float64) { f.t = t }
+
+// OnFeedbackGap keeps the clock running through feedback dropouts.
+func (f *frameFaulter) OnFeedbackGap(t float64) { f.t = t }
+
+// OnWrite implements interpose.Wrapper: corrupt the outgoing command frame
+// per the active events.
+func (f *frameFaulter) OnWrite(buf []byte) interpose.Verdict {
+	f.trunc = -1
+	if len(buf) != usb.CommandLen {
+		return interpose.Pass
+	}
+	for i, e := range f.events {
+		if !e.active(f.t) {
+			continue
+		}
+		switch e.Kind {
+		case KindBitFlip:
+			if f.hit(e.Params.Rate) {
+				for n := 0; n < e.Params.Ticks; n++ {
+					bit := f.rng.Intn(len(buf) * 8)
+					buf[bit/8] ^= 1 << (bit % 8)
+				}
+				f.inj.count(KindBitFlip)
+			}
+		case KindStuckDAC:
+			ch := e.Params.Channel
+			v, latched := f.stuck[i]
+			if !latched {
+				if e.Params.Value != 0 {
+					v = clampInt16(e.Params.Value)
+				} else {
+					v = int16(binary.LittleEndian.Uint16(buf[usb.DACBase+2*ch:]))
+				}
+				f.stuck[i] = v
+			}
+			binary.LittleEndian.PutUint16(buf[usb.DACBase+2*ch:], uint16(v))
+			f.inj.count(KindStuckDAC)
+		case KindFrameTruncate:
+			if f.hit(e.Params.Rate) {
+				f.trunc = f.rng.Intn(len(buf))
+				f.inj.count(KindFrameTruncate)
+			}
+		}
+	}
+	return interpose.Pass
+}
+
+// Reslice implements interpose.Reslicer: apply a pending truncation.
+func (f *frameFaulter) Reslice(buf []byte) []byte {
+	if f.trunc < 0 || f.trunc > len(buf) {
+		return buf
+	}
+	n := f.trunc
+	f.trunc = -1
+	return buf[:n]
+}
+
+func (f *frameFaulter) hit(rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	return f.rng.Float64() < rate
+}
+
+func clampInt16(v int32) int16 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int16(v)
+}

@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ravenguard/internal/console"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/usb"
+)
+
+// fuzzValue draws an adversarial float: extremes, non-finite values and
+// ordinary magnitudes in equal measure.
+func fuzzValue(rng *rand.Rand) float64 {
+	switch rng.Intn(6) {
+	case 0:
+		return math.NaN()
+	case 1:
+		return math.Inf(1 - 2*rng.Intn(2))
+	case 2:
+		return (rng.Float64() - 0.5) * 1e18
+	case 3:
+		return -rng.Float64() * 10
+	default:
+		return rng.Float64() * 8
+	}
+}
+
+// fuzzEvent builds a schedulable event (valid kind, valid times) with
+// arbitrary — including hostile — params.
+func fuzzEvent(rng *rand.Rand) Event {
+	kinds := AllKinds()
+	return Event{
+		At:       rng.Float64() * 6,
+		Duration: rng.Float64() * 3,
+		Kind:     kinds[rng.Intn(len(kinds))],
+		Params: Params{
+			Channel:   rng.Intn(41) - 20,
+			Value:     int32(rng.Uint32()),
+			Magnitude: fuzzValue(rng),
+			Rate:      fuzzValue(rng),
+			Ticks:     rng.Intn(2_000_001) - 1_000_000,
+		},
+	}
+}
+
+func TestPlanArbitraryParamsNeverPanic(t *testing.T) {
+	// Valid schedules with hostile params (NaN rates, huge magnitudes,
+	// out-of-range channels, negative tick counts) must apply and run a
+	// full session without ever panicking.
+	if testing.Short() {
+		t.Skip("full-session fuzz loop")
+	}
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 12; i++ {
+		events := make([]Event, 1+rng.Intn(4))
+		for j := range events {
+			events[j] = fuzzEvent(rng)
+		}
+		plan := Plan{Seed: rng.Int63(), Events: events}
+		cfg := sim.Config{Seed: int64(700 + i), Script: console.StandardScript(2)}
+		if _, err := plan.Apply(&cfg); err != nil {
+			t.Fatalf("iteration %d: schedulable plan rejected: %v (%+v)", i, err, events)
+		}
+		rig, err := sim.New(cfg)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if _, err := rig.Run(0); err != nil {
+			t.Fatalf("iteration %d: run failed under %+v: %v", i, events, err)
+		}
+	}
+}
+
+func TestParamsSanitizedAlwaysUsable(t *testing.T) {
+	// sanitized must map ANY params — non-finite floats included — into
+	// the usable domain for every kind.
+	f := func(ch int, value int32, mag, rate float64, ticks int, kindIdx uint8) bool {
+		kinds := AllKinds()
+		k := kinds[int(kindIdx)%len(kinds)]
+		p := Params{Channel: ch, Value: value, Magnitude: mag, Rate: rate, Ticks: ticks}.sanitized(k)
+		if p.Channel < 0 || p.Channel >= usb.NumChannels {
+			return false
+		}
+		if !(p.Magnitude > 0) || math.IsInf(p.Magnitude, 0) {
+			return false
+		}
+		if !(p.Rate > 0 && p.Rate <= 1) {
+			return false
+		}
+		return p.Ticks > 0 && p.Ticks <= 10000
+	}
+	cfg := &quick.Config{Values: nil, MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// testing/quick never generates NaN/Inf floats; cover them explicitly.
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		p := Params{Magnitude: v, Rate: v}.sanitized(KindEncoderGlitch)
+		if math.IsNaN(p.Magnitude) || math.IsInf(p.Magnitude, 0) || math.IsNaN(p.Rate) {
+			t.Fatalf("sanitized leaked non-finite params: %+v", p)
+		}
+	}
+}
+
+func TestEventActiveTotalOverArbitraryTimes(t *testing.T) {
+	// active must be a total function, and non-finite schedule fields must
+	// never activate an event.
+	f := func(at, dur, tt float64) bool {
+		e := Event{At: at, Duration: dur, Kind: KindBitFlip}
+		act := e.active(tt)
+		if math.IsNaN(at) || math.IsNaN(tt) {
+			return !act
+		}
+		if act && tt < at {
+			return false // never active before its start
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if (Event{At: math.NaN(), Kind: KindBitFlip}).active(math.Inf(1)) {
+		t.Fatal("NaN-start event activated at +Inf")
+	}
+}
+
+func TestInjectorIgnoresOutOfRangeKinds(t *testing.T) {
+	var inj Injector
+	inj.count(Kind(-3))
+	inj.count(Kind(999))
+	if inj.Total() != 0 {
+		t.Fatal("out-of-range kinds were counted")
+	}
+	if inj.Applied(Kind(-3)) != 0 || inj.Applied(Kind(999)) != 0 {
+		t.Fatal("out-of-range kind reported applications")
+	}
+}

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"ravenguard/internal/control"
+	"ravenguard/internal/itp"
+
+	"math/rand"
+)
+
+// itpReceiver keeps the Apply closure signatures readable.
+type itpReceiver = itp.Receiver
+
+// delayedPacket is a datagram held back until a release tick.
+type delayedPacket struct {
+	p       itp.Packet
+	release int
+}
+
+// faultyReceiver decorates an itp.Receiver with transport faults. It
+// self-clocks: the rig calls Recv exactly once per control period, so the
+// call counter is the simulated time. Like the real lossy network it
+// models, it delivers at most one datagram per cycle — backlogs from
+// duplication or released delays drain one per cycle.
+type faultyReceiver struct {
+	inner  itp.Receiver
+	events []Event
+	rng    *rand.Rand
+	inj    *Injector
+
+	tick    int
+	queue   []itp.Packet    // ready to deliver, oldest first
+	delayed []delayedPacket // waiting for their release tick
+	held    *itp.Packet     // reorder: packet waiting to be swapped behind the next
+}
+
+var _ itp.Receiver = (*faultyReceiver)(nil)
+
+func newFaultyReceiver(inner itp.Receiver, events []Event, rng *rand.Rand, inj *Injector) *faultyReceiver {
+	return &faultyReceiver{inner: inner, events: events, rng: rng, inj: inj}
+}
+
+// Recv implements itp.Receiver.
+func (f *faultyReceiver) Recv() (itp.Packet, bool, error) {
+	t := float64(f.tick) * control.Period
+	f.tick++
+
+	// Release delayed packets whose time has come (in arrival order).
+	for len(f.delayed) > 0 && f.delayed[0].release <= f.tick {
+		f.queue = append(f.queue, f.delayed[0].p)
+		f.delayed = f.delayed[1:]
+	}
+
+	// Drain the inner transport through the fault pipeline.
+	for {
+		p, ok, err := f.inner.Recv()
+		if err != nil {
+			return itp.Packet{}, false, err
+		}
+		if !ok {
+			break
+		}
+		f.ingest(t, p)
+	}
+
+	// A reorder hold with no follow-up packet this cycle must not starve
+	// the link forever; if nothing newer arrived, release it now.
+	if f.held != nil && len(f.queue) == 0 && len(f.delayed) == 0 {
+		f.queue = append(f.queue, *f.held)
+		f.held = nil
+	}
+
+	if len(f.queue) == 0 {
+		return itp.Packet{}, false, nil
+	}
+	p := f.queue[0]
+	f.queue = f.queue[1:]
+	return p, true, nil
+}
+
+// ingest pushes one arriving datagram through the active transport faults
+// and into the delivery queue.
+func (f *faultyReceiver) ingest(t float64, p itp.Packet) {
+	for _, e := range f.events {
+		if !e.active(t) {
+			continue
+		}
+		switch e.Kind {
+		case KindPacketLoss:
+			if f.hit(e.Params.Rate) {
+				f.inj.count(KindPacketLoss)
+				return // dropped
+			}
+		case KindPacketDup:
+			if f.hit(e.Params.Rate) {
+				f.inj.count(KindPacketDup)
+				f.queue = append(f.queue, p) // the duplicate
+			}
+		case KindPacketReorder:
+			if f.held == nil {
+				if f.hit(e.Params.Rate) {
+					f.inj.count(KindPacketReorder)
+					held := p
+					f.held = &held
+					return // delivered after the next packet
+				}
+			} else {
+				f.queue = append(f.queue, p, *f.held)
+				f.held = nil
+				return
+			}
+		case KindPacketDelay:
+			if f.hit(e.Params.Rate) {
+				f.inj.count(KindPacketDelay)
+				f.delayed = append(f.delayed, delayedPacket{p: p, release: f.tick + e.Params.Ticks})
+				return
+			}
+		}
+	}
+	f.queue = append(f.queue, p)
+}
+
+// hit draws one Bernoulli decision (rate 1 short-circuits so fully-active
+// windows consume no randomness).
+func (f *faultyReceiver) hit(rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	return f.rng.Float64() < rate
+}
+
+// Close implements itp.Receiver.
+func (f *faultyReceiver) Close() error { return f.inner.Close() }

@@ -38,6 +38,18 @@ type Wrapper interface {
 	OnWrite(buf []byte) Verdict
 }
 
+// Reslicer is an optional extension of Wrapper: after OnWrite returns
+// Pass, a wrapper that also implements Reslicer may replace the frame
+// outright — including changing its length. In-place mutation cannot
+// express a truncated bus transfer; accidental-fault wrappers (see
+// internal/fault) use this to hand the board a short frame, exactly as a
+// failing transfer would.
+type Reslicer interface {
+	// Reslice returns the frame to forward in place of buf (possibly buf
+	// itself, possibly shorter). Returning nil forwards an empty frame.
+	Reslice(buf []byte) []byte
+}
+
 // WriterFunc adapts a function to the final write target (the "real"
 // system call).
 type WriterFunc func(buf []byte) error
@@ -111,6 +123,9 @@ func (c *Chain) Write(buf []byte) error {
 		if w.OnWrite(buf) == Drop {
 			c.dropped++
 			return nil
+		}
+		if rs, ok := w.(Reslicer); ok {
+			buf = rs.Reslice(buf)
 		}
 	}
 	if err := c.target(buf); err != nil {

@@ -79,8 +79,14 @@ func (s Spec) DACToTorque(dac int16) float64 {
 
 // TorqueToDAC converts a desired shaft torque to the nearest DAC command,
 // saturating at the converter limits. This is the output stage of the PID
-// controller.
+// controller. A NaN torque — only reachable when an upstream fault slipped
+// a non-finite value through every sanitizer — commands zero current: the
+// float-to-int16 conversion of NaN is platform-defined and must never pick
+// the DAC value.
 func (s Spec) TorqueToDAC(torque float64) int16 {
+	if math.IsNaN(torque) {
+		return 0
+	}
 	current := torque / s.TorqueConstant
 	counts := math.Round(current / s.FullScaleAmp * DACMax)
 	return int16(mathx.Clamp(counts, DACMin, DACMax))

@@ -1,0 +1,103 @@
+package sim_test
+
+import (
+	"testing"
+
+	"ravenguard/internal/console"
+	"ravenguard/internal/core"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/usb"
+)
+
+// corruptWindow installs a board read fault that truncates the feedback
+// frame (making it undecodable) for a window of read cycles.
+func corruptWindow(from, until int) func(b *usb.Board) {
+	tick := 0
+	return func(b *usb.Board) {
+		b.SetReadFault(func(frame []byte) []byte {
+			tick++
+			if tick > from && tick <= until {
+				return frame[:5]
+			}
+			return frame
+		})
+	}
+}
+
+func TestCorruptedFeedbackMidRunDoesNotAbort(t *testing.T) {
+	// Regression: the rig used to abort the whole session on the first
+	// undecodable feedback frame. A 50-cycle corruption burst mid-teleop
+	// must instead degrade to the last good frame, be counted, and be
+	// surfaced per step.
+	guard, err := core.NewGuard(core.Config{Thresholds: core.DefaultThresholds()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{
+		Seed:   503,
+		Script: console.StandardScript(5),
+		Guards: []sim.Hook{guard},
+	}
+	cfg.OnBoard = corruptWindow(3000, 3050)
+	rig, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := 0
+	rig.Observe(func(si sim.StepInfo) {
+		if si.FeedbackDropped {
+			dropped++
+		}
+	})
+	if _, err := rig.Run(0); err != nil {
+		t.Fatalf("run aborted on corrupted feedback: %v", err)
+	}
+	fc := rig.FaultCounters()
+	if fc.FeedbackDrops != 50 {
+		t.Fatalf("FeedbackDrops = %d, want 50", fc.FeedbackDrops)
+	}
+	if dropped != 50 {
+		t.Fatalf("StepInfo.FeedbackDropped reported %d cycles, want 50", dropped)
+	}
+	if guard.FeedbackGaps() != 50 {
+		t.Fatalf("guard saw %d feedback gaps, want 50", guard.FeedbackGaps())
+	}
+	if guard.Alarms() != 0 {
+		t.Fatalf("guard false-alarmed %d times across a benign feedback gap", guard.Alarms())
+	}
+	if rig.PLC().EStopped() {
+		t.Fatalf("PLC latched E-STOP (%q) on a recoverable feedback gap", rig.PLC().EStopCause())
+	}
+}
+
+func TestFeedbackDropReusesLastGoodFrame(t *testing.T) {
+	// During the corruption window the controller must see the frozen
+	// last-good encoder counts, not zeros.
+	cfg := sim.Config{
+		Seed:   504,
+		Script: console.StandardScript(3),
+	}
+	cfg.OnBoard = corruptWindow(3000, 3020)
+	rig, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastGood usb.Feedback
+	step := 0
+	rig.Observe(func(si sim.StepInfo) {
+		step++
+		if !si.FeedbackDropped {
+			lastGood = si.Feedback
+			return
+		}
+		if si.Feedback != lastGood {
+			t.Fatalf("step %d: dropped-cycle feedback %v differs from last good %v", step, si.Feedback, lastGood)
+		}
+		if si.Feedback.Encoder == (usb.Feedback{}).Encoder {
+			t.Fatalf("step %d: dropped-cycle feedback degraded to zero counts", step)
+		}
+	})
+	if _, err := rig.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,6 +33,15 @@ type Hook interface {
 	OnFeedback(fb usb.Feedback, t float64)
 }
 
+// FeedbackGapObserver is an optional Hook extension: guards implementing it
+// are told when a cycle's feedback frame was lost (undecodable), so they
+// can resynchronise their model after the gap instead of misreading the
+// next good frame as a one-cycle jump.
+type FeedbackGapObserver interface {
+	// OnFeedbackGap reports one lost feedback frame at simulated time t.
+	OnFeedbackGap(t float64)
+}
+
 // InputHook may observe and mutate the operator input after it is received
 // by the control software — the injection point of attack scenario A
 // ("injection of unintended user inputs after they are received by the
@@ -53,6 +62,9 @@ type StepInfo struct {
 	MvelTrue [kinematics.NumJoints]float64
 	PLCEStop bool
 	Broken   bool // any cable snapped
+	// FeedbackDropped reports that this cycle's feedback frame was
+	// undecodable and the controller reused the previous good frame.
+	FeedbackDropped bool
 }
 
 // Observer receives every step's info.
@@ -97,6 +109,16 @@ type Config struct {
 	// ExternalDuration bounds an externally-driven session in simulated
 	// seconds (default 3600).
 	ExternalDuration float64
+
+	// WrapTransport, when set, decorates the operator-packet receiver the
+	// rig reads from (the built-in console transport, or ExternalInput) —
+	// the installation point for accidental transport faults such as
+	// packet loss, duplication, reordering and delay (see internal/fault).
+	WrapTransport func(r itp.Receiver) itp.Receiver
+	// OnBoard, when set, is invoked with the assembled USB interface board
+	// before the first step — the installation point for board-level fault
+	// hooks (feedback-frame corruption, firmware stall; see internal/fault).
+	OnBoard func(b *usb.Board)
 }
 
 // Rig is one assembled simulation session. Not safe for concurrent use.
@@ -113,8 +135,26 @@ type Rig struct {
 	obs     []Observer
 	t       float64
 	lastIn  control.Input
+	lastFb  usb.Feedback // last good (decodable) feedback frame
+	fbDrops int          // undecodable feedback frames survived
 	steps   int
 	started bool
+}
+
+// FaultCounters aggregates the rig's graceful-degradation statistics: how
+// often the pipeline absorbed a fault instead of crashing.
+type FaultCounters struct {
+	// FeedbackDrops counts cycles whose feedback frame was undecodable;
+	// the controller reused the previous good frame.
+	FeedbackDrops int
+	// InputsSanitized counts non-finite operator-input fields the
+	// controller zeroed before use.
+	InputsSanitized int
+	// BoardMalformed counts command frames the board rejected as
+	// malformed (wrong length).
+	BoardMalformed int
+	// BoardStallDrops counts command frames a stalled board discarded.
+	BoardStallDrops int
 }
 
 // New assembles a rig.
@@ -142,6 +182,11 @@ func New(cfg Config) (*Rig, error) {
 		cons, err = console.New(cfg.Script, cfg.Traj, mem)
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	if cfg.WrapTransport != nil {
+		if trans = cfg.WrapTransport(trans); trans == nil {
+			return nil, fmt.Errorf("sim: WrapTransport returned nil receiver")
 		}
 	}
 
@@ -197,8 +242,14 @@ func New(cfg Config) (*Rig, error) {
 	}
 
 	// Prime the encoder path so the controller's first feedback reflects
-	// the true power-on pose rather than all-zero counts.
+	// the true power-on pose rather than all-zero counts. The held frame
+	// starts from the same pose, so a fault on the very first read
+	// degrades to the power-on state instead of zero counts.
 	board.SetEncoders(plant.EncoderCounts())
+	r.lastFb = usb.Feedback{Encoder: plant.EncoderCounts()}
+	if cfg.OnBoard != nil {
+		cfg.OnBoard(board)
+	}
 	return r, nil
 }
 
@@ -239,6 +290,17 @@ func (r *Rig) Board() *usb.Board { return r.board }
 
 // PLC exposes the safety processor.
 func (r *Rig) PLC() *plc.PLC { return r.plc }
+
+// FaultCounters returns the rig's graceful-degradation statistics.
+func (r *Rig) FaultCounters() FaultCounters {
+	_, malformed := r.board.Stats()
+	return FaultCounters{
+		FeedbackDrops:   r.fbDrops,
+		InputsSanitized: r.ctrl.SanitizedInputs(),
+		BoardMalformed:  malformed,
+		BoardStallDrops: r.board.StallDrops(),
+	}
+}
 
 // Time returns the simulated time in seconds.
 func (r *Rig) Time() float64 { return r.t }
@@ -296,14 +358,27 @@ func (r *Rig) Step() (StepInfo, error) {
 	}
 
 	// 3. Feedback the controller reads this cycle (written by the plant at
-	// the end of the previous cycle).
+	// the end of the previous cycle). An undecodable frame no longer
+	// aborts the session: the control software holds the last good frame
+	// (stale-data semantics, matching the operator-packet path), counts
+	// the drop, and guards are told about the gap so their models can
+	// resynchronise on the next good frame.
 	fbFrame := r.board.ReadFeedback()
-	fb, err := usb.DecodeFeedback(fbFrame[:])
-	if err != nil {
-		return StepInfo{}, fmt.Errorf("sim: %w", err)
-	}
-	for _, g := range r.guards {
-		g.OnFeedback(fb, r.t)
+	fb, fbErr := usb.DecodeFeedback(fbFrame)
+	fbDropped := fbErr != nil
+	if fbDropped {
+		fb = r.lastFb
+		r.fbDrops++
+		for _, g := range r.guards {
+			if go_, ok := g.(FeedbackGapObserver); ok {
+				go_.OnFeedbackGap(r.t)
+			}
+		}
+	} else {
+		r.lastFb = fb
+		for _, g := range r.guards {
+			g.OnFeedback(fb, r.t)
+		}
 	}
 	if r.cfg.OnFeedbackRead != nil {
 		r.cfg.OnFeedbackRead(r.t, &fb)
@@ -340,6 +415,8 @@ func (r *Rig) Step() (StepInfo, error) {
 		MvelTrue: r.plant.MotorVel(),
 		PLCEStop: r.plc.EStopped(),
 		Broken:   broken,
+
+		FeedbackDropped: fbDropped,
 	}
 	for _, o := range r.obs {
 		o(info)

@@ -19,6 +19,19 @@ type Board struct {
 	encoderSeq  byte
 	rxCount     int
 	malformedRx int
+
+	// stalled models a hung board firmware: command frames are ignored
+	// (so the relayed status byte — and with it the watchdog square wave —
+	// freezes) and the feedback frame is frozen at its stall-entry value.
+	stalled    bool
+	stallFrame []byte
+	stallDrops int
+
+	// readFault, when set, may corrupt the raw feedback frame on its way
+	// to the control software — the board-level accidental-fault hook
+	// (see internal/fault). It may return a frame of any length;
+	// wrong-length frames are undecodable upstream.
+	readFault func(frame []byte) []byte
 }
 
 // NewBoard returns a board with all DACs at zero.
@@ -29,6 +42,10 @@ func NewBoard() *Board { return &Board{} }
 // matching hardware that ignores short transfers; well-formed frames are
 // applied without any further checking.
 func (b *Board) Receive(frame []byte) error {
+	if b.stalled {
+		b.stallDrops++
+		return fmt.Errorf("usb: board stalled: frame ignored")
+	}
 	cmd, err := DecodeCommand(frame)
 	if err != nil {
 		b.malformedRx++
@@ -82,16 +99,55 @@ func (b *Board) SetEncoders(counts [NumChannels]int32) {
 }
 
 // ReadFeedback produces the feedback frame the control software reads back
-// each cycle.
-func (b *Board) ReadFeedback() [FeedbackLen]byte {
+// each cycle. A stalled board ships the frame frozen at stall entry; an
+// installed read-fault hook may then corrupt the bytes (or change the
+// length, making the frame undecodable).
+func (b *Board) ReadFeedback() []byte {
+	var frame []byte
+	if b.stalled {
+		frame = append([]byte(nil), b.stallFrame...)
+	} else {
+		f := b.liveFeedback().Encode()
+		frame = f[:]
+	}
+	if b.readFault != nil {
+		frame = b.readFault(frame)
+	}
+	return frame
+}
+
+// liveFeedback composes the current (un-stalled, un-faulted) feedback.
+func (b *Board) liveFeedback() Feedback {
 	status, _ := b.StatusByte()
-	fb := Feedback{
+	return Feedback{
 		StatusEcho: status,
 		Seq:        b.encoderSeq,
 		Encoder:    b.encoders,
 	}
-	return fb.Encode()
 }
+
+// SetReadFault installs (or, with nil, removes) the board-level feedback
+// corruption hook. The hook runs on every ReadFeedback, exactly once per
+// control cycle, and may return a mutated or resized frame.
+func (b *Board) SetReadFault(f func(frame []byte) []byte) { b.readFault = f }
+
+// SetStalled drives the board in or out of the hung-firmware state. On
+// entry the current feedback frame is latched; while stalled, received
+// command frames are counted and discarded, so the status byte the PLC
+// supervises stops changing and the watchdog square wave goes flat.
+func (b *Board) SetStalled(stalled bool) {
+	if stalled && !b.stalled {
+		f := b.liveFeedback().Encode()
+		b.stallFrame = append([]byte(nil), f[:]...)
+	}
+	b.stalled = stalled
+}
+
+// Stalled reports whether the board is in the hung-firmware state.
+func (b *Board) Stalled() bool { return b.stalled }
+
+// StallDrops returns how many command frames a stalled board discarded.
+func (b *Board) StallDrops() int { return b.stallDrops }
 
 // Stats returns (frames accepted, malformed frames dropped).
 func (b *Board) Stats() (received, malformed int) {

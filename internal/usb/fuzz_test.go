@@ -51,6 +51,89 @@ func TestDecodeFeedbackArbitraryBytesRoundTrips(t *testing.T) {
 	}
 }
 
+func TestDecodeFeedbackWrongLengthErrorsCleanly(t *testing.T) {
+	// Any frame that is not exactly FeedbackLen bytes — the shapes the
+	// fault injector's dropout produces — must yield an error, never a
+	// panic or a half-decoded feedback.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(2 * FeedbackLen)
+		if n == FeedbackLen {
+			n++
+		}
+		junk := make([]byte, n)
+		rng.Read(junk)
+		fb, err := DecodeFeedback(junk)
+		if err == nil {
+			t.Fatalf("length-%d frame decoded", n)
+		}
+		if fb != (Feedback{}) {
+			t.Fatalf("length-%d frame returned non-zero feedback %+v alongside error", n, fb)
+		}
+	}
+	if _, err := DecodeFeedback(nil); err == nil {
+		t.Fatal("nil frame decoded")
+	}
+}
+
+func TestBoardReadFaultGarbageNeverPanics(t *testing.T) {
+	// A hostile read-fault hook may hand back garbage of any length;
+	// ReadFeedback must pass it through untouched and the decode stage
+	// must fail cleanly.
+	b := NewBoard()
+	rng := rand.New(rand.NewSource(13))
+	b.SetReadFault(func(frame []byte) []byte {
+		junk := make([]byte, rng.Intn(64))
+		rng.Read(junk)
+		return junk
+	})
+	for i := 0; i < 2000; i++ {
+		frame := b.ReadFeedback()
+		if _, err := DecodeFeedback(frame); err == nil && len(frame) != FeedbackLen {
+			t.Fatalf("length-%d frame decoded", len(frame))
+		}
+	}
+}
+
+func TestBoardStallFreezesFeedbackAndDropsCommands(t *testing.T) {
+	// A stalled board must freeze its feedback frame, reject incoming
+	// command frames (counting them) and resume cleanly afterwards.
+	b := NewBoard()
+	b.SetEncoders([NumChannels]int32{100, 200, 300})
+	before := b.ReadFeedback()
+
+	b.SetStalled(true)
+	if !b.Stalled() {
+		t.Fatal("board not stalled after SetStalled(true)")
+	}
+	good := Command{StateNibble: 0x0F, Seq: 3, DAC: [NumChannels]int16{42}}.Encode()
+	if err := b.Receive(good[:]); err == nil {
+		t.Fatal("stalled board accepted a command frame")
+	}
+	if b.StallDrops() != 1 {
+		t.Fatalf("StallDrops = %d, want 1", b.StallDrops())
+	}
+	b.SetEncoders([NumChannels]int32{999, 999, 999})
+	frozen := b.ReadFeedback()
+	for i := range before {
+		if frozen[i] != before[i] {
+			t.Fatalf("stalled feedback changed at byte %d: %#02x -> %#02x", i, before[i], frozen[i])
+		}
+	}
+
+	b.SetStalled(false)
+	if err := b.Receive(good[:]); err != nil {
+		t.Fatalf("recovered board rejected a good frame: %v", err)
+	}
+	fb, err := DecodeFeedback(b.ReadFeedback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Encoder[0] != 999 {
+		t.Fatalf("recovered feedback still frozen: %+v", fb)
+	}
+}
+
 func TestBoardSurvivesGarbageStream(t *testing.T) {
 	// A board fed random garbage of random lengths must never panic and
 	// must keep serving its last well-formed command.

@@ -41,6 +41,7 @@ import (
 	"ravenguard/internal/analysis"
 	"ravenguard/internal/console"
 	"ravenguard/internal/core"
+	"ravenguard/internal/fault"
 	"ravenguard/internal/inject"
 	"ravenguard/internal/interpose"
 	"ravenguard/internal/kinematics"
@@ -146,6 +147,43 @@ func DefaultThresholds() Thresholds { return core.DefaultThresholds() }
 // LoadThresholds reads learned thresholds from a JSON file (written by
 // Thresholds.Save or `labrunner -exp learn -out`).
 func LoadThresholds(path string) (Thresholds, error) { return core.LoadThresholds(path) }
+
+// Accidental-fault injection (the benign twin of the attack tooling): a
+// deterministic, seed-reproducible fault scheduler covering every boundary
+// of the pipeline — transport, USB write path, feedback read path, and the
+// interface board itself.
+type (
+	// FaultPlan is a declarative schedule of accidental faults; apply it to
+	// a SystemConfig with FaultPlan.Apply before NewSystem (and after any
+	// Guards, so write-path faults land below the detector, at the bus).
+	FaultPlan = fault.Plan
+	// FaultEvent is one scheduled fault window.
+	FaultEvent = fault.Event
+	// FaultParams tunes one FaultEvent.
+	FaultParams = fault.Params
+	// FaultKind enumerates the fault types.
+	FaultKind = fault.Kind
+	// FaultInjector counts how often each fault of an applied plan fired.
+	FaultInjector = fault.Injector
+)
+
+// Fault kinds, by pipeline boundary.
+const (
+	FaultPacketLoss     = fault.KindPacketLoss
+	FaultPacketDup      = fault.KindPacketDup
+	FaultPacketReorder  = fault.KindPacketReorder
+	FaultPacketDelay    = fault.KindPacketDelay
+	FaultBitFlip        = fault.KindBitFlip
+	FaultFrameTruncate  = fault.KindFrameTruncate
+	FaultStuckDAC       = fault.KindStuckDAC
+	FaultEncoderStuck   = fault.KindEncoderStuck
+	FaultEncoderGlitch  = fault.KindEncoderGlitch
+	FaultEncoderDropout = fault.KindEncoderDropout
+	FaultBoardStall     = fault.KindBoardStall
+)
+
+// AllFaultKinds lists every fault kind in declaration order.
+func AllFaultKinds() []FaultKind { return fault.AllKinds() }
 
 // Attack tooling (for red-team experiments against the simulated robot).
 type (

@@ -1,0 +1,19 @@
+#!/bin/sh
+# check.sh — the repo's CI gate: static analysis plus the full test suite
+# under the race detector. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+# The experiment package's campaigns run ~10x slower under the race
+# detector; the default 600 s per-package timeout is not enough.
+echo "==> go test -race ./..."
+go test -race -timeout 2400s ./...
+
+echo "OK"
