@@ -1,0 +1,99 @@
+// Allocation-regression tests: the per-tick hot paths — packet codec,
+// write-interposition chain, guard estimate, fused dynamics step — must
+// stay allocation-free, so campaign throughput cannot silently rot on
+// per-frame garbage.
+package ravenguard
+
+import (
+	"testing"
+
+	"ravenguard/internal/core"
+	"ravenguard/internal/dynamics"
+	"ravenguard/internal/interpose"
+	"ravenguard/internal/kinematics"
+	"ravenguard/internal/malware"
+	"ravenguard/internal/usb"
+)
+
+// assertZeroAllocs runs f under testing.AllocsPerRun and fails on any
+// per-call allocation.
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(200, f); avg != 0 {
+		t.Errorf("%s allocates %.1f times per call, want 0", name, avg)
+	}
+}
+
+func TestHotPathsDoNotAllocate(t *testing.T) {
+	cmd := usb.Command{StateNibble: 0x0F, Watchdog: true, Seq: 3, DAC: [8]int16{1, -2, 3}}
+	frame := cmd.Encode()
+	assertZeroAllocs(t, "usb.Command.Encode", func() {
+		frame = cmd.Encode()
+	})
+	assertZeroAllocs(t, "usb.DecodeCommand", func() {
+		if _, err := usb.DecodeCommand(frame[:]); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	chain := interpose.NewChain(func([]byte) error { return nil })
+	chain.Preload(malware.NewInjector(malware.InjectorConfig{Mode: malware.ModeDACOffset, Value: 100}))
+	buf := make([]byte, len(frame))
+	copy(buf, frame[:])
+	assertZeroAllocs(t, "interpose.Chain.Write", func() {
+		if err := chain.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	guard, err := core.NewGuard(core.Config{Thresholds: core.DefaultThresholds()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb usb.Feedback
+	mp := kinematics.DefaultTransmission().ToMotor(kinematics.DefaultLimits().Center())
+	for i := 0; i < kinematics.NumJoints; i++ {
+		fb.Encoder[i] = int32(mp[i] * 4000 / (2 * 3.14159265))
+	}
+	guard.OnFeedback(fb, 0)
+	copy(buf, frame[:])
+	assertZeroAllocs(t, "core.Guard.OnWrite", func() {
+		guard.OnWrite(buf)
+	})
+
+	stepper, err := dynamics.NewStepper(dynamics.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st dynamics.State
+	st.SetJointPos(kinematics.DefaultLimits().Center(), kinematics.DefaultTransmission())
+	stepper.SetTorque([3]float64{0.01, 0.01, 0.005})
+	assertZeroAllocs(t, "dynamics.Stepper.StepRK4", func() {
+		stepper.StepRK4(&st.X, 1e-3)
+	})
+	assertZeroAllocs(t, "dynamics.Stepper.StepEuler", func() {
+		stepper.StepEuler(&st.X, 1e-3)
+	})
+}
+
+// TestFullSimStepDoesNotAllocate pins the end-to-end property the
+// component assertions above build toward: one whole teleoperation step
+// (console → transport → controller → chain → board → plant → feedback)
+// runs without touching the heap.
+func TestFullSimStepDoesNotAllocate(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Seed: 1, Script: StandardScript(1e9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up past state-machine transitions and lazy first-use setup.
+	for i := 0; i < 5000; i++ {
+		if _, err := sys.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertZeroAllocs(t, "System.Step", func() {
+		if _, err := sys.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

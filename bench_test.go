@@ -89,19 +89,12 @@ func benchFig8(b *testing.B, scheme string) {
 			b.Fatal(err)
 		}
 		for _, row := range res.Rows {
-			if row.Integrator == experimentSchemeName(scheme) {
+			if row.Integrator == dynamics.SchemeName(scheme) {
 				stepMs = row.AvgStepMs
 			}
 		}
 	}
 	b.ReportMetric(stepMs*1e3, "us/model-step")
-}
-
-func experimentSchemeName(s string) string {
-	if s == "rk4" {
-		return "4-th Order Runge Kutta"
-	}
-	return "Euler"
 }
 
 func BenchmarkFigure8_Euler(b *testing.B) { benchFig8(b, "euler") }
@@ -233,15 +226,42 @@ func BenchmarkKinematicsInverse(b *testing.B) {
 	}
 }
 
+// BenchmarkDynamicsStep* time the fused kernel — the path the plant and
+// the guard actually run; the *Reference variants keep the original
+// Deriv-closure + Integrator-interface path as the comparison baseline.
+
 func BenchmarkDynamicsStepEuler(b *testing.B) {
-	benchDynamicsStep(b, "euler")
+	benchDynamicsStep(b, false)
 }
 
 func BenchmarkDynamicsStepRK4(b *testing.B) {
-	benchDynamicsStep(b, "rk4")
+	benchDynamicsStep(b, true)
 }
 
-func benchDynamicsStep(b *testing.B, scheme string) {
+func benchDynamicsStep(b *testing.B, rk4 bool) {
+	b.Helper()
+	s, err := dynamics.NewStepper(dynamics.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st dynamics.State
+	st.SetJointPos(kinematics.DefaultLimits().Center(), kinematics.DefaultTransmission())
+	s.SetTorque([3]float64{0.01, 0.01, 0.005})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(rk4, &st.X, 1e-3)
+	}
+}
+
+func BenchmarkDynamicsStepEulerReference(b *testing.B) {
+	benchDynamicsStepReference(b, "euler")
+}
+
+func BenchmarkDynamicsStepRK4Reference(b *testing.B) {
+	benchDynamicsStepReference(b, "rk4")
+}
+
+func benchDynamicsStepReference(b *testing.B, scheme string) {
 	b.Helper()
 	model, err := dynamics.NewModel(dynamics.DefaultParams())
 	if err != nil {

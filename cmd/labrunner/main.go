@@ -40,13 +40,15 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (table1|table2|fig5|fig6|fig8|table4|fig9|ablation|mitigation|latency|persistence|faultcampaign|learn|all)")
-		quick  = flag.Bool("quick", false, "shrink campaigns for a fast pass")
-		seed   = flag.Int64("seed", 1, "base seed")
-		csvDir = flag.String("csvdir", "", "also export fig8/table4/fig9 results as CSV into this directory")
-		outTh  = flag.String("out", "", "learn: also save the learned thresholds to this JSON file")
+		exp     = flag.String("exp", "all", "experiment id (table1|table2|fig5|fig6|fig8|table4|fig9|ablation|mitigation|latency|persistence|faultcampaign|learn|all)")
+		quick   = flag.Bool("quick", false, "shrink campaigns for a fast pass")
+		seed    = flag.Int64("seed", 1, "base seed")
+		workers = flag.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS); results are seed-identical at any count")
+		csvDir  = flag.String("csvdir", "", "also export fig8/table4/fig9 results as CSV into this directory")
+		outTh   = flag.String("out", "", "learn: also save the learned thresholds to this JSON file")
 	)
 	flag.Parse()
+	experiment.SetWorkers(*workers)
 
 	exportCSV := func(name string, write func(io.Writer) error) error {
 		if *csvDir == "" {

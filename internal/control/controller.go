@@ -157,6 +157,10 @@ type Controller struct {
 	// a NaN delta integrated into the setpoint would poison the whole
 	// kinematic chain, so corrupt inputs degrade to "no motion" instead.
 	sanitized int
+
+	// frameBuf backs the command frame handed to the write chain each
+	// tick; keeping it on the struct keeps Tick allocation-free.
+	frameBuf [usb.CommandLen]byte
 }
 
 // NewController builds the control node writing frames into chain.
@@ -334,8 +338,8 @@ func (c *Controller) Tick(in Input, feedback usb.Feedback, estopFromPLC bool) Ou
 		Seq:         c.seq,
 		DAC:         dac,
 	}
-	frame := cmd.Encode()
-	if err := c.chain.Write(frame[:]); err == nil {
+	c.frameBuf = cmd.Encode()
+	if err := c.chain.Write(c.frameBuf[:]); err == nil {
 		out.Wrote = true
 	}
 	out.DAC = dac

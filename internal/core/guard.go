@@ -195,8 +195,8 @@ func (c *Config) applyDefaults() {
 // sim.Hook. Not safe for concurrent use: the control loop owns it.
 type Guard struct {
 	cfg    Config
-	model  *dynamics.Model
-	integ  dynamics.Integrator
+	model  *dynamics.Stepper
+	rk4    bool
 	state  dynamics.State
 	armed  bool // thresholds are non-zero
 	synced bool // model snapped to first feedback
@@ -241,11 +241,10 @@ var _ sim.Hook = (*Guard)(nil)
 // NewGuard builds the guard.
 func NewGuard(cfg Config) (*Guard, error) {
 	cfg.applyDefaults()
-	model, err := dynamics.NewModel(cfg.Params)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	if !dynamics.ValidScheme(cfg.Integrator) {
+		return nil, fmt.Errorf("core: unknown integrator %q (want \"euler\" or \"rk4\")", cfg.Integrator)
 	}
-	integ, err := dynamics.NewIntegrator(cfg.Integrator, dynamics.StateDim)
+	model, err := dynamics.NewStepper(cfg.Params)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -261,7 +260,7 @@ func NewGuard(cfg Config) (*Guard, error) {
 	if (cfg.Mode == ModeMitigate || cfg.Mode == ModeHoldSafe) && !armed {
 		return nil, fmt.Errorf("core: mitigation modes require thresholds")
 	}
-	g := &Guard{cfg: cfg, model: model, integ: integ, armed: armed}
+	g := &Guard{cfg: cfg, model: model, rk4: cfg.Integrator == "rk4", armed: armed}
 	switch cfg.Resync {
 	case "proportional":
 	case "kalman":
@@ -459,7 +458,7 @@ func (g *Guard) OnWrite(buf []byte) interpose.Verdict {
 	start := time.Now()
 	g.model.SetTorque(tau)
 	const dt = 1e-3
-	g.integ.Step(g.model.Deriv, 0, g.state.X[:], dt)
+	g.model.Step(g.rk4, &g.state.X, dt)
 	g.stepTime.Add(float64(time.Since(start).Nanoseconds()))
 
 	var est Sample

@@ -1,0 +1,520 @@
+package dynamics
+
+import (
+	"fmt"
+	"math"
+
+	"ravenguard/internal/kinematics"
+)
+
+// This file is the hot-path kernel of the repository: the fused
+// fixed-step integrators used by the plant's 50 us RK4 sub-step loop and
+// by the guard's one-step-ahead prediction, both of which must fit far
+// inside the 1 ms control period (Section V of the paper makes the
+// Euler-vs-RK4 runtime a headline trade-off). The generic
+// Integrator/Deriv path in integrator.go remains as the readable
+// reference implementation — the equivalence tests in fused_test.go pin
+// the two together — but it pays a method-value closure allocation and
+// interface dispatch on every step. The Stepper instead:
+//
+//   - exploits that the two-mass model has no cross-joint coupling: each
+//     joint's four states run their whole RK4 step in locals, never
+//     touching memory between stages, and StepRK4 interleaves the three
+//     joints' independent stage chains so the out-of-order core overlaps
+//     them;
+//   - keeps what scratch remains in fixed-size stack values (0 allocs/op);
+//   - precomputes the reciprocals of the inertias and transmission
+//     ratios so the derivative is division-free;
+//   - replaces the tanh-smoothed Coulomb signum with a division-free
+//     polynomial inside the smoothing band (8.2e-11 worst error) and the
+//     exact ±1 beyond saturation;
+//   - evaluates the gravity sine/cosine only when the link has moved
+//     more than anchorRad from the last evaluation, reconstructing
+//     intermediate values from the anchor by a fifth-order expansion
+//     (< 2e-13 error), with a range-reduced polynomial sincos (~5e-14)
+//     when it does re-anchor.
+//
+// The fused and reference paths therefore agree to float tolerance, not
+// bit-for-bit; fused_test.go bounds the divergence at ~5e-11 over a 10 s
+// 1 kHz teleop trace — noise relative to the pipeline's ~1e-3 detection
+// thresholds. Every approximation boundary degrades gracefully: NaN
+// states propagate and cannot poison the anchor, and arguments outside a
+// polynomial's domain fall back to math.Tanh/math.Sincos.
+
+// fusedJoint is one joint's constants, reshaped for the derivative's
+// inner loop: reciprocals instead of divisors, flat fields instead of the
+// documented JointParams layout.
+type fusedJoint struct {
+	invRatio  float64 // 1/N
+	k         float64 // cable stiffness
+	b         float64 // cable damping
+	bm        float64 // motor damping
+	invJm     float64 // 1/Jm
+	bl        float64 // link damping
+	coulomb   float64
+	invJl     float64 // 1/Jl
+	gravConst float64
+	gravPhase float64
+	gravSin   bool
+
+	// Gravity anchor: the amplitude-scaled sine/cosine of the gravity
+	// angle, evaluated at link position aLp. While the link stays within
+	// anchorRad of aLp — hundreds of consecutive steps at realistic
+	// joint speeds — gravAt reconstructs the gravity torque from the
+	// anchor by a fifth-order expansion instead of calling fastSinCos.
+	// aLp starts (and, after a NaN state, becomes) NaN, which fails the
+	// freshness check and forces a re-anchor. Mutated by Step*; part of
+	// why a Stepper is not safe for concurrent use.
+	aLp  float64
+	aSin float64 // gravConst * sin(aLp + gravPhase)
+	aCos float64 // gravConst * cos(aLp + gravPhase)
+}
+
+// accelG evaluates one joint's accelerations (motor, link) given the
+// held torque, the joint's four states and the precomputed link-side
+// load (gravity plus Coulomb friction):
+//
+//	cable  = K*(mpos/N - lpos) + B*(mvel/N - lvel)
+//	Jm a_m = tau - Bm*mvel - cable/N
+//	Jl a_l = cable - Bl*lvel - load
+//
+// The load — the only transcendental part of the derivative — is hoisted
+// to the caller so this body is pure arithmetic and small enough for the
+// inliner: the RK4 stage loop calls it 12 times per step.
+func (j *fusedJoint) accelG(tau, mpos, mvel, lpos, lvel, load float64) (am, al float64) {
+	stretch := mpos*j.invRatio - lpos
+	stretchVel := mvel*j.invRatio - lvel
+	cable := j.k*stretch + j.b*stretchVel
+	am = (tau - j.bm*mvel - cable*j.invRatio) * j.invJm
+	al = (cable - j.bl*lvel - load) * j.invJl
+	return am, al
+}
+
+// friction is the joint's tanh-smoothed Coulomb term at link velocity
+// lvel (see model.go's smoothSign). The step loops spell the same
+// computation out by hand — tanhBand2 branch between tanhPoly and
+// tanhTail — because a single function holding both the polynomial and
+// the fallback call exceeds the inline budget; this method is the
+// readable form, used where a few nanoseconds don't matter.
+func (j *fusedJoint) friction(lvel float64) float64 {
+	return j.coulomb * fastTanh(lvel*invSmooth)
+}
+
+// anchorRad2 is the square of the anchor freshness radius (0.01 rad).
+// Within that radius gravAt's fifth-order expansion is exact to
+// ~d^6/720 < 2e-13 even with a stage offset on top, so the anchor only
+// needs refreshing after the link has actually travelled.
+const anchorRad2 = 1e-4
+
+// anchor returns the link's offset from the joint's gravity anchor,
+// re-anchoring first if the link has moved more than anchorRad away —
+// or if either the anchor or lpos is NaN, since a NaN offset fails the
+// freshness comparison. Prismatic joints keep an anchor too, even
+// though gravAt ignores their offset: walking the anchor along with the
+// link costs a cheap reanchor call every ~anchorRad of travel and keeps
+// this body small enough to inline.
+func (j *fusedJoint) anchor(lpos float64) float64 {
+	d := lpos - j.aLp
+	if d*d < anchorRad2 {
+		return d
+	}
+	j.reanchor(lpos)
+	return 0
+}
+
+// reanchor moves the gravity anchor to link position lpos, re-evaluating
+// the sine/cosine there for the sinusoidal joints. Kept out of line: it
+// is the rare path of anchor, and letting its body inline into anchor
+// would push anchor itself past the inline budget.
+//
+//go:noinline
+func (j *fusedJoint) reanchor(lpos float64) {
+	j.aLp = lpos
+	if !j.gravSin {
+		return
+	}
+	sn, cs := fastSinCos(lpos + j.gravPhase)
+	j.aSin, j.aCos = j.gravConst*sn, j.gravConst*cs
+}
+
+// gravAt evaluates the gravity torque at angle offset d from the joint's
+// anchor, using the fifth-order expansion
+//
+//	sin(a+d) = sin a (1 - d²/2 + d⁴/24) + cos a (d - d³/6 + d⁵/120)
+//
+// whose truncation error d^6/720 is < 2e-13 within the anchor radius.
+func (j *fusedJoint) gravAt(d float64) float64 {
+	if !j.gravSin {
+		return j.gravConst
+	}
+	z := d * d
+	return j.aSin*(1-z*(0.5-z*(1.0/24))) + j.aCos*d*(1-z*((1.0/6)-z*(1.0/120)))
+}
+
+// Stepper is the fused dynamics kernel: the two-mass model and both
+// fixed-step integration schemes in one object. Not safe for concurrent
+// use; each simulation loop owns its own.
+type Stepper struct {
+	joints [kinematics.NumJoints]fusedJoint
+	tau    [kinematics.NumJoints]float64
+	params Params
+}
+
+// NewStepper builds the kernel, validating the parameters.
+func NewStepper(p Params) (*Stepper, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("dynamics: %w", err)
+	}
+	s := &Stepper{params: p}
+	for i := range p.Joints {
+		jp := &p.Joints[i]
+		s.joints[i] = fusedJoint{
+			invRatio:  1 / jp.Ratio,
+			k:         jp.CableStiffness,
+			b:         jp.CableDamping,
+			bm:        jp.MotorDamping,
+			invJm:     1 / jp.MotorInertia,
+			bl:        jp.LinkDamping,
+			coulomb:   jp.Coulomb,
+			invJl:     1 / jp.LinkInertia,
+			gravConst: jp.GravConst,
+			gravPhase: jp.GravPhase,
+			gravSin:   jp.GravSin,
+			aLp:       math.NaN(), // no anchor until the first step
+		}
+	}
+	return s, nil
+}
+
+// Params returns the constants the kernel was built from.
+func (s *Stepper) Params() Params { return s.params }
+
+// SetTorque fixes the motor torque input (zero-order hold) for subsequent
+// steps.
+func (s *Stepper) SetTorque(tau [kinematics.NumJoints]float64) { s.tau = tau }
+
+// Torque returns the currently applied motor torques.
+func (s *Stepper) Torque() [kinematics.NumJoints]float64 { return s.tau }
+
+// StepEuler advances x in place by one explicit Euler step.
+func (s *Stepper) StepEuler(x *[StateDim]float64, dt float64) {
+	for i := 0; i < kinematics.NumJoints; i++ {
+		j := &s.joints[i]
+		base := 4 * i
+		mp, mv := x[base], x[base+1]
+		lp, lv := x[base+2], x[base+3]
+		d0 := j.anchor(lp)
+		u := lv * lv
+		var fr float64
+		if u < tanhBandV2 {
+			fr = tanhPolyVel(lv, u)
+		} else {
+			fr = tanhTail(lv * invSmooth)
+		}
+		am, al := j.accelG(s.tau[i], mp, mv, lp, lv, j.gravAt(d0)+j.coulomb*fr)
+		x[base] = mp + dt*mv
+		x[base+1] = mv + dt*am
+		x[base+2] = lp + dt*lv
+		x[base+3] = lv + dt*al
+	}
+}
+
+// StepRK4 advances x in place by one classical 4th-order Runge-Kutta
+// step. The body is written stage-major with the three joints spelled
+// out (suffixes a, b, c) rather than joint-major in a loop: each stage's
+// link acceleration depends on the previous stage's through a ~50-cycle
+// chain (friction polynomial included), and interleaving the three
+// independent joints' chains in program order lets the out-of-order core
+// overlap them, where the joint-at-a-time form left it idling down one
+// serial chain at a time — measured ~2x on BenchmarkFusedStepRK4. The
+// friction band branch is spelled out per joint per stage because a
+// helper holding both the polynomial and the tanhTail fallback call
+// would exceed the inline budget (see tanhPolyVel). Gravity comes from
+// each joint's anchor via gravAt, with the stage position offsets added
+// onto the anchor offset d0.
+func (s *Stepper) StepRK4(x *[StateDim]float64, dt float64) {
+	h2, h6 := dt/2, dt/6
+	ja, jb, jc := &s.joints[0], &s.joints[1], &s.joints[2]
+	taua, taub, tauc := s.tau[0], s.tau[1], s.tau[2]
+	mpa, mva, lpa, lva := x[0], x[1], x[2], x[3]
+	mpb, mvb, lpb, lvb := x[4], x[5], x[6], x[7]
+	mpc, mvc, lpc, lvc := x[8], x[9], x[10], x[11]
+	d0a, d0b, d0c := ja.anchor(lpa), jb.anchor(lpb), jc.anchor(lpc)
+
+	ua, ub, uc := lva*lva, lvb*lvb, lvc*lvc
+	var fra, frb, frc float64
+	if ua < tanhBandV2 {
+		fra = tanhPolyVel(lva, ua)
+	} else {
+		fra = tanhTail(lva * invSmooth)
+	}
+	if ub < tanhBandV2 {
+		frb = tanhPolyVel(lvb, ub)
+	} else {
+		frb = tanhTail(lvb * invSmooth)
+	}
+	if uc < tanhBandV2 {
+		frc = tanhPolyVel(lvc, uc)
+	} else {
+		frc = tanhTail(lvc * invSmooth)
+	}
+	am1a, al1a := ja.accelG(taua, mpa, mva, lpa, lva, ja.gravAt(d0a)+ja.coulomb*fra)
+	am1b, al1b := jb.accelG(taub, mpb, mvb, lpb, lvb, jb.gravAt(d0b)+jb.coulomb*frb)
+	am1c, al1c := jc.accelG(tauc, mpc, mvc, lpc, lvc, jc.gravAt(d0c)+jc.coulomb*frc)
+
+	mv2a, lv2a := mva+h2*am1a, lva+h2*al1a
+	mv2b, lv2b := mvb+h2*am1b, lvb+h2*al1b
+	mv2c, lv2c := mvc+h2*am1c, lvc+h2*al1c
+	ua, ub, uc = lv2a*lv2a, lv2b*lv2b, lv2c*lv2c
+	if ua < tanhBandV2 {
+		fra = tanhPolyVel(lv2a, ua)
+	} else {
+		fra = tanhTail(lv2a * invSmooth)
+	}
+	if ub < tanhBandV2 {
+		frb = tanhPolyVel(lv2b, ub)
+	} else {
+		frb = tanhTail(lv2b * invSmooth)
+	}
+	if uc < tanhBandV2 {
+		frc = tanhPolyVel(lv2c, uc)
+	} else {
+		frc = tanhTail(lv2c * invSmooth)
+	}
+	am2a, al2a := ja.accelG(taua, mpa+h2*mva, mv2a, lpa+h2*lva, lv2a, ja.gravAt(d0a+h2*lva)+ja.coulomb*fra)
+	am2b, al2b := jb.accelG(taub, mpb+h2*mvb, mv2b, lpb+h2*lvb, lv2b, jb.gravAt(d0b+h2*lvb)+jb.coulomb*frb)
+	am2c, al2c := jc.accelG(tauc, mpc+h2*mvc, mv2c, lpc+h2*lvc, lv2c, jc.gravAt(d0c+h2*lvc)+jc.coulomb*frc)
+
+	mv3a, lv3a := mva+h2*am2a, lva+h2*al2a
+	mv3b, lv3b := mvb+h2*am2b, lvb+h2*al2b
+	mv3c, lv3c := mvc+h2*am2c, lvc+h2*al2c
+	ua, ub, uc = lv3a*lv3a, lv3b*lv3b, lv3c*lv3c
+	if ua < tanhBandV2 {
+		fra = tanhPolyVel(lv3a, ua)
+	} else {
+		fra = tanhTail(lv3a * invSmooth)
+	}
+	if ub < tanhBandV2 {
+		frb = tanhPolyVel(lv3b, ub)
+	} else {
+		frb = tanhTail(lv3b * invSmooth)
+	}
+	if uc < tanhBandV2 {
+		frc = tanhPolyVel(lv3c, uc)
+	} else {
+		frc = tanhTail(lv3c * invSmooth)
+	}
+	am3a, al3a := ja.accelG(taua, mpa+h2*mv2a, mv3a, lpa+h2*lv2a, lv3a, ja.gravAt(d0a+h2*lv2a)+ja.coulomb*fra)
+	am3b, al3b := jb.accelG(taub, mpb+h2*mv2b, mv3b, lpb+h2*lv2b, lv3b, jb.gravAt(d0b+h2*lv2b)+jb.coulomb*frb)
+	am3c, al3c := jc.accelG(tauc, mpc+h2*mv2c, mv3c, lpc+h2*lv2c, lv3c, jc.gravAt(d0c+h2*lv2c)+jc.coulomb*frc)
+
+	mv4a, lv4a := mva+dt*am3a, lva+dt*al3a
+	mv4b, lv4b := mvb+dt*am3b, lvb+dt*al3b
+	mv4c, lv4c := mvc+dt*am3c, lvc+dt*al3c
+	ua, ub, uc = lv4a*lv4a, lv4b*lv4b, lv4c*lv4c
+	if ua < tanhBandV2 {
+		fra = tanhPolyVel(lv4a, ua)
+	} else {
+		fra = tanhTail(lv4a * invSmooth)
+	}
+	if ub < tanhBandV2 {
+		frb = tanhPolyVel(lv4b, ub)
+	} else {
+		frb = tanhTail(lv4b * invSmooth)
+	}
+	if uc < tanhBandV2 {
+		frc = tanhPolyVel(lv4c, uc)
+	} else {
+		frc = tanhTail(lv4c * invSmooth)
+	}
+	am4a, al4a := ja.accelG(taua, mpa+dt*mv3a, mv4a, lpa+dt*lv3a, lv4a, ja.gravAt(d0a+dt*lv3a)+ja.coulomb*fra)
+	am4b, al4b := jb.accelG(taub, mpb+dt*mv3b, mv4b, lpb+dt*lv3b, lv4b, jb.gravAt(d0b+dt*lv3b)+jb.coulomb*frb)
+	am4c, al4c := jc.accelG(tauc, mpc+dt*mv3c, mv4c, lpc+dt*lv3c, lv4c, jc.gravAt(d0c+dt*lv3c)+jc.coulomb*frc)
+
+	x[0] = mpa + h6*(mva+2*mv2a+2*mv3a+mv4a)
+	x[1] = mva + h6*(am1a+2*am2a+2*am3a+am4a)
+	x[2] = lpa + h6*(lva+2*lv2a+2*lv3a+lv4a)
+	x[3] = lva + h6*(al1a+2*al2a+2*al3a+al4a)
+	x[4] = mpb + h6*(mvb+2*mv2b+2*mv3b+mv4b)
+	x[5] = mvb + h6*(am1b+2*am2b+2*am3b+am4b)
+	x[6] = lpb + h6*(lvb+2*lv2b+2*lv3b+lv4b)
+	x[7] = lvb + h6*(al1b+2*al2b+2*al3b+al4b)
+	x[8] = mpc + h6*(mvc+2*mv2c+2*mv3c+mv4c)
+	x[9] = mvc + h6*(am1c+2*am2c+2*am3c+am4c)
+	x[10] = lpc + h6*(lvc+2*lv2c+2*lv3c+lv4c)
+	x[11] = lvc + h6*(al1c+2*al2c+2*al3c+al4c)
+}
+
+// Step advances x by one step of the named scheme: rk4 selects StepRK4,
+// otherwise StepEuler. It lets callers hold one branch flag instead of an
+// interface value.
+func (s *Stepper) Step(rk4 bool, x *[StateDim]float64, dt float64) {
+	if rk4 {
+		s.StepRK4(x, dt)
+	} else {
+		s.StepEuler(x, dt)
+	}
+}
+
+// invSmooth is the reciprocal of the smoothSign tanh band (see model.go);
+// constant arithmetic keeps it exact.
+const invSmooth = 1 / 0.02
+
+// tanhBand2 is the square of the half-width of fastTanh's polynomial
+// band: tanhPoly is valid for x² < tanhBand2, i.e. |x| < 5/8.
+const tanhBand2 = 0.390625
+
+// tanhBandV2 is the same band expressed on link velocity: tanhPolyVel is
+// valid for v² < tanhBandV2, i.e. |v| < 5/8 · 0.02.
+const tanhBandV2 = tanhBand2 / (invSmooth * invSmooth)
+
+// tanhPolyVel evaluates smoothSign(v) = tanh(v/0.02) directly from the
+// link velocity: it is tanhPoly with the 1/0.02 argument scaling folded
+// into the coefficients (ck · 50·2500^k), so the step loops go from v to
+// friction without first materializing v/0.02. Callers pass u = v² and
+// must have checked u < tanhBandV2. Same 8.2e-11 worst error as
+// tanhPoly; the two differ only in rounding, at ~1 ulp.
+func tanhPolyVel(v, u float64) float64 {
+	p := 2.600474304296876e+19
+	p = p*u - 3.984975920707703e+16
+	p = p*u + 42368662216806.414
+	p = p*u - 42144443625.64386
+	p = p*u + 41666201.69052964
+	p = p*u - 41666.66219649304
+	p = p*u + 49.999999992955466
+	return v * p
+}
+
+// tanhPoly evaluates tanh on |x| < 5/8 — the band the stage loop
+// actually sits in whenever a link moves slower than the smoothing
+// velocity — as a degree-13 odd polynomial, the Chebyshev fit of
+// tanh(x)/x in t = x² on the band, with worst error 8.2e-11 absolute:
+// friction-torque noise of coulomb·8e-11 N·m, far below the model's
+// parameter tolerances. A division-based Padé approximant would be one
+// ulp accurate, but twelve of these run per RK4 step and the divider is
+// the one unit the stage loop would serialize on; the polynomial is
+// pure fused-multiply-add material. Callers pass t so the banding
+// branch and this body stay separately inlinable: one function holding
+// the polynomial, the branch, and the tanhTail fallback call would
+// exceed the inline budget.
+func tanhPoly(x, t float64) float64 {
+	p := 0.0021303085500800007
+	p = p*t - 0.008161230685609377
+	p = p*t + 0.021692755055004884
+	p = p*t - 0.053944887840824136
+	p = p*t + 0.13333184540969484
+	p = p*t - 0.3333332975719443
+	p = p*t + 0.9999999998591094
+	return x * p
+}
+
+// fastTanh composes tanhPoly and tanhTail into a drop-in tanh for the
+// Coulomb smoothing term. NaN propagates through both paths. The step
+// loops inline the same banding branch by hand instead of calling this
+// (see friction).
+func fastTanh(x float64) float64 {
+	t := x * x
+	if t < tanhBand2 {
+		return tanhPoly(x, t)
+	}
+	return tanhTail(x)
+}
+
+// tanhTail handles |x| >= 5/8 for fastTanh. For |x| >= 20, tanh(x)
+// differs from ±1 by < 1e-17, far below half an ulp of 1.0, so returning
+// ±1 is value-identical to math.Tanh while skipping its exp evaluation —
+// and saturation is the common case once a joint moves faster than the
+// Coulomb smoothing band. The remaining mid band defers to math.Tanh.
+func tanhTail(x float64) float64 {
+	if x >= 20 {
+		return 1
+	}
+	if x <= -20 {
+		return -1
+	}
+	return math.Tanh(x)
+}
+
+// Cody-Waite two-part representation of 2π for the fastSin argument
+// reduction: twoPiHi is 2π rounded to float64, twoPiLo the remainder.
+const (
+	twoPiHi   = 6.283185307179586
+	twoPiLo   = 2.4492935982947064e-16
+	invTwoPi  = 1 / (2 * math.Pi)
+	halfPi    = math.Pi / 2
+	onePi     = math.Pi
+	sinMaxArg = 1 << 40 // beyond this the two-part reduction loses the angle
+)
+
+// fastSin is a range-reduced odd-polynomial sine: reduce to [-π, π] by
+// subtracting the nearest multiple of 2π (in two parts, so the reduction
+// stays exact for the workspace-scale angles the model sees), fold into
+// [-π/2, π/2], then evaluate the Taylor series through x^17 (truncation
+// error ≈ 4e-14 at π/2). Arguments too large for the two-part reduction
+// fall back to math.Sin.
+func fastSin(x float64) float64 {
+	if x > sinMaxArg || x < -sinMaxArg {
+		return math.Sin(x) // also catches NaN/Inf
+	}
+	q := math.RoundToEven(x * invTwoPi)
+	r := x - q*twoPiHi
+	r -= q * twoPiLo
+	if r > halfPi {
+		r = onePi - r
+	} else if r < -halfPi {
+		r = -onePi - r
+	}
+	z := r * r
+	p := 2.8114572543455206e-15 // 1/17!
+	p = p*z - 7.647163731819816e-13
+	p = p*z + 1.6059043836821613e-10
+	p = p*z - 2.505210838544172e-08
+	p = p*z + 2.7557319223985893e-06
+	p = p*z - 1.984126984126984e-04
+	p = p*z + 8.333333333333333e-03
+	p = p*z - 1.6666666666666666e-01
+	return r + r*(z*p)
+}
+
+// fastSinCos returns sin(x) and cos(x) with the same reduction as
+// fastSin: fold into [-π/2, π/2] (the fold keeps the sine and negates the
+// cosine), then Taylor polynomials through x^17 / x^16.
+func fastSinCos(x float64) (sin, cos float64) {
+	if x > sinMaxArg || x < -sinMaxArg {
+		return math.Sincos(x) // also catches NaN/Inf
+	}
+	q := math.RoundToEven(x * invTwoPi)
+	r := x - q*twoPiHi
+	r -= q * twoPiLo
+	negCos := false
+	if r > halfPi {
+		r = onePi - r
+		negCos = true
+	} else if r < -halfPi {
+		r = -onePi - r
+		negCos = true
+	}
+	z := r * r
+	p := 2.8114572543455206e-15 // 1/17!
+	p = p*z - 7.647163731819816e-13
+	p = p*z + 1.6059043836821613e-10
+	p = p*z - 2.505210838544172e-08
+	p = p*z + 2.7557319223985893e-06
+	p = p*z - 1.984126984126984e-04
+	p = p*z + 8.333333333333333e-03
+	p = p*z - 1.6666666666666666e-01
+	sin = r + r*(z*p)
+
+	c := 4.779477332387385e-14 // 1/16!
+	c = c*z - 1.1470745597729725e-11
+	c = c*z + 2.08767569878681e-09
+	c = c*z - 2.755731922398589e-07
+	c = c*z + 2.48015873015873e-05
+	c = c*z - 1.3888888888888889e-03
+	c = c*z + 4.1666666666666664e-02 // 1/4!
+	cos = 1 - 0.5*z + z*z*c
+	if negCos {
+		cos = -cos
+	}
+	return sin, cos
+}

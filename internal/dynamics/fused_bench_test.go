@@ -1,0 +1,24 @@
+package dynamics
+
+import (
+	"testing"
+
+	"ravenguard/internal/kinematics"
+)
+
+func benchFused(b *testing.B, rk4 bool) {
+	s, err := NewStepper(DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st State
+	st.SetJointPos(kinematics.DefaultLimits().Center(), kinematics.DefaultTransmission())
+	s.SetTorque([3]float64{0.01, 0.01, 0.005})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(rk4, &st.X, 1e-3)
+	}
+}
+
+func BenchmarkFusedStepEuler(b *testing.B) { benchFused(b, false) }
+func BenchmarkFusedStepRK4(b *testing.B)   { benchFused(b, true) }

@@ -8,6 +8,34 @@ package dynamics
 
 import "fmt"
 
+// Human-readable scheme names, shared by the integrators' Name methods
+// and every report/benchmark that matches on them — matching on a copied
+// string literal has already caused a benchmark to silently measure
+// nothing.
+const (
+	EulerName = "Euler"
+	RK4Name   = "4th Order Runge Kutta"
+)
+
+// SchemeName maps a configuration scheme string ("euler" or "rk4") to
+// its human-readable name, defaulting to the scheme itself for unknown
+// values.
+func SchemeName(scheme string) string {
+	switch scheme {
+	case "euler":
+		return EulerName
+	case "rk4":
+		return RK4Name
+	}
+	return scheme
+}
+
+// ValidScheme reports whether scheme is a configuration name NewIntegrator
+// (and the fused Stepper's callers) accept.
+func ValidScheme(scheme string) bool {
+	return scheme == "euler" || scheme == "rk4"
+}
+
 // Deriv computes the time derivative of state x at time t into dx.
 // dx and x always have equal length; implementations must not retain either
 // slice.
@@ -45,7 +73,7 @@ func (e *Euler) Step(f Deriv, t float64, x []float64, dt float64) {
 }
 
 // Name implements Integrator.
-func (e *Euler) Name() string { return "Euler" }
+func (e *Euler) Name() string { return EulerName }
 
 // RK4 is the classical 4th-order Runge-Kutta scheme: four derivative
 // evaluations per step, ~3x the cost of Euler but 4th-order accurate.
@@ -91,7 +119,7 @@ func (r *RK4) Step(f Deriv, t float64, x []float64, dt float64) {
 }
 
 // Name implements Integrator.
-func (r *RK4) Name() string { return "4th Order Runge Kutta" }
+func (r *RK4) Name() string { return RK4Name }
 
 // NewIntegrator constructs an integrator by scheme name ("euler" or "rk4")
 // for states of dimension n. Unknown names return an error so configuration

@@ -290,9 +290,11 @@ func classifyFaultOutcome(rec faultRun, truthImpact bool) FaultOutcome {
 	}
 }
 
-// RunFaultCampaign executes the fault-kind × guard-policy matrix. Cells are
-// run sequentially in a fixed order and every random decision derives from
-// BaseSeed, so the same configuration reproduces the identical matrix.
+// RunFaultCampaign executes the fault-kind × guard-policy matrix. Every
+// cell's runs are independent (each derives from BaseSeed and its matrix
+// coordinates alone), so they fan out onto the worker pool; classification
+// then walks the records single-threaded in the fixed matrix order, so the
+// same configuration reproduces the identical matrix at any worker count.
 func RunFaultCampaign(c FaultCampaignConfig) (FaultCampaignResult, error) {
 	if c.Seeds <= 0 {
 		c.Seeds = 3
@@ -305,16 +307,40 @@ func RunFaultCampaign(c FaultCampaignConfig) (FaultCampaignResult, error) {
 		kinds = fault.AllKinds()
 	}
 
-	var out FaultCampaignResult
+	type faultJob struct {
+		kind fault.Kind
+		pol  GuardPolicy
+		seed int
+	}
+	jobs := make([]faultJob, 0, len(kinds)*len(AllPolicies())*c.Seeds)
 	for _, k := range kinds {
+		for _, pol := range AllPolicies() {
+			for s := 0; s < c.Seeds; s++ {
+				jobs = append(jobs, faultJob{k, pol, s})
+			}
+		}
+	}
+	recs, err := runJobs(len(jobs), func(i int) (faultRun, error) {
+		j := jobs[i]
+		rec, err := c.runOne(j.kind, j.pol, j.seed)
+		if err != nil {
+			return faultRun{}, fmt.Errorf("experiment: fault campaign %v/%v seed %d: %w", j.kind, j.pol, j.seed, err)
+		}
+		return rec, nil
+	})
+	if err != nil {
+		return FaultCampaignResult{}, err
+	}
+
+	var out FaultCampaignResult
+	idx := 0
+	for range kinds {
 		truth := make([]bool, c.Seeds)
 		for _, pol := range AllPolicies() {
-			cell := FaultCell{Kind: k, Policy: pol, Seeds: c.Seeds}
+			cell := FaultCell{Kind: jobs[idx].kind, Policy: pol, Seeds: c.Seeds}
 			for s := 0; s < c.Seeds; s++ {
-				rec, err := c.runOne(k, pol, s)
-				if err != nil {
-					return FaultCampaignResult{}, fmt.Errorf("experiment: fault campaign %v/%v seed %d: %w", k, pol, s, err)
-				}
+				rec := recs[idx]
+				idx++
 				if pol == PolicyOff {
 					truth[s] = rec.impact
 				}

@@ -122,17 +122,22 @@ type Fig6Result struct {
 	Inference analysis.Inference
 }
 
+// fig6Capture is one randomized session's captured frames and ground truth.
+type fig6Capture struct {
+	frames [][]byte
+	truth  []statemachine.State
+}
+
 // RunFig6 captures nine sessions with randomized pedal timing (like the
 // paper's nine runs), infers the state byte / watchdog bit / Pedal Down
-// trigger, and validates the inferred timelines against ground truth.
+// trigger, and validates the inferred timelines against ground truth. The
+// scripts are drawn from the seeded rng sequentially (their randomness is
+// order-dependent), then the captures fan out onto the worker pool.
 func RunFig6(baseSeed int64) (Fig6Result, error) {
 	rng := rand.New(rand.NewSource(baseSeed))
-	var (
-		captures [][][]byte
-		truths   [][]statemachine.State
-		result   Fig6Result
-	)
-	for run := 0; run < 9; run++ {
+	const runs = 9
+	scripts := make([]console.Script, runs)
+	for run := 0; run < runs; run++ {
 		script := console.Script{
 			StartAt:    0.05,
 			HomingWait: 2.5,
@@ -146,12 +151,24 @@ func RunFig6(baseSeed int64) (Fig6Result, error) {
 				console.Segment{Duration: 1 + 2*rng.Float64(), PedalDown: true},
 			)
 		}
-		frames, truth, err := captureRun(baseSeed+int64(run), script)
-		if err != nil {
-			return Fig6Result{}, err
-		}
-		captures = append(captures, frames)
-		truths = append(truths, truth)
+		scripts[run] = script
+	}
+
+	caps, err := runJobs(runs, func(i int) (fig6Capture, error) {
+		frames, truth, err := captureRun(baseSeed+int64(i), scripts[i])
+		return fig6Capture{frames: frames, truth: truth}, err
+	})
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	var (
+		captures [][][]byte
+		truths   [][]statemachine.State
+		result   Fig6Result
+	)
+	for _, c := range caps {
+		captures = append(captures, c.frames)
+		truths = append(truths, c.truth)
 	}
 
 	inf, err := analysis.Infer(captures)

@@ -7,6 +7,7 @@ import (
 
 	"ravenguard/internal/console"
 	"ravenguard/internal/core"
+	"ravenguard/internal/dynamics"
 	"ravenguard/internal/kinematics"
 	"ravenguard/internal/sim"
 	"ravenguard/internal/trajectory"
@@ -40,9 +41,52 @@ type Fig8Result struct {
 	Rows []Fig8Row
 }
 
+// fig8Partial is one session's error/runtime accumulators.
+type fig8Partial struct {
+	mposErr [kinematics.NumJoints]float64
+	jposErr [kinematics.NumJoints]float64
+	samples int
+	stepMs  float64
+}
+
+// runFig8One runs one model-alongside-robot session under one integrator.
+func runFig8One(cfg Fig8Config, scheme string, run int) (fig8Partial, error) {
+	var p fig8Partial
+	guard, err := core.NewGuard(core.Config{Integrator: scheme})
+	if err != nil {
+		return p, err
+	}
+	rig, err := sim.New(sim.Config{
+		Seed:   cfg.BaseSeed + int64(run),
+		Script: console.StandardScript(cfg.TeleopSeconds),
+		Traj:   trajectory.Standard()[run%2],
+		Guards: []sim.Hook{guard},
+	})
+	if err != nil {
+		return p, err
+	}
+	rig.Observe(func(si sim.StepInfo) {
+		if si.T < 3.0 { // compare once teleoperation is underway
+			return
+		}
+		mp, jp := guard.ModelState()
+		for i := 0; i < kinematics.NumJoints; i++ {
+			p.mposErr[i] += math.Abs(mp[i] - si.MposTrue[i])
+			p.jposErr[i] += math.Abs(jp[i] - si.JposTrue[i])
+		}
+		p.samples++
+	})
+	if _, err := rig.Run(0); err != nil {
+		return p, err
+	}
+	p.stepMs = guard.StepTime().Mean / 1e6
+	return p, nil
+}
+
 // RunFig8 runs the model in parallel with the plant over several sessions
 // for each integrator and aggregates "the average of mean absolute errors
-// estimated for each trajectory".
+// estimated for each trajectory". All (integrator, run) sessions fan out
+// onto the worker pool together; the reduction walks them in fixed order.
 func RunFig8(cfg Fig8Config) (Fig8Result, error) {
 	if cfg.Runs == 0 {
 		cfg.Runs = 10
@@ -51,53 +95,37 @@ func RunFig8(cfg Fig8Config) (Fig8Result, error) {
 		cfg.TeleopSeconds = 6
 	}
 
+	schemes := []string{"rk4", "euler"}
+	parts, err := runJobs(len(schemes)*cfg.Runs, func(i int) (fig8Partial, error) {
+		return runFig8One(cfg, schemes[i/cfg.Runs], i%cfg.Runs)
+	})
+	if err != nil {
+		return Fig8Result{}, err
+	}
+
 	var result Fig8Result
-	for _, scheme := range []string{"rk4", "euler"} {
+	for si, scheme := range schemes {
 		var (
 			mposErr [kinematics.NumJoints]float64
 			jposErr [kinematics.NumJoints]float64
 			samples int
 			stepMs  float64
-			steps   int
 		)
 		for run := 0; run < cfg.Runs; run++ {
-			guard, err := core.NewGuard(core.Config{Integrator: scheme})
-			if err != nil {
-				return Fig8Result{}, err
+			p := parts[si*cfg.Runs+run]
+			for i := 0; i < kinematics.NumJoints; i++ {
+				mposErr[i] += p.mposErr[i]
+				jposErr[i] += p.jposErr[i]
 			}
-			rig, err := sim.New(sim.Config{
-				Seed:   cfg.BaseSeed + int64(run),
-				Script: console.StandardScript(cfg.TeleopSeconds),
-				Traj:   trajectory.Standard()[run%2],
-				Guards: []sim.Hook{guard},
-			})
-			if err != nil {
-				return Fig8Result{}, err
-			}
-			rig.Observe(func(si sim.StepInfo) {
-				if si.T < 3.0 { // compare once teleoperation is underway
-					return
-				}
-				mp, jp := guard.ModelState()
-				for i := 0; i < kinematics.NumJoints; i++ {
-					mposErr[i] += math.Abs(mp[i] - si.MposTrue[i])
-					jposErr[i] += math.Abs(jp[i] - si.JposTrue[i])
-				}
-				samples++
-			})
-			if _, err := rig.Run(0); err != nil {
-				return Fig8Result{}, err
-			}
-			st := guard.StepTime()
-			stepMs += st.Mean / 1e6
-			steps++
+			samples += p.samples
+			stepMs += p.stepMs
 		}
 		if samples == 0 {
 			return Fig8Result{}, fmt.Errorf("experiment: fig8 collected no samples")
 		}
 		row := Fig8Row{
-			Integrator:  schemeName(scheme),
-			AvgStepMs:   stepMs / float64(steps),
+			Integrator:  dynamics.SchemeName(scheme),
+			AvgStepMs:   stepMs / float64(cfg.Runs),
 			SampleCount: samples,
 		}
 		for i := 0; i < kinematics.NumJoints; i++ {
@@ -109,13 +137,6 @@ func RunFig8(cfg Fig8Config) (Fig8Result, error) {
 		result.Rows = append(result.Rows, row)
 	}
 	return result, nil
-}
-
-func schemeName(s string) string {
-	if s == "rk4" {
-		return "4-th Order Runge Kutta"
-	}
-	return "Euler"
 }
 
 func deg(rad float64) float64 { return rad * 180 / math.Pi }

@@ -52,35 +52,49 @@ type LatencyResult struct {
 	Rows []LatencyRow
 }
 
-// RunLatency profiles detection latency for scenario-B attacks.
+// latencyTicks is one run's three tick marks.
+type latencyTicks struct {
+	start, alarm, impact int
+}
+
+// RunLatency profiles detection latency for scenario-B attacks. All
+// (value, rep) runs fan out onto the worker pool; each row's statistics
+// reduce in rep order, so the profile is identical at any worker count.
 func RunLatency(cfg LatencyConfig) (LatencyResult, error) {
 	cfg.applyDefaults()
+	reps := cfg.RunsPerValue
+	ticks, err := runJobs(len(cfg.Values)*reps, func(i int) (latencyTicks, error) {
+		v, rep := cfg.Values[i/reps], i%reps
+		trial := Trial{
+			Seed:     cfg.BaseSeed + int64(9000+rep%23),
+			TrajIdx:  rep % 2,
+			Scenario: ScenarioB,
+			B: inject.ScenarioBParams{
+				Value:           v,
+				Channel:         rep % 3,
+				StartDelayTicks: 500 + 41*rep,
+				ActivationTicks: 256,
+				Seed:            int64(rep),
+			},
+		}
+		startTick, alarmTick, impactTick, err := latencyTrial(trial)
+		return latencyTicks{startTick, alarmTick, impactTick}, err
+	})
+	if err != nil {
+		return LatencyResult{}, err
+	}
+
 	var out LatencyResult
-	for _, v := range cfg.Values {
-		row := LatencyRow{Value: v, Runs: cfg.RunsPerValue}
+	for vi, v := range cfg.Values {
+		row := LatencyRow{Value: v, Runs: reps}
 		var lat, margin stats.Running
-		for rep := 0; rep < cfg.RunsPerValue; rep++ {
-			trial := Trial{
-				Seed:     cfg.BaseSeed + int64(9000+rep%23),
-				TrajIdx:  rep % 2,
-				Scenario: ScenarioB,
-				B: inject.ScenarioBParams{
-					Value:           v,
-					Channel:         rep % 3,
-					StartDelayTicks: 500 + 41*rep,
-					ActivationTicks: 256,
-					Seed:            int64(rep),
-				},
-			}
-			startTick, alarmTick, impactTick, err := latencyTrial(trial)
-			if err != nil {
-				return LatencyResult{}, err
-			}
-			if alarmTick >= 0 && startTick >= 0 {
+		for rep := 0; rep < reps; rep++ {
+			tk := ticks[vi*reps+rep]
+			if tk.alarm >= 0 && tk.start >= 0 {
 				row.Detected++
-				lat.Add(float64(alarmTick - startTick))
-				if impactTick >= 0 {
-					margin.Add(float64(impactTick - alarmTick))
+				lat.Add(float64(tk.alarm - tk.start))
+				if tk.impact >= 0 {
+					margin.Add(float64(tk.impact - tk.alarm))
 				}
 			}
 		}

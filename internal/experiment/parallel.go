@@ -5,25 +5,63 @@ import (
 	"sync"
 )
 
-// runTrials executes trials concurrently on up to GOMAXPROCS workers and
-// returns results in input order. Trials are fully independent (each owns
-// its rigs); the shared reference cache is internally locked. The first
-// error aborts the batch.
-func runTrials(trials []Trial) ([]Result, error) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(trials) {
-		workers = len(trials)
+// The campaign worker pool. Every campaign in this package decomposes into
+// independent jobs (each job owns its rigs; the shared reference cache is
+// internally locked), runs them on this pool, and reduces the results
+// single-threaded in input-index order — so a campaign's output is
+// seed-identical at any worker count: parallelism only trades wall-clock
+// for CPU.
+var (
+	workersMu  sync.Mutex
+	numWorkers int // 0 = GOMAXPROCS
+)
+
+// SetWorkers sets the pool size used by every campaign; 0 restores the
+// GOMAXPROCS default. Safe to call between campaigns (labrunner's -workers
+// flag lands here).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workersMu.Lock()
+	numWorkers = n
+	workersMu.Unlock()
+}
+
+// Workers returns the effective pool size.
+func Workers() int {
+	workersMu.Lock()
+	n := numWorkers
+	workersMu.Unlock()
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runJobs executes n independent jobs concurrently and returns their
+// results in input order. Each job must derive everything it needs from
+// its index (fixed job order is what makes campaigns deterministic).
+//
+// First error aborts the batch: no new jobs are scheduled once one has
+// failed (in-flight jobs finish), and the lowest-indexed error is
+// returned.
+func runJobs[T any](n int, run func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	workers := Workers()
+	if workers > n {
+		workers = n
 	}
 	if workers < 1 {
 		workers = 1
 	}
 
-	results := make([]Result, len(trials))
-	errs := make([]error, len(trials))
 	var (
-		wg   sync.WaitGroup
-		next int
-		mu   sync.Mutex
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		next   int
+		failed bool
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -31,13 +69,18 @@ func runTrials(trials []Trial) ([]Result, error) {
 			defer wg.Done()
 			for {
 				mu.Lock()
+				if failed || next >= n {
+					mu.Unlock()
+					return
+				}
 				i := next
 				next++
 				mu.Unlock()
-				if i >= len(trials) {
-					return
+				if results[i], errs[i] = run(i); errs[i] != nil {
+					mu.Lock()
+					failed = true
+					mu.Unlock()
 				}
-				results[i], errs[i] = trials[i].Run()
 			}
 		}()
 	}
@@ -48,4 +91,12 @@ func runTrials(trials []Trial) ([]Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// runTrials executes trials concurrently and returns results in input
+// order.
+func runTrials(trials []Trial) ([]Result, error) {
+	return runJobs(len(trials), func(i int) (Result, error) {
+		return trials[i].Run()
+	})
 }

@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ravenguard/internal/fault"
+)
+
+// withWorkers runs f under a fixed pool size and restores the default.
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	SetWorkers(n)
+	defer SetWorkers(0)
+	f()
+}
+
+func TestRunJobsOrderedResults(t *testing.T) {
+	withWorkers(t, 8, func() {
+		got, err := runJobs(100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+			}
+		}
+	})
+}
+
+func TestRunJobsFirstErrorAborts(t *testing.T) {
+	withWorkers(t, 4, func() {
+		var (
+			mu  sync.Mutex
+			ran []int
+		)
+		boom := errors.New("boom")
+		_, err := runJobs(1000, func(i int) (int, error) {
+			mu.Lock()
+			ran = append(ran, i)
+			mu.Unlock()
+			if i == 5 {
+				return 0, fmt.Errorf("job %d: %w", i, boom)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want wrapped %v", err, boom)
+		}
+		// After the failure, scheduling must stop: far fewer than 1000 jobs
+		// may run (the failing job plus whatever was already in flight).
+		if len(ran) >= 1000 {
+			t.Fatalf("all %d jobs ran despite an early error", len(ran))
+		}
+	})
+}
+
+func TestRunJobsLowestIndexedError(t *testing.T) {
+	// Force every job through one worker so both failures definitely run;
+	// the returned error must be the lowest-indexed one.
+	withWorkers(t, 1, func() {
+		calls := 0
+		_, err := runJobs(4, func(i int) (int, error) {
+			calls++
+			if i == 2 {
+				return 0, errors.New("late failure")
+			}
+			if i == 1 {
+				return 0, errors.New("early failure")
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "early failure" {
+			t.Fatalf("err = %v, want the lowest-indexed failure", err)
+		}
+		if calls >= 4 {
+			t.Fatalf("scheduling did not stop after the first failure (%d calls)", calls)
+		}
+	})
+}
+
+func TestRunJobsEmpty(t *testing.T) {
+	got, err := runJobs(0, func(int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("runJobs(0) = %v, %v", got, err)
+	}
+}
+
+func TestWorkersKnob(t *testing.T) {
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(-1) // negative resets to the default like 0
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", Workers())
+	}
+	SetWorkers(0)
+}
+
+// TestCampaignsSeedIdenticalAcrossWorkerCounts runs a small fault campaign
+// (the richest reduction: matrix classification + confusion counts) and
+// Figure 6 (rng-scripted captures + cross-run inference) at one worker and
+// at eight, requiring bit-identical results: parallelism must only trade
+// wall-clock for CPU.
+func TestCampaignsSeedIdenticalAcrossWorkerCounts(t *testing.T) {
+	cfg := FaultCampaignConfig{
+		BaseSeed: 17,
+		Seeds:    1,
+		Teleop:   4,
+		Kinds:    []fault.Kind{fault.KindPacketLoss, fault.KindEncoderDropout},
+	}
+
+	var serialFault, parallelFault FaultCampaignResult
+	var serialFig6, parallelFig6 Fig6Result
+	withWorkers(t, 1, func() {
+		var err error
+		if serialFault, err = RunFaultCampaign(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if serialFig6, err = RunFig6(7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withWorkers(t, 8, func() {
+		var err error
+		if parallelFault, err = RunFaultCampaign(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if parallelFig6, err = RunFig6(7); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if !reflect.DeepEqual(serialFault, parallelFault) {
+		t.Fatalf("fault campaign differs across worker counts:\nworkers=1: %+v\nworkers=8: %+v",
+			serialFault, parallelFault)
+	}
+	if !reflect.DeepEqual(serialFig6, parallelFig6) {
+		t.Fatalf("fig6 differs across worker counts:\nworkers=1: %+v\nworkers=8: %+v",
+			serialFig6, parallelFig6)
+	}
+}

@@ -30,60 +30,70 @@ type Table1Result struct {
 
 // RunTable1 executes every Table I variant against a standard session and
 // classifies the observed impact the way the paper's Table I reports them.
+// Variants are independent (one rig each) and fan out onto the worker
+// pool; rows land in variant order.
 func RunTable1(baseSeed int64) (Table1Result, error) {
-	var out Table1Result
-	for _, v := range inject.AllVariants() {
-		cfg := sim.Config{
-			Seed:   baseSeed + int64(v),
-			Script: console.StandardScript(6),
-			Traj:   trajectory.Standard()[0],
-		}
-		vc := inject.VariantConfig{Variant: v, StartAt: 4.0, Seed: int64(v)}
-		installed, err := vc.Apply(&cfg)
-		if err != nil {
-			return Table1Result{}, err
-		}
-		rig, err := sim.New(cfg)
-		if err != nil {
-			return Table1Result{}, err
-		}
-
-		// Reference trace for deviation classification.
-		refTrial := Trial{Seed: cfg.Seed, TrajIdx: 0, Teleop: 6}
-		ref, err := refTrial.reference()
-		if err != nil {
-			return Table1Result{}, err
-		}
-
-		row := Table1Row{Variant: v, Installed: installed}
-		step := 0
-		halted := false
-		brakedInDown := 0
-		rig.Observe(func(si sim.StepInfo) {
-			if !halted && step < len(ref) {
-				if d := si.TipTrue.DistanceTo(ref[step]); d > row.MaxDevMM/1e3 {
-					row.MaxDevMM = d * 1e3
-				}
-			}
-			if si.PLCEStop {
-				halted = true
-			}
-			if si.Ctrl.State == statemachine.PedalDown && rig.PLC().BrakesEngaged() {
-				brakedInDown++
-			}
-			step++
-		})
-		if _, err := rig.Run(0); err != nil {
-			return Table1Result{}, err
-		}
-		row.FinalState = rig.Controller().State()
-		row.IKFails = rig.Controller().IKFails()
-		row.SafetyTrips = rig.Controller().SafetyTrips()
-		row.PLCEStopped = rig.PLC().EStopped()
-		row.Impact = classifyImpact(row, brakedInDown)
-		out.Rows = append(out.Rows, row)
+	variants := inject.AllVariants()
+	rows, err := runJobs(len(variants), func(i int) (Table1Row, error) {
+		return table1Row(baseSeed, variants[i])
+	})
+	if err != nil {
+		return Table1Result{}, err
 	}
-	return out, nil
+	return Table1Result{Rows: rows}, nil
+}
+
+// table1Row runs one variant's session and classifies its impact.
+func table1Row(baseSeed int64, v inject.Variant) (Table1Row, error) {
+	cfg := sim.Config{
+		Seed:   baseSeed + int64(v),
+		Script: console.StandardScript(6),
+		Traj:   trajectory.Standard()[0],
+	}
+	vc := inject.VariantConfig{Variant: v, StartAt: 4.0, Seed: int64(v)}
+	installed, err := vc.Apply(&cfg)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	rig, err := sim.New(cfg)
+	if err != nil {
+		return Table1Row{}, err
+	}
+
+	// Reference trace for deviation classification.
+	refTrial := Trial{Seed: cfg.Seed, TrajIdx: 0, Teleop: 6}
+	ref, err := refTrial.reference()
+	if err != nil {
+		return Table1Row{}, err
+	}
+
+	row := Table1Row{Variant: v, Installed: installed}
+	step := 0
+	halted := false
+	brakedInDown := 0
+	rig.Observe(func(si sim.StepInfo) {
+		if !halted && step < len(ref) {
+			if d := si.TipTrue.DistanceTo(ref[step]); d > row.MaxDevMM/1e3 {
+				row.MaxDevMM = d * 1e3
+			}
+		}
+		if si.PLCEStop {
+			halted = true
+		}
+		if si.Ctrl.State == statemachine.PedalDown && rig.PLC().BrakesEngaged() {
+			brakedInDown++
+		}
+		step++
+	})
+	if _, err := rig.Run(0); err != nil {
+		return Table1Row{}, err
+	}
+	row.FinalState = rig.Controller().State()
+	row.IKFails = rig.Controller().IKFails()
+	row.SafetyTrips = rig.Controller().SafetyTrips()
+	row.PLCEStopped = rig.PLC().EStopped()
+	row.Impact = classifyImpact(row, brakedInDown)
+	return row, nil
 }
 
 // classifyImpact maps run observables to the paper's impact labels. The

@@ -34,10 +34,13 @@ type Transport interface {
 }
 
 // MemTransport is a deterministic in-process transport. It is safe for
-// concurrent use.
+// concurrent use. The queue pops from a head index and rewinds when it
+// drains, so the steady send/recv cycle of a control loop reuses one
+// backing array instead of allocating per datagram.
 type MemTransport struct {
 	mu    sync.Mutex
 	queue []Packet
+	head  int
 }
 
 var _ Transport = (*MemTransport)(nil)
@@ -49,6 +52,9 @@ func NewMemTransport() *MemTransport { return &MemTransport{} }
 func (t *MemTransport) Send(p Packet) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.head == len(t.queue) {
+		t.head, t.queue = 0, t.queue[:0]
+	}
 	t.queue = append(t.queue, p)
 	return nil
 }
@@ -57,11 +63,14 @@ func (t *MemTransport) Send(p Packet) error {
 func (t *MemTransport) Recv() (Packet, bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(t.queue) == 0 {
+	if t.head == len(t.queue) {
 		return Packet{}, false, nil
 	}
-	p := t.queue[0]
-	t.queue = t.queue[1:]
+	p := t.queue[t.head]
+	t.head++
+	if t.head == len(t.queue) {
+		t.head, t.queue = 0, t.queue[:0]
+	}
 	return p, true, nil
 }
 
@@ -72,7 +81,7 @@ func (t *MemTransport) Close() error { return nil }
 func (t *MemTransport) Pending() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.queue)
+	return len(t.queue) - t.head
 }
 
 // UDPSender ships ITP datagrams over real UDP (console side).

@@ -80,8 +80,7 @@ func (c *Config) applyDefaults() {
 // use: the simulation loop owns it.
 type Plant struct {
 	cfg    Config
-	model  *dynamics.Model
-	integ  *dynamics.RK4
+	model  *dynamics.Stepper
 	state  dynamics.State
 	trans  kinematics.Transmission
 	rng    *rand.Rand
@@ -100,7 +99,7 @@ func NewPlant(cfg Config) (*Plant, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	perturbed := perturb(cfg.Params, cfg.ParamJitter, rng)
-	model, err := dynamics.NewModel(perturbed)
+	model, err := dynamics.NewStepper(perturbed)
 	if err != nil {
 		return nil, fmt.Errorf("robot: %w", err)
 	}
@@ -126,7 +125,6 @@ func NewPlant(cfg Config) (*Plant, error) {
 	p := &Plant{
 		cfg:    cfg,
 		model:  model,
-		integ:  dynamics.NewRK4(dynamics.StateDim),
 		trans:  tr,
 		rng:    rng,
 		brakes: true,
@@ -204,7 +202,7 @@ func (p *Plant) Step(dacs [usb.NumChannels]int16, dt float64) {
 			}
 		}
 		p.model.SetTorque(noisy)
-		p.integ.Step(p.model.Deriv, p.t, p.state.X[:], sub)
+		p.model.StepRK4(&p.state.X, sub)
 		p.t += sub
 		p.enforceHardStops()
 		p.checkCables()

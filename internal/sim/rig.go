@@ -139,6 +139,12 @@ type Rig struct {
 	fbDrops int          // undecodable feedback frames survived
 	steps   int
 	started bool
+
+	// inBuf and fbBuf back the per-step input/feedback values handed to
+	// the OnInput/OnFeedbackRead hooks by pointer; as fields they keep
+	// Step allocation-free (locals passed by pointer would escape).
+	inBuf control.Input
+	fbBuf usb.Feedback
 }
 
 // FaultCounters aggregates the rig's graceful-degradation statistics: how
@@ -345,7 +351,8 @@ func (r *Rig) Step() (StepInfo, error) {
 		r.lastIn.StartButton = false
 		r.lastIn.EStopButton = false
 	}
-	in := r.lastIn
+	in := &r.inBuf
+	*in = r.lastIn
 
 	// The physical start button also resets the PLC latch.
 	if in.StartButton {
@@ -354,7 +361,7 @@ func (r *Rig) Step() (StepInfo, error) {
 
 	// Scenario-A injection point: after receipt, before use.
 	if r.cfg.OnInput != nil {
-		r.cfg.OnInput(r.t, &in)
+		r.cfg.OnInput(r.t, in)
 	}
 
 	// 3. Feedback the controller reads this cycle (written by the plant at
@@ -364,10 +371,12 @@ func (r *Rig) Step() (StepInfo, error) {
 	// the drop, and guards are told about the gap so their models can
 	// resynchronise on the next good frame.
 	fbFrame := r.board.ReadFeedback()
-	fb, fbErr := usb.DecodeFeedback(fbFrame)
+	fb := &r.fbBuf
+	var fbErr error
+	*fb, fbErr = usb.DecodeFeedback(fbFrame)
 	fbDropped := fbErr != nil
 	if fbDropped {
-		fb = r.lastFb
+		*fb = r.lastFb
 		r.fbDrops++
 		for _, g := range r.guards {
 			if go_, ok := g.(FeedbackGapObserver); ok {
@@ -375,18 +384,18 @@ func (r *Rig) Step() (StepInfo, error) {
 			}
 		}
 	} else {
-		r.lastFb = fb
+		r.lastFb = *fb
 		for _, g := range r.guards {
-			g.OnFeedback(fb, r.t)
+			g.OnFeedback(*fb, r.t)
 		}
 	}
 	if r.cfg.OnFeedbackRead != nil {
-		r.cfg.OnFeedbackRead(r.t, &fb)
+		r.cfg.OnFeedbackRead(r.t, fb)
 	}
 
 	// 4. Control cycle: kinematic chain, safety checks, USB write through
 	// the interposition chain (malware, then guards, then the board).
-	out := r.ctrl.Tick(in, fb, r.plc.EStopped())
+	out := r.ctrl.Tick(*in, *fb, r.plc.EStopped())
 
 	// 5. PLC supervises the relayed status byte.
 	status, have := r.board.StatusByte()
@@ -404,10 +413,10 @@ func (r *Rig) Step() (StepInfo, error) {
 	broken, _ := r.plant.CableBroken()
 	info := StepInfo{
 		T:        r.t,
-		Input:    in,
+		Input:    *in,
 		Ctrl:     out,
 		BoardDAC: r.board.DACs(),
-		Feedback: fb,
+		Feedback: *fb,
 		TipTrue:  r.plant.TipPosition(),
 		JposTrue: r.plant.JointPos(),
 		JvelTrue: r.plant.JointVel(),

@@ -32,6 +32,11 @@ type Board struct {
 	// (see internal/fault). It may return a frame of any length;
 	// wrong-length frames are undecodable upstream.
 	readFault func(frame []byte) []byte
+
+	// fbScratch backs the frame ReadFeedback returns, so the per-cycle
+	// read stays allocation-free. The frame is only valid until the next
+	// ReadFeedback call — the control loop decodes it immediately.
+	fbScratch [FeedbackLen]byte
 }
 
 // NewBoard returns a board with all DACs at zero.
@@ -103,12 +108,11 @@ func (b *Board) SetEncoders(counts [NumChannels]int32) {
 // installed read-fault hook may then corrupt the bytes (or change the
 // length, making the frame undecodable).
 func (b *Board) ReadFeedback() []byte {
-	var frame []byte
+	frame := b.fbScratch[:]
 	if b.stalled {
-		frame = append([]byte(nil), b.stallFrame...)
+		frame = append(frame[:0], b.stallFrame...)
 	} else {
-		f := b.liveFeedback().Encode()
-		frame = f[:]
+		b.fbScratch = b.liveFeedback().Encode()
 	}
 	if b.readFault != nil {
 		frame = b.readFault(frame)

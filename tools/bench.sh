@@ -1,0 +1,57 @@
+#!/bin/sh
+# bench.sh — run the hot-path benchmarks with -benchmem and emit a
+# machine-readable JSON record (ns/op, B/op, allocs/op plus any custom
+# metrics each benchmark reports), so perf changes leave a trajectory the
+# repo can diff PR over PR (see BENCH_PR3.json for the recorded format).
+#
+# Usage: tools/bench.sh [-p pattern] [-n count] [-t benchtime] [-o file]
+#   -p  benchmark regexp (default: the component micro-benchmarks; pass
+#       '.' with -t 1x to smoke every campaign benchmark too)
+#   -n  repetitions per benchmark, go test -count (default 3)
+#   -t  go test -benchtime (default 100ms)
+#   -o  output JSON path (default stdout)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern='Fused|DynamicsStep|USBCommandCodec|InterposeChainWrite|GuardOnWrite|FullSimStep|Kinematics'
+count=3
+benchtime=100ms
+out=""
+while getopts "p:n:t:o:" opt; do
+	case $opt in
+	p) pattern=$OPTARG ;;
+	n) count=$OPTARG ;;
+	t) benchtime=$OPTARG ;;
+	o) out=$OPTARG ;;
+	*) exit 2 ;;
+	esac
+done
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -count "$count" \
+	-benchtime "$benchtime" ./... | tee "$tmp"
+
+awk -v goversion="$(go version | awk '{print $3}')" \
+	-v count="$count" -v benchtime="$benchtime" '
+/^Benchmark/ {
+	name = $1; iters = $2
+	metrics = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		if (metrics != "") metrics = metrics ", "
+		metrics = metrics "\"" $(i + 1) "\": " $i
+	}
+	entries[n++] = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"metrics\": {%s}}",
+		name, iters, metrics)
+}
+END {
+	printf "{\n"
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"count\": %s,\n", count
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i < n - 1 ? "," : "")
+	printf "  ]\n}\n"
+}' "$tmp" >"${out:-/dev/stdout}"

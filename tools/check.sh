@@ -1,6 +1,8 @@
 #!/bin/sh
-# check.sh — the repo's CI gate: static analysis plus the full test suite
-# under the race detector. Run from anywhere inside the repo.
+# check.sh — the repo's CI gate: static analysis, the full test suite
+# under the race detector, and a single-iteration benchmark smoke run
+# (catches benchmarks that no longer compile or crash at runtime).
+# Run from anywhere inside the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,9 +13,13 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-# The experiment package's campaigns run ~10x slower under the race
-# detector; the default 600 s per-package timeout is not enough.
+# The experiment package's campaigns are the long pole under the race
+# detector (~6 min on one core); 900 s leaves headroom without masking
+# a genuine hang the way the old 2400 s escape hatch did.
 echo "==> go test -race ./..."
-go test -race -timeout 2400s ./...
+go test -race -timeout 900s ./...
+
+echo "==> go test -bench . -benchtime 1x ./..."
+go test -run '^$' -bench . -benchtime 1x -timeout 900s ./...
 
 echo "OK"
