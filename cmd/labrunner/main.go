@@ -25,6 +25,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ravenguard/internal/core"
@@ -46,9 +48,37 @@ func run() error {
 		workers = flag.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS); results are seed-identical at any count")
 		csvDir  = flag.String("csvdir", "", "also export fig8/table4/fig9 results as CSV into this directory")
 		outTh   = flag.String("out", "", "learn: also save the learned thresholds to this JSON file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (taken after the experiments) to this file")
 	)
 	flag.Parse()
 	experiment.SetWorkers(*workers)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "labrunner: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the steady-state live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "labrunner: memprofile:", err)
+			}
+		}()
+	}
 
 	exportCSV := func(name string, write func(io.Writer) error) error {
 		if *csvDir == "" {
@@ -234,16 +264,19 @@ func run() error {
 			attacks = 12
 		}
 		if err := run("Mitigation comparison", func() error {
-			for _, v := range []int16{12000, 16000, 20000} {
-				res, err := experiment.RunMitigationComparison(experiment.MitigationConfig{
-					Attacks: attacks, Value: v, BaseSeed: *seed,
-				})
-				if err != nil {
-					return err
-				}
+			// One sweep shares each attacked session's head across the
+			// three values; results are byte-identical to per-value runs.
+			values := []int16{12000, 16000, 20000}
+			results, err := experiment.RunMitigationSweep(values, experiment.MitigationConfig{
+				Attacks: attacks, BaseSeed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			for _, res := range results {
 				res.Write(os.Stdout)
 				fmt.Println()
-				if err := exportCSV(fmt.Sprintf("mitigation_%d.csv", v), func(w io.Writer) error {
+				if err := exportCSV(fmt.Sprintf("mitigation_%d.csv", res.Config.Value), func(w io.Writer) error {
 					return experiment.WriteMitigationCSV(w, res)
 				}); err != nil {
 					return err

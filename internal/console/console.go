@@ -193,6 +193,33 @@ func (c *Console) Tick(dt float64) (itp.Packet, error) {
 	return p, nil
 }
 
+// State is the console's mutable session state, for checkpoint/restore.
+// The script and trajectory are configuration; a fork restores State into a
+// console built from the same script.
+type State struct {
+	Seq       uint32
+	T         float64
+	TelT      float64
+	SegOffset float64
+	Started   bool
+	EStopSent bool
+	Restarted bool
+}
+
+// CaptureState returns the console's mutable state.
+func (c *Console) CaptureState() State {
+	return State{
+		Seq: c.seq, T: c.t, TelT: c.telT, SegOffset: c.segOffset,
+		Started: c.started, EStopSent: c.estopSent, Restarted: c.restarted,
+	}
+}
+
+// RestoreState rewinds the console to a captured state.
+func (c *Console) RestoreState(s State) {
+	c.seq, c.t, c.telT, c.segOffset = s.Seq, s.T, s.TelT, s.SegOffset
+	c.started, c.estopSent, c.restarted = s.Started, s.EStopSent, s.Restarted
+}
+
 // Time returns the console's session clock.
 func (c *Console) Time() float64 { return c.t }
 

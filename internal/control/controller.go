@@ -440,3 +440,54 @@ func (c *Controller) gravityFeedforward(i int) float64 {
 
 // IKFails returns how many teleop cycles failed inverse kinematics.
 func (c *Controller) IKFails() int { return c.ikFails }
+
+// State is the controller's mutable state, for checkpoint/restore: the
+// setpoint integrator, homing ramp, state machine, PID and wrist-servo
+// internals, and the diagnostic counters. Configuration (gains, limits,
+// gravity model, TrigDrift) stays with the target controller, so a clean
+// fork of an attacked prefix keeps its own uncompromised configuration.
+type State struct {
+	JposD       kinematics.JointPos
+	HavePose    bool
+	HomeFrom    kinematics.JointPos
+	HomeT       float64
+	Seq         byte
+	Tick        int
+	Watchdog    bool
+	UnsafeHit   bool
+	IKFails     int
+	WristSet    bool
+	SafetyTrips int
+	Sanitized   int
+	SM          statemachine.Machine
+	PIDs        [kinematics.NumJoints]PID
+	Wrist       wrist.Controller
+}
+
+// CaptureState returns the controller's mutable state.
+func (c *Controller) CaptureState() State {
+	s := State{
+		JposD: c.jposD, HavePose: c.havePose, HomeFrom: c.homeFrom, HomeT: c.homeT,
+		Seq: c.seq, Tick: c.tick, Watchdog: c.watchdog, UnsafeHit: c.unsafeHit,
+		IKFails: c.ikFails, WristSet: c.wristSet,
+		SafetyTrips: c.safetyTrips, Sanitized: c.sanitized,
+		SM: *c.sm, Wrist: *c.wristCtl,
+	}
+	for i := range c.pids {
+		s.PIDs[i] = *c.pids[i]
+	}
+	return s
+}
+
+// RestoreState rewinds the controller to a captured state.
+func (c *Controller) RestoreState(s State) {
+	c.jposD, c.havePose, c.homeFrom, c.homeT = s.JposD, s.HavePose, s.HomeFrom, s.HomeT
+	c.seq, c.tick, c.watchdog, c.unsafeHit = s.Seq, s.Tick, s.Watchdog, s.UnsafeHit
+	c.ikFails, c.wristSet = s.IKFails, s.WristSet
+	c.safetyTrips, c.sanitized = s.SafetyTrips, s.Sanitized
+	*c.sm = s.SM
+	*c.wristCtl = s.Wrist
+	for i := range c.pids {
+		*c.pids[i] = s.PIDs[i]
+	}
+}

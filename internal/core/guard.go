@@ -547,6 +547,114 @@ func (g *Guard) OnWrite(buf []byte) interpose.Verdict {
 	return interpose.Pass
 }
 
+// State is the guard's complete mutable state, for checkpoint/restore:
+// the tracking model (state vector plus the integrator's torque and
+// gravity-anchor latches), the feedback-resync filters, residual-check
+// accumulators, alarm/mitigation counters, and the hold-safe history.
+// Configuration (thresholds, mode, fusion, callbacks) stays with the
+// target guard.
+type State struct {
+	Model  dynamics.StepperState
+	X      [dynamics.StateDim]float64
+	Synced bool
+
+	PrevFbMpos kinematics.MotorPos
+	HavePrevFb bool
+
+	Kalman      [kinematics.NumJoints]estimator.Kalman
+	InnovStreak int
+	FbSuspect   bool
+	InnovStats  stats.Running
+
+	GapPending   bool
+	FeedbackGaps int
+
+	Alarms    int
+	Mitigated int
+	EStopSent bool
+	LastEst   Sample
+	StepTime  stats.Running
+
+	SafeRing     [safeRingLen][usb.NumChannels]int16
+	SafeCount    int
+	LastSafeHold int
+	HoldCooldown int
+}
+
+// CaptureSnap implements sim.Snapshotter (Name is the wrapper name).
+func (g *Guard) CaptureSnap() any {
+	s := State{
+		Model:  g.model.Checkpoint(),
+		X:      g.state.X,
+		Synced: g.synced,
+
+		PrevFbMpos: g.prevFbMpos,
+		HavePrevFb: g.havePrevFb,
+
+		InnovStreak: g.innovStreak,
+		FbSuspect:   g.fbSuspect,
+		InnovStats:  g.innovStats,
+
+		GapPending:   g.gapPending,
+		FeedbackGaps: g.feedbackGaps,
+
+		Alarms:    g.alarms,
+		Mitigated: g.mitigated,
+		EStopSent: g.estopSent,
+		LastEst:   g.lastEst,
+		StepTime:  g.stepTime,
+
+		SafeRing:     g.safeRing,
+		SafeCount:    g.safeCount,
+		LastSafeHold: g.lastSafeHold,
+		HoldCooldown: g.holdCooldown,
+	}
+	if g.kalman[0] != nil {
+		for i := 0; i < kinematics.NumJoints; i++ {
+			s.Kalman[i] = *g.kalman[i]
+		}
+	}
+	return s
+}
+
+// RestoreSnap implements sim.Snapshotter.
+func (g *Guard) RestoreSnap(st any) error {
+	s, ok := st.(State)
+	if !ok {
+		return fmt.Errorf("core: guard snapshot has type %T", st)
+	}
+	g.model.RestoreCheckpoint(s.Model)
+	g.state.X = s.X
+	g.synced = s.Synced
+
+	g.prevFbMpos = s.PrevFbMpos
+	g.havePrevFb = s.HavePrevFb
+
+	if g.kalman[0] != nil {
+		for i := 0; i < kinematics.NumJoints; i++ {
+			*g.kalman[i] = s.Kalman[i]
+		}
+	}
+	g.innovStreak = s.InnovStreak
+	g.fbSuspect = s.FbSuspect
+	g.innovStats = s.InnovStats
+
+	g.gapPending = s.GapPending
+	g.feedbackGaps = s.FeedbackGaps
+
+	g.alarms = s.Alarms
+	g.mitigated = s.Mitigated
+	g.estopSent = s.EStopSent
+	g.lastEst = s.LastEst
+	g.stepTime = s.StepTime
+
+	g.safeRing = s.SafeRing
+	g.safeCount = s.SafeCount
+	g.lastSafeHold = s.LastSafeHold
+	g.holdCooldown = s.HoldCooldown
+	return nil
+}
+
 // accelSuspicious reports whether any joint's estimated acceleration alone
 // exceeds its threshold (the hold-release probe).
 func (g *Guard) accelSuspicious(est Sample) bool {

@@ -345,6 +345,41 @@ func (s *Stepper) StepRK4(x *[StateDim]float64, dt float64) {
 	x[11] = lvc + h6*(al1c+2*al2c+2*al3c+al4c)
 }
 
+// StepperState is the mutable part of a Stepper: the held torque and the
+// per-joint gravity anchors. Capturing it alongside the state vector makes a
+// checkpointed run bit-identical on resume — a restored kernel that merely
+// re-anchored at the current link position would evaluate gravity from a
+// different expansion point than the straight run (~2e-13 divergence, enough
+// to break bit-for-bit fork equivalence).
+type StepperState struct {
+	Tau  [kinematics.NumJoints]float64
+	ALp  [kinematics.NumJoints]float64
+	ASin [kinematics.NumJoints]float64
+	ACos [kinematics.NumJoints]float64
+}
+
+// Checkpoint captures the kernel's mutable state.
+func (s *Stepper) Checkpoint() StepperState {
+	var st StepperState
+	st.Tau = s.tau
+	for i := range s.joints {
+		st.ALp[i] = s.joints[i].aLp
+		st.ASin[i] = s.joints[i].aSin
+		st.ACos[i] = s.joints[i].aCos
+	}
+	return st
+}
+
+// RestoreCheckpoint restores state captured by Checkpoint.
+func (s *Stepper) RestoreCheckpoint(st StepperState) {
+	s.tau = st.Tau
+	for i := range s.joints {
+		s.joints[i].aLp = st.ALp[i]
+		s.joints[i].aSin = st.ASin[i]
+		s.joints[i].aCos = st.ACos[i]
+	}
+}
+
 // Step advances x by one step of the named scheme: rk4 selects StepRK4,
 // otherwise StepEuler. It lets callers hold one branch flag instead of an
 // interface value.

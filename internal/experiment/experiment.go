@@ -178,6 +178,17 @@ func ResetReferenceCache() {
 	_refs.mu.Unlock()
 }
 
+// storeReference publishes a fault-free tip trace that a forking campaign
+// assembled as a by-product (prefix tips + forked reference tail), so
+// later trials with the same key skip the reference run entirely.
+func storeReference(key refKey, trace []mathx.Vec3) {
+	_refs.mu.Lock()
+	if _, ok := _refs.m[key]; !ok {
+		_refs.m[key] = trace
+	}
+	_refs.mu.Unlock()
+}
+
 // installAttack instantiates the trial's attack onto cfg and returns a
 // function reporting how many frames were corrupted. Each call builds
 // fresh (stateful) attack instances, so the counterfactual and scored runs
@@ -192,6 +203,7 @@ func (tr Trial) installAttack(cfg *sim.Config) (func() int, error) {
 			return nil, err
 		}
 		cfg.OnInput = att.Hook()
+		cfg.Stateful = append(cfg.Stateful, att)
 		return att.Injected, nil
 	case ScenarioB:
 		inj, err := inject.NewScenarioB(tr.B)

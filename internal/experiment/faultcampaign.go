@@ -5,8 +5,10 @@ import (
 	"io"
 
 	"ravenguard/internal/console"
+	"ravenguard/internal/control"
 	"ravenguard/internal/core"
 	"ravenguard/internal/fault"
+	"ravenguard/internal/mathx"
 	"ravenguard/internal/metrics"
 	"ravenguard/internal/sim"
 	"ravenguard/internal/statemachine"
@@ -290,12 +292,300 @@ func classifyFaultOutcome(rec faultRun, truthImpact bool) FaultOutcome {
 	}
 }
 
-// RunFaultCampaign executes the fault-kind × guard-policy matrix. Every
-// cell's runs are independent (each derives from BaseSeed and its matrix
-// coordinates alone), so they fan out onto the worker pool; classification
-// then walks the records single-threaded in the fixed matrix order, so the
-// same configuration reproduces the identical matrix at any worker count.
+// RunFaultCampaign executes the fault-kind × guard-policy matrix.
+//
+// The matrix is run on the two-level plan: one group per (policy, seed)
+// cell column. Its prefix job simulates the session head once under a
+// dormant UNION of every kind's fault plan (no event opens before
+// campaignFaultAt, and dormant faulters are behavioral identities, so the
+// head is the same physics every kind would have computed) and snapshots
+// it at the fork point. The fan job then forks the snapshot into one rig
+// per fault kind — each with only its own kind's plan, which restores
+// cleanly because per-boundary fault rng streams derive from Plan.Seed
+// alone — and steps them together through the structure-of-arrays batch
+// stepper. Classification walks the records single-threaded in the fixed
+// legacy matrix order, so the same configuration reproduces the identical
+// matrix at any worker count, byte-for-byte equal to running every cell
+// straight through.
 func RunFaultCampaign(c FaultCampaignConfig) (FaultCampaignResult, error) {
+	if c.Seeds <= 0 {
+		c.Seeds = 3
+	}
+	if c.Teleop <= 0 {
+		c.Teleop = 6
+	}
+	kinds := c.Kinds
+	if len(kinds) == 0 {
+		kinds = fault.AllKinds()
+	}
+	policies := AllPolicies()
+
+	groups, err := runGroups(len(policies)*c.Seeds,
+		func(g int) (fcPrefix, error) {
+			return c.campaignPrefix(kinds, policies[g/c.Seeds], g%c.Seeds)
+		},
+		func(int) int { return 1 },
+		func(g, _ int, p fcPrefix) ([]faultRun, error) {
+			recs, err := c.campaignFan(kinds, p)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: fault campaign %v seed %d: %w", p.pol, p.seedIdx, err)
+			}
+			return recs, nil
+		})
+	if err != nil {
+		return FaultCampaignResult{}, err
+	}
+
+	// Reduce in the legacy kind-major matrix order.
+	var out FaultCampaignResult
+	for ki, k := range kinds {
+		truth := make([]bool, c.Seeds)
+		for pi, pol := range policies {
+			cell := FaultCell{Kind: k, Policy: pol, Seeds: c.Seeds}
+			for s := 0; s < c.Seeds; s++ {
+				rec := groups[pi*c.Seeds+s][0][ki]
+				if pol == PolicyOff {
+					truth[s] = rec.impact
+				}
+				switch classifyFaultOutcome(rec, truth[s]) {
+				case OutcomeCrash:
+					cell.Crashes++
+				case OutcomeFalseAlarm:
+					cell.FalseAlarms++
+				case OutcomeEStop:
+					cell.EStops++
+				case OutcomeMissedImpact:
+					cell.Missed++
+				case OutcomeRodeThrough:
+					cell.RodeThrough++
+				}
+				if rec.alarm {
+					cell.Detected++
+				}
+				cell.FaultsApplied += rec.applied
+				if mm := rec.maxDev * 1e3; mm > cell.MaxDevMM {
+					cell.MaxDevMM = mm
+				}
+				if pol != PolicyOff && !rec.crashed {
+					out.Confusion.Observe(truth[s], rec.alarm)
+				}
+			}
+			out.Cells = append(out.Cells, cell)
+		}
+	}
+	return out, nil
+}
+
+// fcPrefix is the shared product of one (policy, seed) group's prefix job:
+// the fork-point snapshot plus the observer state every kind's
+// continuation starts from.
+type fcPrefix struct {
+	crashed bool // the shared head panicked: every kind's run crashes
+	pol     GuardPolicy
+	seedIdx int
+	snap    sim.Snapshot
+	ref     []mathx.Vec3
+
+	// Observer state at the fork point (identical for every kind, since
+	// the head is fault-free physics).
+	maxDev float64
+	halted bool
+	step   int
+}
+
+// campaignPrefixSteps is the fork point: the last step at which every
+// scheduled fault is still provably dormant (two steps of margin before
+// the campaignFaultAt window opens).
+func campaignPrefixSteps() int {
+	return int(campaignFaultAt/control.Period) - 2
+}
+
+// campaignPrefix simulates one (policy, seed) group's shared session head
+// under the dormant union plan and snapshots it. A panic means every run
+// of the group crashes (each kind would have computed the same head).
+func (c FaultCampaignConfig) campaignPrefix(kinds []fault.Kind, pol GuardPolicy, seedIdx int) (out fcPrefix, err error) {
+	out = fcPrefix{pol: pol, seedIdx: seedIdx}
+	defer func() {
+		if r := recover(); r != nil {
+			out = fcPrefix{crashed: true, pol: pol, seedIdx: seedIdx}
+			err = nil
+		}
+	}()
+
+	rigSeed := c.BaseSeed + int64(seedIdx)
+	out.ref, err = (Trial{Seed: rigSeed, TrajIdx: 0, Teleop: c.Teleop}).reference()
+	if err != nil {
+		return out, err
+	}
+
+	union := fault.Plan{Seed: c.BaseSeed*1000 + int64(seedIdx)}
+	for _, k := range kinds {
+		union.Events = append(union.Events, campaignPlan(k, union.Seed).Events...)
+	}
+	rig, _, _, err := c.campaignRig(union, pol, seedIdx)
+	if err != nil {
+		return out, err
+	}
+	ref := out.ref
+	rig.Observe(func(si sim.StepInfo) {
+		if !out.halted && out.step < len(ref) {
+			if d := si.TipTrue.DistanceTo(ref[out.step]); d > out.maxDev {
+				out.maxDev = d
+			}
+		}
+		if si.PLCEStop {
+			out.halted = true
+		}
+		out.step++
+	})
+	if _, err := rig.Run(campaignPrefixSteps()); err != nil {
+		return out, err
+	}
+	out.snap, err = rig.Snapshot()
+	return out, err
+}
+
+// campaignRig builds one campaign rig: guard per policy (applied first, so
+// the write-path faulter lands below it at the bus), then the fault plan.
+func (c FaultCampaignConfig) campaignRig(plan fault.Plan, pol GuardPolicy, seedIdx int) (*sim.Rig, *core.Guard, *fault.Injector, error) {
+	cfg := sim.Config{
+		Seed:   c.BaseSeed + int64(seedIdx),
+		Script: console.StandardScript(c.Teleop),
+		Traj:   trajectory.Standard()[0],
+	}
+	var guard *core.Guard
+	if pol != PolicyOff {
+		var err error
+		guard, err = core.NewGuard(core.Config{
+			Thresholds: core.DefaultThresholds(),
+			Mode:       pol.guardMode(),
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cfg.Guards = append(cfg.Guards, guard)
+	}
+	inj, err := plan.Apply(&cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rig, err := sim.New(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return rig, guard, inj, nil
+}
+
+// campaignFan forks one group's snapshot into a rig per fault kind and
+// steps the cohort in lockstep through the batch stepper. If anything in
+// the shared cohort panics, it falls back to running each kind's
+// continuation individually so the crash lands on the kind that caused it
+// (legacy per-run semantics).
+func (c FaultCampaignConfig) campaignFan(kinds []fault.Kind, p fcPrefix) ([]faultRun, error) {
+	recs := make([]faultRun, len(kinds))
+	if p.crashed {
+		for i := range recs {
+			recs[i] = faultRun{crashed: true}
+		}
+		return recs, nil
+	}
+
+	ok, err := c.fanLockstep(kinds, p, recs)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		for i, k := range kinds {
+			recs[i] = c.fanOne(k, p)
+		}
+	}
+	return recs, nil
+}
+
+// fanContinue restores one kind's rig from the group snapshot and attaches
+// the continuation observer (seeded with the carried prefix state).
+func (c FaultCampaignConfig) fanContinue(k fault.Kind, p fcPrefix, rec *faultRun) (*sim.Rig, func(), error) {
+	plan := campaignPlan(k, c.BaseSeed*1000+int64(p.seedIdx))
+	rig, guard, inj, err := c.campaignRig(plan, p.pol, p.seedIdx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := rig.Restore(p.snap); err != nil {
+		return nil, nil, err
+	}
+	rec.maxDev = p.maxDev
+	halted, step, ref := p.halted, p.step, p.ref
+	rig.Observe(func(si sim.StepInfo) {
+		if !halted && step < len(ref) {
+			if d := si.TipTrue.DistanceTo(ref[step]); d > rec.maxDev {
+				rec.maxDev = d
+			}
+		}
+		if si.PLCEStop {
+			halted = true
+		}
+		step++
+	})
+	finish := func() {
+		rec.applied = inj.Total()
+		rec.alarm = guard != nil && guard.Alarms() > 0
+		rec.halted = rig.PLC().EStopped() || rig.Controller().State() == statemachine.EStop
+		rec.impact = rec.maxDev > AdverseJumpThreshold
+	}
+	return rig, finish, nil
+}
+
+// fanLockstep runs every kind's continuation together. Construction errors
+// propagate; a panic anywhere mid-cohort returns ok=false (the cohort's
+// rigs are unsalvageable, the caller reruns kinds individually).
+func (c FaultCampaignConfig) fanLockstep(kinds []fault.Kind, p fcPrefix, recs []faultRun) (ok bool, err error) {
+	rigs := make([]*sim.Rig, len(kinds))
+	finishers := make([]func(), len(kinds))
+	for i, k := range kinds {
+		rigs[i], finishers[i], err = c.fanContinue(k, p, &recs[i])
+		if err != nil {
+			return false, err
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ok, err = false, nil
+		}
+	}()
+	if err := sim.RunLockstep(rigs); err != nil {
+		return false, err
+	}
+	for _, finish := range finishers {
+		finish()
+	}
+	return true, nil
+}
+
+// fanOne runs one kind's continuation alone, catching panics as crashed
+// runs; construction errors also read as crashes here because the cohort
+// pass already vouched for the configuration.
+func (c FaultCampaignConfig) fanOne(k fault.Kind, p fcPrefix) (rec faultRun) {
+	defer func() {
+		if r := recover(); r != nil {
+			rec = faultRun{crashed: true}
+		}
+	}()
+	rig, finish, err := c.fanContinue(k, p, &rec)
+	if err != nil {
+		return faultRun{crashed: true}
+	}
+	if _, err := rig.Run(0); err != nil {
+		return faultRun{crashed: true}
+	}
+	finish()
+	return rec
+}
+
+// runFaultCampaignStraight is the pre-forking implementation: every
+// (kind, policy, seed) run simulates its full session from t=0. Kept as
+// the byte-identity oracle and the "before" baseline for the campaign
+// benchmarks.
+func runFaultCampaignStraight(c FaultCampaignConfig) (FaultCampaignResult, error) {
 	if c.Seeds <= 0 {
 		c.Seeds = 3
 	}

@@ -149,6 +149,16 @@ func runMitigationOne(cfg MitigationConfig, mode core.Mode, i int) (mitigationRu
 	return rec, nil
 }
 
+// mitigationArms lists the compared regimes, in reporting order.
+var mitigationArms = []struct {
+	name string
+	mode core.Mode // 0 = no guard
+}{
+	{"no guard (RAVEN only)", 0},
+	{"guard: E-STOP mitigation", core.ModeMitigate},
+	{"guard: hold-last-safe", core.ModeHoldSafe},
+}
+
 // RunMitigationComparison attacks identical sessions under three regimes:
 // no guard (RAVEN's built-in response only), guard with E-STOP mitigation,
 // and guard with hold-last-safe mitigation. All (arm, attack) sessions fan
@@ -156,14 +166,7 @@ func runMitigationOne(cfg MitigationConfig, mode core.Mode, i int) (mitigationRu
 func RunMitigationComparison(cfg MitigationConfig) (MitigationResult, error) {
 	cfg.applyDefaults()
 	out := MitigationResult{Config: cfg}
-	arms := []struct {
-		name string
-		mode core.Mode // 0 = no guard
-	}{
-		{"no guard (RAVEN only)", 0},
-		{"guard: E-STOP mitigation", core.ModeMitigate},
-		{"guard: hold-last-safe", core.ModeHoldSafe},
-	}
+	arms := mitigationArms
 	recs, err := runJobs(len(arms)*cfg.Attacks, func(i int) (mitigationRun, error) {
 		return runMitigationOne(cfg, arms[i/cfg.Attacks].mode, i%cfg.Attacks)
 	})
@@ -193,6 +196,184 @@ func RunMitigationComparison(cfg MitigationConfig) (MitigationResult, error) {
 		out.Arms = append(out.Arms, arm)
 	}
 	return out, nil
+}
+
+// mitigationPrefixSteps is the sweep's fork point: 3.0 s. The earliest
+// scenario-B activation is 500 triggered (pedal-down) frames after the
+// pedal drops at ~2.55 s, i.e. ~3.05 s — so at 3.0 s every injector is
+// still dormant and the session head is independent of the attack value.
+const mitigationPrefixSteps = 3000
+
+// mitState is the windowed-jump observer's carried state.
+type mitState struct {
+	halted  bool
+	step    int
+	devRing [jumpWindowTicks]mathx.Vec3
+}
+
+// observeMitigation attaches the lag/jump observer, resuming from the
+// carried state (st and rec mutate in place).
+func observeMitigation(rig *sim.Rig, ref []mathx.Vec3, st *mitState, rec *mitigationRun) {
+	rig.Observe(func(si sim.StepInfo) {
+		// Measure only while the system is live: after a halt the
+		// reference keeps moving while the robot is frozen, which is
+		// divergence, not motion.
+		if !st.halted && st.step < len(ref) {
+			dev := si.TipTrue.Sub(ref[st.step])
+			if lag := dev.Norm(); lag > rec.maxLag {
+				rec.maxLag = lag
+			}
+			if st.step >= jumpWindowTicks {
+				if j := dev.Sub(st.devRing[st.step%jumpWindowTicks]).Norm(); j > rec.maxJump {
+					rec.maxJump = j
+				}
+			}
+			st.devRing[st.step%jumpWindowTicks] = dev
+		}
+		if si.PLCEStop {
+			st.halted = true
+		}
+		st.step++
+	})
+}
+
+// mitigationSessionRig builds one attacked session rig with the given
+// injection value (mirrors runMitigationOne's construction).
+func mitigationSessionRig(cfg MitigationConfig, mode core.Mode, i int, value int16) (*sim.Rig, error) {
+	trial := Trial{Seed: cfg.BaseSeed + int64(8000+i%37), TrajIdx: i % 2}
+	simCfg := sim.Config{
+		Seed:   trial.Seed,
+		Script: trial.script(),
+		Traj:   trial.trajectory(),
+	}
+	inj, err := inject.NewScenarioB(inject.ScenarioBParams{
+		Value:           value,
+		Channel:         i % 3,
+		StartDelayTicks: 500 + 53*(i%31),
+		ActivationTicks: cfg.Duration,
+		Seed:            int64(i),
+	})
+	if err != nil {
+		return nil, err
+	}
+	simCfg.Preload = append(simCfg.Preload, inj)
+	if mode != 0 {
+		guard, err := core.NewGuard(core.Config{
+			Thresholds: core.DefaultThresholds(),
+			Mode:       mode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		simCfg.Guards = append(simCfg.Guards, guard)
+	}
+	return sim.New(simCfg)
+}
+
+// mitPrefix is one (arm, attack) group's shared session head.
+type mitPrefix struct {
+	snap sim.Snapshot
+	ref  []mathx.Vec3
+	rec  mitigationRun // partial lag/jump maxima at the fork point
+	st   mitState
+}
+
+// RunMitigationSweep runs the mitigation comparison for several attack
+// values at once, returning one MitigationResult per value (in input
+// order), byte-identical to calling RunMitigationComparison per value.
+//
+// The attacked sessions differ across values only in the value the
+// injector writes once it activates — and every injector is still dormant
+// at mitigationPrefixSteps — so each (arm, attack) session head is
+// simulated once, snapshotted, and forked into one rig per value; the
+// forks then step together through the structure-of-arrays batch stepper.
+func RunMitigationSweep(values []int16, cfg MitigationConfig) ([]MitigationResult, error) {
+	cfg.applyDefaults()
+	if len(values) == 0 {
+		values = []int16{cfg.Value}
+	}
+	arms := mitigationArms
+	groups, err := runGroups(len(arms)*cfg.Attacks,
+		func(g int) (mitPrefix, error) {
+			mode, i := arms[g/cfg.Attacks].mode, g%cfg.Attacks
+			trial := Trial{Seed: cfg.BaseSeed + int64(8000+i%37), TrajIdx: i % 2}
+			var p mitPrefix
+			ref, err := trial.reference()
+			if err != nil {
+				return p, err
+			}
+			p.ref = ref
+			rig, err := mitigationSessionRig(cfg, mode, i, values[0])
+			if err != nil {
+				return p, err
+			}
+			observeMitigation(rig, ref, &p.st, &p.rec)
+			if _, err := rig.Run(mitigationPrefixSteps); err != nil {
+				return p, err
+			}
+			p.snap, err = rig.Snapshot()
+			return p, err
+		},
+		func(int) int { return 1 },
+		func(g, _ int, p mitPrefix) ([]mitigationRun, error) {
+			mode, i := arms[g/cfg.Attacks].mode, g%cfg.Attacks
+			rigs := make([]*sim.Rig, len(values))
+			recs := make([]mitigationRun, len(values))
+			states := make([]mitState, len(values))
+			for vi, v := range values {
+				rig, err := mitigationSessionRig(cfg, mode, i, v)
+				if err != nil {
+					return nil, err
+				}
+				if err := rig.Restore(p.snap); err != nil {
+					return nil, err
+				}
+				recs[vi] = p.rec
+				states[vi] = p.st // arrays copy by value: each fork owns its ring
+				observeMitigation(rig, p.ref, &states[vi], &recs[vi])
+				rigs[vi] = rig
+			}
+			if err := sim.RunLockstep(rigs); err != nil {
+				return nil, err
+			}
+			for vi, rig := range rigs {
+				recs[vi].completed = !rig.PLC().EStopped() && rig.Controller().State() != statemachine.EStop
+			}
+			return recs, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]MitigationResult, len(values))
+	for vi, v := range values {
+		vcfg := cfg
+		vcfg.Value = v
+		out := MitigationResult{Config: vcfg}
+		for ai, armSpec := range arms {
+			arm := MitigationArm{Name: armSpec.name}
+			jumps, completions := 0, 0
+			var lags, jumpSizes stats.Running
+			for i := 0; i < cfg.Attacks; i++ {
+				rec := groups[ai*cfg.Attacks+i][0][vi]
+				if rec.maxJump > AdverseJumpThreshold {
+					jumps++
+				}
+				if rec.completed {
+					completions++
+				}
+				lags.Add(rec.maxLag * 1e3)
+				jumpSizes.Add(rec.maxJump * 1e3)
+			}
+			arm.JumpRate = float64(jumps) / float64(cfg.Attacks)
+			arm.CompletionRate = float64(completions) / float64(cfg.Attacks)
+			arm.Lag = lags.Summarize()
+			arm.Jump = jumpSizes.Summarize()
+			out.Arms = append(out.Arms, arm)
+		}
+		results[vi] = out
+	}
+	return results, nil
 }
 
 // Write renders the comparison.

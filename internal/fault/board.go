@@ -1,52 +1,98 @@
 package fault
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
 	"ravenguard/internal/control"
+	"ravenguard/internal/randx"
 	"ravenguard/internal/usb"
 )
 
-// feedbackHook builds the read-path fault hook installed as
+// readFaulter is the read-path fault hook installed as
 // sim.Config.OnFeedbackRead: faults of the read system call, corrupting
 // the decoded feedback after the hardware produced it and before the
 // control software consumes it (the accidental counterpart of Table I's
 // "change encoder feedback" attack; the guard, below this layer, still
 // sees the true stream).
-func feedbackHook(events []Event, rng *rand.Rand, inj *Injector) func(t float64, fb *usb.Feedback) {
-	stuck := make(map[int]int32) // event index -> latched stuck value
-	return func(t float64, fb *usb.Feedback) {
-		for i, e := range events {
-			if !e.active(t) {
-				continue
+type readFaulter struct {
+	events []Event
+	rng    *rand.Rand
+	src    *randx.Source
+	inj    *Injector
+
+	stuck map[int]int32 // event index -> latched stuck value
+}
+
+func newReadFaulter(events []Event, seed int64) *readFaulter {
+	rng, src := randx.New(seed)
+	return &readFaulter{events: events, rng: rng, src: src, stuck: make(map[int]int32)}
+}
+
+// hook corrupts one cycle's decoded feedback per the active events.
+func (rf *readFaulter) hook(t float64, fb *usb.Feedback) {
+	for i, e := range rf.events {
+		if !e.active(t) {
+			continue
+		}
+		switch e.Kind {
+		case KindEncoderStuck:
+			ch := e.Params.Channel
+			v, latched := rf.stuck[i]
+			if !latched {
+				if e.Params.Value != 0 {
+					v = e.Params.Value
+				} else {
+					v = fb.Encoder[ch]
+				}
+				rf.stuck[i] = v
 			}
-			switch e.Kind {
-			case KindEncoderStuck:
-				ch := e.Params.Channel
-				v, latched := stuck[i]
-				if !latched {
-					if e.Params.Value != 0 {
-						v = e.Params.Value
-					} else {
-						v = fb.Encoder[ch]
-					}
-					stuck[i] = v
+			fb.Encoder[ch] = v
+			rf.inj.count(KindEncoderStuck)
+		case KindEncoderGlitch:
+			if rate := e.Params.Rate; rate >= 1 || rf.rng.Float64() < rate {
+				spike := int32(math.Round(e.Params.Magnitude))
+				if rf.rng.Intn(2) == 0 {
+					spike = -spike
 				}
-				fb.Encoder[ch] = v
-				inj.count(KindEncoderStuck)
-			case KindEncoderGlitch:
-				if rate := e.Params.Rate; rate >= 1 || rng.Float64() < rate {
-					spike := int32(math.Round(e.Params.Magnitude))
-					if rng.Intn(2) == 0 {
-						spike = -spike
-					}
-					fb.Encoder[e.Params.Channel] += spike
-					inj.count(KindEncoderGlitch)
-				}
+				fb.Encoder[e.Params.Channel] += spike
+				rf.inj.count(KindEncoderGlitch)
 			}
 		}
 	}
+}
+
+// readState is the readFaulter's mutable state.
+type readState struct {
+	rng   randx.Pos
+	stuck map[int]int32
+}
+
+// Name implements sim.Snapshotter.
+func (rf *readFaulter) Name() string { return "fault-read" }
+
+// CaptureSnap implements sim.Snapshotter.
+func (rf *readFaulter) CaptureSnap() any {
+	s := readState{rng: rf.src.Pos(), stuck: make(map[int]int32, len(rf.stuck))}
+	for k, v := range rf.stuck {
+		s.stuck[k] = v
+	}
+	return s
+}
+
+// RestoreSnap implements sim.Snapshotter.
+func (rf *readFaulter) RestoreSnap(st any) error {
+	s, ok := st.(readState)
+	if !ok {
+		return fmt.Errorf("fault: read snapshot has type %T", st)
+	}
+	rf.src.Restore(s.rng)
+	rf.stuck = make(map[int]int32, len(s.stuck))
+	for k, v := range s.stuck {
+		rf.stuck[k] = v
+	}
+	return nil
 }
 
 // boardFaulter drives the board-level faults: feedback-frame corruption
@@ -56,13 +102,15 @@ func feedbackHook(events []Event, rng *rand.Rand, inj *Injector) func(t float64,
 type boardFaulter struct {
 	events []Event
 	rng    *rand.Rand
+	src    *randx.Source
 	inj    *Injector
 	board  *usb.Board
 	tick   int
 }
 
-func newBoardFaulter(events []Event, rng *rand.Rand, inj *Injector) *boardFaulter {
-	return &boardFaulter{events: events, rng: rng, inj: inj}
+func newBoardFaulter(events []Event, seed int64) *boardFaulter {
+	rng, src := randx.New(seed)
+	return &boardFaulter{events: events, rng: rng, src: src}
 }
 
 // install binds the faulter to the assembled board (sim.Config.OnBoard).
@@ -103,4 +151,29 @@ func (bf *boardFaulter) onRead(frame []byte) []byte {
 	// inside the read hook does not recurse into ReadFeedback.
 	bf.board.SetStalled(stall)
 	return frame
+}
+
+// boardState is the boardFaulter's mutable state.
+type boardState struct {
+	tick int
+	rng  randx.Pos
+}
+
+// Name implements sim.Snapshotter.
+func (bf *boardFaulter) Name() string { return "fault-board" }
+
+// CaptureSnap implements sim.Snapshotter.
+func (bf *boardFaulter) CaptureSnap() any {
+	return boardState{tick: bf.tick, rng: bf.src.Pos()}
+}
+
+// RestoreSnap implements sim.Snapshotter.
+func (bf *boardFaulter) RestoreSnap(st any) error {
+	s, ok := st.(boardState)
+	if !ok {
+		return fmt.Errorf("fault: board snapshot has type %T", st)
+	}
+	bf.tick = s.tick
+	bf.src.Restore(s.rng)
+	return nil
 }

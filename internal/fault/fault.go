@@ -28,7 +28,6 @@ package fault
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"ravenguard/internal/sim"
@@ -282,6 +281,22 @@ type Injector struct {
 	applied [kindEnd]int
 }
 
+// Name implements sim.Snapshotter.
+func (in *Injector) Name() string { return "fault-injector" }
+
+// CaptureSnap implements sim.Snapshotter: the per-kind fire counters.
+func (in *Injector) CaptureSnap() any { return in.applied }
+
+// RestoreSnap implements sim.Snapshotter.
+func (in *Injector) RestoreSnap(st any) error {
+	s, ok := st.([kindEnd]int)
+	if !ok {
+		return fmt.Errorf("fault: injector snapshot has type %T", st)
+	}
+	in.applied = s
+	return nil
+}
+
 // count records one applied fault action.
 func (in *Injector) count(k Kind) {
 	if k > 0 && k < kindEnd {
@@ -328,6 +343,12 @@ func (in *Injector) Summary() string {
 // live Injector tracking them. It mirrors inject.VariantConfig.Apply: call
 // it after the defensive Guards are set (the write-path faulter is
 // installed below them, at the bus level) and before sim.New.
+//
+// Every fault component Apply installs is stateful (counters, latches, rng
+// positions) and is created here, once: a Config with an applied plan
+// builds ONE rig. The components register themselves for the rig's
+// checkpoint machinery (sim.Config.Stateful / the write chain), so a rig
+// carrying dormant faults can be snapshotted and forked bit-identically.
 func (p Plan) Apply(cfg *sim.Config) (*Injector, error) {
 	if cfg == nil {
 		return nil, fmt.Errorf("fault: nil config")
@@ -337,6 +358,7 @@ func (p Plan) Apply(cfg *sim.Config) (*Injector, error) {
 	}
 
 	inj := &Injector{}
+	cfg.Stateful = append(cfg.Stateful, inj)
 	var transport, write, read, board []Event
 	for _, e := range p.Events {
 		e.Params = e.Params.sanitized(e.Kind)
@@ -354,36 +376,43 @@ func (p Plan) Apply(cfg *sim.Config) (*Injector, error) {
 
 	// Each boundary gets its own seeded source so the fault sequence at
 	// one boundary does not depend on how many draws another consumed.
-	sub := func(b boundary) *rand.Rand {
-		return rand.New(rand.NewSource(p.Seed*1_000_003 + int64(b)))
-	}
+	sub := func(b boundary) int64 { return p.Seed*1_000_003 + int64(b) }
 
 	if len(transport) > 0 {
 		prev := cfg.WrapTransport
-		events, rng := transport, sub(boundaryTransport)
+		fr := newFaultyReceiver(nil, transport, sub(boundaryTransport))
+		fr.inj = inj
+		cfg.Stateful = append(cfg.Stateful, fr)
 		cfg.WrapTransport = func(r itpReceiver) itpReceiver {
 			if prev != nil {
 				r = prev(r)
 			}
-			return newFaultyReceiver(r, events, rng, inj)
+			fr.inner = r
+			return fr
 		}
 	}
 	if len(write) > 0 {
-		cfg.Guards = append(cfg.Guards, newFrameFaulter(write, sub(boundaryWrite), inj))
+		ff := newFrameFaulter(write, sub(boundaryWrite))
+		ff.inj = inj
+		cfg.Guards = append(cfg.Guards, ff)
 	}
 	if len(read) > 0 {
 		prev := cfg.OnFeedbackRead
-		hook := feedbackHook(read, sub(boundaryRead), inj)
+		rf := newReadFaulter(read, sub(boundaryRead))
+		rf.inj = inj
+		cfg.Stateful = append(cfg.Stateful, rf)
 		cfg.OnFeedbackRead = func(t float64, fb *usb.Feedback) {
 			if prev != nil {
 				prev(t, fb)
 			}
-			hook(t, fb)
+			rf.hook(t, fb)
 		}
 	}
 	if len(board) > 0 {
 		prev := cfg.OnBoard
-		bf := newBoardFaulter(board, sub(boundaryBoard), inj)
+		bf := newBoardFaulter(board, sub(boundaryBoard))
+		bf.inj = inj
+		cfg.Stateful = append(cfg.Stateful, bf)
 		cfg.OnBoard = func(b *usb.Board) {
 			if prev != nil {
 				prev(b)

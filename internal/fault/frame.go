@@ -2,9 +2,11 @@ package fault
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math/rand"
 
 	"ravenguard/internal/interpose"
+	"ravenguard/internal/randx"
 	"ravenguard/internal/usb"
 )
 
@@ -20,6 +22,7 @@ import (
 type frameFaulter struct {
 	events []Event
 	rng    *rand.Rand
+	src    *randx.Source
 	inj    *Injector
 
 	t     float64
@@ -27,8 +30,9 @@ type frameFaulter struct {
 	trunc int           // pending truncation length for Reslice, -1 = none
 }
 
-func newFrameFaulter(events []Event, rng *rand.Rand, inj *Injector) *frameFaulter {
-	return &frameFaulter{events: events, rng: rng, inj: inj, stuck: make(map[int]int16), trunc: -1}
+func newFrameFaulter(events []Event, seed int64) *frameFaulter {
+	rng, src := randx.New(seed)
+	return &frameFaulter{events: events, rng: rng, src: src, stuck: make(map[int]int16), trunc: -1}
 }
 
 // Name implements interpose.Wrapper.
@@ -108,4 +112,36 @@ func clampInt16(v int32) int16 {
 		return -32768
 	}
 	return int16(v)
+}
+
+// frameState is the frameFaulter's mutable state.
+type frameState struct {
+	t     float64
+	rng   randx.Pos
+	stuck map[int]int16
+	trunc int
+}
+
+// CaptureSnap implements sim.Snapshotter (Name comes from interpose.Wrapper).
+func (f *frameFaulter) CaptureSnap() any {
+	s := frameState{t: f.t, rng: f.src.Pos(), trunc: f.trunc, stuck: make(map[int]int16, len(f.stuck))}
+	for k, v := range f.stuck {
+		s.stuck[k] = v
+	}
+	return s
+}
+
+// RestoreSnap implements sim.Snapshotter.
+func (f *frameFaulter) RestoreSnap(st any) error {
+	s, ok := st.(frameState)
+	if !ok {
+		return fmt.Errorf("fault: frame snapshot has type %T", st)
+	}
+	f.t, f.trunc = s.t, s.trunc
+	f.src.Restore(s.rng)
+	f.stuck = make(map[int]int16, len(s.stuck))
+	for k, v := range s.stuck {
+		f.stuck[k] = v
+	}
+	return nil
 }

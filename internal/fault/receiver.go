@@ -1,10 +1,12 @@
 package fault
 
 import (
+	"fmt"
+	"math/rand"
+
 	"ravenguard/internal/control"
 	"ravenguard/internal/itp"
-
-	"math/rand"
+	"ravenguard/internal/randx"
 )
 
 // itpReceiver keeps the Apply closure signatures readable.
@@ -25,6 +27,7 @@ type faultyReceiver struct {
 	inner  itp.Receiver
 	events []Event
 	rng    *rand.Rand
+	src    *randx.Source
 	inj    *Injector
 
 	tick    int
@@ -35,8 +38,9 @@ type faultyReceiver struct {
 
 var _ itp.Receiver = (*faultyReceiver)(nil)
 
-func newFaultyReceiver(inner itp.Receiver, events []Event, rng *rand.Rand, inj *Injector) *faultyReceiver {
-	return &faultyReceiver{inner: inner, events: events, rng: rng, inj: inj}
+func newFaultyReceiver(inner itp.Receiver, events []Event, seed int64) *faultyReceiver {
+	rng, src := randx.New(seed)
+	return &faultyReceiver{inner: inner, events: events, rng: rng, src: src}
 }
 
 // Recv implements itp.Receiver.
@@ -130,3 +134,49 @@ func (f *faultyReceiver) hit(rate float64) bool {
 
 // Close implements itp.Receiver.
 func (f *faultyReceiver) Close() error { return f.inner.Close() }
+
+// receiverState is the faultyReceiver's mutable state.
+type receiverState struct {
+	tick    int
+	rng     randx.Pos
+	queue   []itp.Packet
+	delayed []delayedPacket
+	held    *itp.Packet
+}
+
+// Name implements sim.Snapshotter.
+func (f *faultyReceiver) Name() string { return "fault-transport" }
+
+// CaptureSnap implements sim.Snapshotter.
+func (f *faultyReceiver) CaptureSnap() any {
+	s := receiverState{tick: f.tick, rng: f.src.Pos()}
+	if len(f.queue) > 0 {
+		s.queue = append([]itp.Packet(nil), f.queue...)
+	}
+	if len(f.delayed) > 0 {
+		s.delayed = append([]delayedPacket(nil), f.delayed...)
+	}
+	if f.held != nil {
+		held := *f.held
+		s.held = &held
+	}
+	return s
+}
+
+// RestoreSnap implements sim.Snapshotter.
+func (f *faultyReceiver) RestoreSnap(st any) error {
+	s, ok := st.(receiverState)
+	if !ok {
+		return fmt.Errorf("fault: transport snapshot has type %T", st)
+	}
+	f.tick = s.tick
+	f.src.Restore(s.rng)
+	f.queue = append(f.queue[:0], s.queue...)
+	f.delayed = append(f.delayed[:0], s.delayed...)
+	f.held = nil
+	if s.held != nil {
+		held := *s.held
+		f.held = &held
+	}
+	return nil
+}

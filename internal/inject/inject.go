@@ -93,6 +93,29 @@ func (a *ScenarioA) Hook() sim.InputHook {
 // Injected reports how many cycles were corrupted.
 func (a *ScenarioA) Injected() int { return a.injected }
 
+// scenarioAState is the attack's mutable state.
+type scenarioAState struct {
+	seen, injected int
+}
+
+// Name implements sim.Snapshotter.
+func (a *ScenarioA) Name() string { return "scenario-a" }
+
+// CaptureSnap implements sim.Snapshotter.
+func (a *ScenarioA) CaptureSnap() any {
+	return scenarioAState{seen: a.seen, injected: a.injected}
+}
+
+// RestoreSnap implements sim.Snapshotter.
+func (a *ScenarioA) RestoreSnap(st any) error {
+	s, ok := st.(scenarioAState)
+	if !ok {
+		return fmt.Errorf("inject: scenario-A snapshot has type %T", st)
+	}
+	a.seen, a.injected = s.seen, s.injected
+	return nil
+}
+
 // ScenarioBParams parameterises an unintended-torque-command attack: the
 // malicious write wrapper corrupting DAC values after the safety check.
 type ScenarioBParams struct {

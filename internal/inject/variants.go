@@ -213,6 +213,25 @@ var _ interpose.Wrapper = (*watchdogSpoofer)(nil)
 
 func (w *watchdogSpoofer) Name() string { return "watchdog-spoofer" }
 
+// spooferState is the spoofer's mutable state.
+type spooferState struct {
+	armed bool
+	ticks int
+}
+
+// CaptureSnap implements sim.Snapshotter.
+func (w *watchdogSpoofer) CaptureSnap() any { return spooferState{armed: w.armed, ticks: w.ticks} }
+
+// RestoreSnap implements sim.Snapshotter.
+func (w *watchdogSpoofer) RestoreSnap(st any) error {
+	s, ok := st.(spooferState)
+	if !ok {
+		return fmt.Errorf("inject: spoofer snapshot has type %T", st)
+	}
+	w.armed, w.ticks = s.armed, s.ticks
+	return nil
+}
+
 func (w *watchdogSpoofer) OnWrite(buf []byte) interpose.Verdict {
 	if len(buf) != usb.CommandLen {
 		return interpose.Pass
@@ -254,6 +273,19 @@ type stateByteRewriter struct {
 var _ interpose.Wrapper = (*stateByteRewriter)(nil)
 
 func (w *stateByteRewriter) Name() string { return "plc-state-rewriter" }
+
+// CaptureSnap implements sim.Snapshotter.
+func (w *stateByteRewriter) CaptureSnap() any { return w.ticks }
+
+// RestoreSnap implements sim.Snapshotter.
+func (w *stateByteRewriter) RestoreSnap(st any) error {
+	ticks, ok := st.(int)
+	if !ok {
+		return fmt.Errorf("inject: state-rewriter snapshot has type %T", st)
+	}
+	w.ticks = ticks
+	return nil
+}
 
 func (w *stateByteRewriter) OnWrite(buf []byte) interpose.Verdict {
 	w.ticks++

@@ -137,3 +137,15 @@ func (c *Chain) Write(buf []byte) error {
 // Stats returns (total writes entering the chain, frames dropped by
 // wrappers).
 func (c *Chain) Stats() (writes, dropped int) { return c.writes, c.dropped }
+
+// SetStats restores the chain counters (checkpoint/restore).
+func (c *Chain) SetStats(writes, dropped int) { c.writes, c.dropped = writes, dropped }
+
+// Each visits every installed wrapper, top (first-invoked) first. The rig's
+// checkpoint machinery uses this to reach stateful wrappers (malware,
+// fault injectors, the guard) without the chain knowing their types.
+func (c *Chain) Each(f func(w Wrapper)) {
+	for _, w := range c.wrappers {
+		f(w)
+	}
+}

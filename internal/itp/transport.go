@@ -84,6 +84,25 @@ func (t *MemTransport) Pending() int {
 	return len(t.queue) - t.head
 }
 
+// PendingPackets returns a copy of the queued datagrams in delivery order
+// (checkpoint/restore).
+func (t *MemTransport) PendingPackets() []Packet {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.head == len(t.queue) {
+		return nil
+	}
+	return append([]Packet(nil), t.queue[t.head:]...)
+}
+
+// SetPending replaces the queue with the given datagrams (checkpoint/restore).
+func (t *MemTransport) SetPending(ps []Packet) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.head = 0
+	t.queue = append(t.queue[:0], ps...)
+}
+
 // UDPSender ships ITP datagrams over real UDP (console side).
 type UDPSender struct {
 	conn *net.UDPConn

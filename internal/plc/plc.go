@@ -122,6 +122,34 @@ func (p *PLC) updateBrakes() {
 	}
 }
 
+// State is the PLC's mutable state, for checkpoint/restore. The
+// supervision window is configuration and stays with the target PLC.
+type State struct {
+	LastBit     bool
+	HaveBit     bool
+	SinceEdge   time.Duration
+	EStopped    bool
+	EStopCause  string
+	BrakesOn    bool
+	StatusState statemachine.State
+}
+
+// CaptureState returns the PLC's mutable state.
+func (p *PLC) CaptureState() State {
+	return State{
+		LastBit: p.lastBit, HaveBit: p.haveBit, SinceEdge: p.sinceEdge,
+		EStopped: p.estopped, EStopCause: p.estopCause,
+		BrakesOn: p.brakesOn, StatusState: p.statusState,
+	}
+}
+
+// RestoreState rewinds the PLC to a captured state.
+func (p *PLC) RestoreState(s State) {
+	p.lastBit, p.haveBit, p.sinceEdge = s.LastBit, s.HaveBit, s.SinceEdge
+	p.estopped, p.estopCause = s.EStopped, s.EStopCause
+	p.brakesOn, p.statusState = s.BrakesOn, s.StatusState
+}
+
 // EStopped reports whether the E-STOP latch is set.
 func (p *PLC) EStopped() bool { return p.estopped }
 

@@ -1,0 +1,78 @@
+// Package randx wraps math/rand sources with draw counting so a stream's
+// position can be captured and replayed. Every stochastic component of the
+// simulation (plant disturbance torque, fault-boundary randomness, malware
+// byte corruption) owns a seeded *rand.Rand; checkpointing a run therefore
+// needs each stream's exact position, not just its seed. A Source counts
+// how many times the underlying generator advanced — both Int63 and Uint64
+// step math/rand's rngSource exactly once — so restoring is "reseed, then
+// discard N draws", independent of the original mix of Float64/NormFloat64/
+// Intn calls that consumed them.
+package randx
+
+import "math/rand"
+
+// Source is a counting math/rand source. It implements rand.Source64, so a
+// rand.Rand built on it produces exactly the same stream as one built on
+// rand.NewSource(seed) directly.
+type Source struct {
+	src  rand.Source64
+	seed int64
+	n    uint64
+}
+
+var _ rand.Source64 = (*Source)(nil)
+
+// NewSource returns a counting source seeded with seed, at position 0.
+func NewSource(seed int64) *Source {
+	return &Source{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+}
+
+// New returns a rand.Rand drawing from a fresh counting source, plus the
+// source for position capture. The Rand's stream is identical to
+// rand.New(rand.NewSource(seed)).
+func New(seed int64) (*rand.Rand, *Source) {
+	s := NewSource(seed)
+	return rand.New(s), s
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the position count.
+func (s *Source) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.seed = seed
+	s.n = 0
+}
+
+// Pos captures the stream position: the seed and how many times the
+// generator has advanced since seeding.
+type Pos struct {
+	Seed int64
+	N    uint64
+}
+
+// Pos returns the current stream position.
+func (s *Source) Pos() Pos { return Pos{Seed: s.seed, N: s.n} }
+
+// Restore rewinds (or fast-forwards) the stream to an absolute position by
+// reseeding and discarding p.N draws. Both Int63 and Uint64 advance the
+// underlying generator by one step, so replaying with Uint64 lands on the
+// same position regardless of which methods originally consumed the draws.
+func (s *Source) Restore(p Pos) {
+	s.src.Seed(p.Seed)
+	for i := uint64(0); i < p.N; i++ {
+		s.src.Uint64()
+	}
+	s.seed = p.Seed
+	s.n = p.N
+}

@@ -1,0 +1,133 @@
+package robot
+
+import (
+	"fmt"
+
+	"ravenguard/internal/dynamics"
+	"ravenguard/internal/kinematics"
+	"ravenguard/internal/usb"
+)
+
+// Batch steps several plants through one control period in lockstep,
+// integrating all unbraked plants' RK4 sub-steps through a shared
+// structure-of-arrays stepper (see dynamics.BatchStepper). Each plant's
+// trajectory — state, rng stream, hard-stop clamping, cable breakage — is
+// bit-identical to stepping it alone with Plant.Step; the batch only
+// changes how the arithmetic is laid out, not what it computes.
+//
+// A Batch is not safe for concurrent use: one simulation loop owns it.
+type Batch struct {
+	bs   *dynamics.BatchStepper
+	lane []*Plant
+	tau  [][kinematics.NumJoints]float64
+}
+
+// NewBatch builds a batch able to co-step up to capacity plants. Plants
+// beyond capacity, and plants whose sub-step count differs from the
+// batch majority, fall back to their scalar path within the same call —
+// results are identical either way.
+func NewBatch(capacity int) (*Batch, error) {
+	bs, err := dynamics.NewBatchStepper(capacity)
+	if err != nil {
+		return nil, fmt.Errorf("robot: %w", err)
+	}
+	return &Batch{
+		bs:   bs,
+		lane: make([]*Plant, 0, capacity),
+		tau:  make([][kinematics.NumJoints]float64, 0, capacity),
+	}, nil
+}
+
+// Step advances every plant by one control period dt, plant i driven by
+// dacs[i]. Braked plants take the cheap holding path individually; the
+// rest are densely packed into the SoA stepper and integrated together.
+func (b *Batch) Step(plants []*Plant, dacs [][usb.NumChannels]int16, dt float64) {
+	b.lane = b.lane[:0]
+	b.tau = b.tau[:0]
+	substeps := 0
+	for i, p := range plants {
+		if p.brakes {
+			p.stepBraked(dt)
+			continue
+		}
+		if substeps == 0 {
+			substeps = p.cfg.Substeps
+		}
+		if p.cfg.Substeps != substeps || len(b.lane) >= b.bs.Capacity() {
+			p.Step(dacs[i], dt)
+			continue
+		}
+		b.tau = append(b.tau, p.prepTick(dacs[i], dt))
+		b.lane = append(b.lane, p)
+	}
+	n := len(b.lane)
+	if n == 0 {
+		return
+	}
+	if err := b.bs.SetLanes(n); err != nil {
+		panic(err) // unreachable: n <= capacity by construction
+	}
+	for lane, p := range b.lane {
+		p.model.FillLane(b.bs, lane)
+		b.bs.SetLaneX(lane, &p.state.X)
+	}
+	sub := dt / float64(substeps)
+	for s := 0; s < substeps; s++ {
+		// Disturbance draws happen in plant order each sub-step; every
+		// plant draws only from its own rng, so its stream matches the
+		// scalar path exactly.
+		for lane, p := range b.lane {
+			b.bs.SetLaneTau(lane, p.noisyTau(b.tau[lane]))
+		}
+		b.bs.StepRK4All(sub)
+		for lane, p := range b.lane {
+			p.t += sub
+			b.laneHardStops(lane, p)
+			b.laneCheckCables(lane, p)
+		}
+	}
+	for lane, p := range b.lane {
+		b.bs.LaneX(lane, &p.state.X)
+		p.model.ReadLane(b.bs, lane)
+	}
+}
+
+// laneHardStops is enforceHardStops applied to one SoA lane: positions
+// clamp at the mechanical stops with an inelastic collision.
+func (b *Batch) laneHardStops(lane int, p *Plant) {
+	for i := 0; i < kinematics.NumJoints; i++ {
+		lp := b.bs.Component(4*i + 2)
+		lv := b.bs.Component(4*i + 3)
+		pos := lp[lane]
+		vel := lv[lane]
+		if pos < p.hard.Min[i] {
+			lp[lane] = p.hard.Min[i]
+			if vel < 0 {
+				lv[lane] = 0
+			}
+		} else if pos > p.hard.Max[i] {
+			lp[lane] = p.hard.Max[i]
+			if vel > 0 {
+				lv[lane] = 0
+			}
+		}
+	}
+}
+
+// laneCheckCables is checkCables applied to one SoA lane: a joint whose
+// cable tension exceeds the break limit snaps.
+func (b *Batch) laneCheckCables(lane int, p *Plant) {
+	params := p.model.Params()
+	for i := 0; i < kinematics.NumJoints; i++ {
+		if p.broken[i] {
+			continue
+		}
+		jc := params.Joints[i]
+		stretch := b.bs.Component(4*i)[lane]/jc.Ratio - b.bs.Component(4*i+2)[lane]
+		stretchVel := b.bs.Component(4*i+1)[lane]/jc.Ratio - b.bs.Component(4*i+3)[lane]
+		tension := jc.CableStiffness*stretch + jc.CableDamping*stretchVel
+		if mathAbs(tension) > p.cfg.BreakTension[i] {
+			p.broken[i] = true
+		}
+	}
+}

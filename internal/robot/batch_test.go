@@ -1,0 +1,188 @@
+package robot
+
+import (
+	"math"
+	"testing"
+
+	"ravenguard/internal/dynamics"
+	"ravenguard/internal/kinematics"
+	"ravenguard/internal/motor"
+	"ravenguard/internal/usb"
+)
+
+// bitsEqual compares float slices bit-for-bit, so NaN sentinels (the
+// stepper's "not yet anchored" marker) compare equal to themselves.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func checkpointEqual(a, b dynamics.StepperState) bool {
+	return bitsEqual(a.Tau[:], b.Tau[:]) && bitsEqual(a.ALp[:], b.ALp[:]) &&
+		bitsEqual(a.ASin[:], b.ASin[:]) && bitsEqual(a.ACos[:], b.ACos[:])
+}
+
+// driveDACs produces a deterministic, per-plant DAC schedule exciting hard
+// stops and (for low break tensions) cable snaps.
+func driveDACs(plant, step int) [usb.NumChannels]int16 {
+	var dacs [usb.NumChannels]int16
+	switch (plant + step/40) % 3 {
+	case 0:
+		dacs[0] = 22000
+		dacs[1] = -9000
+	case 1:
+		dacs[0] = -28000
+		dacs[2] = 15000
+	default:
+		dacs[1] = 30000
+		dacs[3] = 6000 // wrist channel
+	}
+	return dacs
+}
+
+func buildPlants(t *testing.T, n int, breakTension [kinematics.NumJoints]float64) []*Plant {
+	t.Helper()
+	plants := make([]*Plant, n)
+	for i := range plants {
+		p, err := NewPlant(Config{
+			Params:       dynamics.DefaultParams(),
+			Bank:         motor.DefaultBank(),
+			Seed:         100 + int64(i),
+			BreakTension: breakTension,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plants[i] = p
+	}
+	return plants
+}
+
+func assertPlantsEqual(t *testing.T, got, want *Plant, label string) {
+	t.Helper()
+	if !bitsEqual(got.state.X[:], want.state.X[:]) {
+		t.Fatalf("%s: state diverged\n got %v\nwant %v", label, got.state.X, want.state.X)
+	}
+	if !checkpointEqual(got.model.Checkpoint(), want.model.Checkpoint()) {
+		t.Fatalf("%s: stepper internals diverged", label)
+	}
+	if got.rngSrc.Pos() != want.rngSrc.Pos() {
+		t.Fatalf("%s: rng position diverged: %+v vs %+v", label, got.rngSrc.Pos(), want.rngSrc.Pos())
+	}
+	if got.broken != want.broken {
+		t.Fatalf("%s: broken flags %v vs %v", label, got.broken, want.broken)
+	}
+	if got.t != want.t {
+		t.Fatalf("%s: time %v vs %v", label, got.t, want.t)
+	}
+	if got.wrist.Pos() != want.wrist.Pos() || got.wrist.Vel() != want.wrist.Vel() {
+		t.Fatalf("%s: wrist state diverged", label)
+	}
+}
+
+// TestBatchMatchesScalarBitIdentical drives the same plants through
+// Batch.Step and Plant.Step — including brake toggles, hard-stop slams, and
+// cable snaps — and requires every lane to be bit-identical at every tick.
+func TestBatchMatchesScalarBitIdentical(t *testing.T) {
+	const n, steps = 5, 1200
+	// Low shoulder break tension so at least one lane snaps a cable.
+	breakT := [kinematics.NumJoints]float64{2.0, 6, 60}
+	batchPlants := buildPlants(t, n, breakT)
+	scalarPlants := buildPlants(t, n, breakT)
+
+	batch, err := NewBatch(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dacs := make([][usb.NumChannels]int16, n)
+	for step := 0; step < steps; step++ {
+		for i := range dacs {
+			dacs[i] = driveDACs(i, step)
+			// Stagger brake release, and re-brake one plant mid-run so the
+			// batch sees lanes entering and leaving.
+			braked := step < 10*i || (i == 2 && step >= 600 && step < 700)
+			batchPlants[i].SetBrakes(braked)
+			scalarPlants[i].SetBrakes(braked)
+		}
+		batch.Step(batchPlants, dacs, 1e-3)
+		for i, p := range scalarPlants {
+			p.Step(dacs[i], 1e-3)
+		}
+		for i := range scalarPlants {
+			assertPlantsEqual(t, batchPlants[i], scalarPlants[i], "step")
+		}
+	}
+	snapped := false
+	for _, p := range scalarPlants {
+		if b, _ := p.CableBroken(); b {
+			snapped = true
+		}
+	}
+	if !snapped {
+		t.Fatal("test did not exercise a cable snap; raise the drive or lower BreakTension")
+	}
+}
+
+// TestBatchOverflowFallsBackToScalar packs more plants than the batch has
+// lanes; the overflow must take the scalar path and still match.
+func TestBatchOverflowFallsBackToScalar(t *testing.T) {
+	const n = 4
+	batchPlants := buildPlants(t, n, [kinematics.NumJoints]float64{})
+	scalarPlants := buildPlants(t, n, [kinematics.NumJoints]float64{})
+	batch, err := NewBatch(2) // capacity 2 < 4 unbraked plants
+	if err != nil {
+		t.Fatal(err)
+	}
+	dacs := make([][usb.NumChannels]int16, n)
+	for i := range batchPlants {
+		batchPlants[i].SetBrakes(false)
+		scalarPlants[i].SetBrakes(false)
+	}
+	for step := 0; step < 300; step++ {
+		for i := range dacs {
+			dacs[i] = driveDACs(i, step)
+		}
+		batch.Step(batchPlants, dacs, 1e-3)
+		for i, p := range scalarPlants {
+			p.Step(dacs[i], 1e-3)
+		}
+	}
+	for i := range scalarPlants {
+		assertPlantsEqual(t, batchPlants[i], scalarPlants[i], "overflow")
+	}
+}
+
+// TestPlantSnapshotRestore runs a plant to mid-trajectory, captures it,
+// runs on, restores into a plant that took a different path, and requires
+// the fork to replay the original continuation bit-for-bit.
+func TestPlantSnapshotRestore(t *testing.T) {
+	ref := buildPlants(t, 1, [kinematics.NumJoints]float64{})[0]
+	fork := buildPlants(t, 1, [kinematics.NumJoints]float64{})[0]
+	ref.SetBrakes(false)
+	for step := 0; step < 500; step++ {
+		ref.Step(driveDACs(0, step), 1e-3)
+	}
+	snap := ref.CaptureState()
+
+	// Drive the fork plant somewhere else entirely first.
+	fork.SetBrakes(false)
+	for step := 0; step < 137; step++ {
+		fork.Step(driveDACs(1, step), 1e-3)
+	}
+	fork.RestoreState(snap)
+	assertPlantsEqual(t, fork, ref, "post-restore")
+
+	for step := 500; step < 900; step++ {
+		d := driveDACs(0, step)
+		ref.Step(d, 1e-3)
+		fork.Step(d, 1e-3)
+		assertPlantsEqual(t, fork, ref, "continuation")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"ravenguard/internal/kinematics"
 	"ravenguard/internal/mathx"
 	"ravenguard/internal/motor"
+	"ravenguard/internal/randx"
 	"ravenguard/internal/usb"
 	"ravenguard/internal/wrist"
 )
@@ -84,6 +85,7 @@ type Plant struct {
 	state  dynamics.State
 	trans  kinematics.Transmission
 	rng    *rand.Rand
+	rngSrc *randx.Source
 	brakes bool
 	broken [kinematics.NumJoints]bool
 	hard   kinematics.Limits
@@ -97,7 +99,7 @@ func NewPlant(cfg Config) (*Plant, error) {
 	if err := cfg.Bank.Validate(); err != nil {
 		return nil, fmt.Errorf("robot: %w", err)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng, rngSrc := randx.New(cfg.Seed)
 	perturbed := perturb(cfg.Params, cfg.ParamJitter, rng)
 	model, err := dynamics.NewStepper(perturbed)
 	if err != nil {
@@ -127,6 +129,7 @@ func NewPlant(cfg Config) (*Plant, error) {
 		model:  model,
 		trans:  tr,
 		rng:    rng,
+		rngSrc: rngSrc,
 		brakes: true,
 		hard:   hard,
 		wrist:  wristServo,
@@ -165,48 +168,62 @@ func (p *Plant) BrakesEngaged() bool { return p.brakes }
 // DAC values currently latched on the board's first NumJoints channels.
 func (p *Plant) Step(dacs [usb.NumChannels]int16, dt float64) {
 	if p.brakes {
-		// Power-off brakes clamp the motors; the arm holds. Zero all
-		// velocities so releasing the brakes starts from rest.
-		for i := 0; i < kinematics.NumJoints; i++ {
-			p.state.X[4*i+1] = 0
-			p.state.X[4*i+3] = 0
-		}
-		p.wrist.Step([wrist.NumJoints]int16{}, dt, true)
-		p.t += dt
+		p.stepBraked(dt)
 		return
 	}
-
-	var tau [kinematics.NumJoints]float64
-	for i := 0; i < kinematics.NumJoints; i++ {
-		tau[i] = p.cfg.Bank[i].DACToTorque(dacs[i])
-	}
-
-	// Instrument wrist servos (channels 3..5): light direct-drive joints
-	// integrated at the control period.
-	var wristDACs [wrist.NumJoints]int16
-	for i := 0; i < wrist.NumJoints; i++ {
-		wristDACs[i] = dacs[kinematics.NumJoints+i]
-	}
-	p.wrist.Step(wristDACs, dt, false)
-
+	tau := p.prepTick(dacs, dt)
 	sub := dt / float64(p.cfg.Substeps)
 	for s := 0; s < p.cfg.Substeps; s++ {
-		noisy := tau
-		for i := 0; i < kinematics.NumJoints; i++ {
-			noisy[i] += p.rng.NormFloat64() * p.cfg.TorqueNoise
-			if p.broken[i] {
-				// A snapped cable decouples motor from link: model it by
-				// removing motor drive (the free-spinning motor no longer
-				// matters for safety) and letting the link coast.
-				noisy[i] = 0
-			}
-		}
+		noisy := p.noisyTau(tau)
 		p.model.SetTorque(noisy)
 		p.model.StepRK4(&p.state.X, sub)
 		p.t += sub
 		p.enforceHardStops()
 		p.checkCables()
 	}
+}
+
+// stepBraked holds the arm for one control period: power-off brakes clamp
+// the motors. Velocities are zeroed so releasing the brakes starts from
+// rest.
+func (p *Plant) stepBraked(dt float64) {
+	for i := 0; i < kinematics.NumJoints; i++ {
+		p.state.X[4*i+1] = 0
+		p.state.X[4*i+3] = 0
+	}
+	p.wrist.Step([wrist.NumJoints]int16{}, dt, true)
+	p.t += dt
+}
+
+// prepTick performs the once-per-control-period work of an unbraked step:
+// DAC-to-torque conversion for the positioning motors and the instrument
+// wrist servo update (channels 3..5: light direct-drive joints integrated
+// at the control period). It returns the commanded arm torques.
+func (p *Plant) prepTick(dacs [usb.NumChannels]int16, dt float64) [kinematics.NumJoints]float64 {
+	var tau [kinematics.NumJoints]float64
+	for i := 0; i < kinematics.NumJoints; i++ {
+		tau[i] = p.cfg.Bank[i].DACToTorque(dacs[i])
+	}
+	var wristDACs [wrist.NumJoints]int16
+	for i := 0; i < wrist.NumJoints; i++ {
+		wristDACs[i] = dacs[kinematics.NumJoints+i]
+	}
+	p.wrist.Step(wristDACs, dt, false)
+	return tau
+}
+
+// noisyTau adds one sub-step's white disturbance torque to the commanded
+// torques. The draw happens for every joint — broken ones included — so the
+// rng stream is identical whether or not a cable has snapped; a snapped
+// cable then decouples motor from link (zero drive, the link coasts).
+func (p *Plant) noisyTau(tau [kinematics.NumJoints]float64) [kinematics.NumJoints]float64 {
+	for i := 0; i < kinematics.NumJoints; i++ {
+		tau[i] += p.rng.NormFloat64() * p.cfg.TorqueNoise
+		if p.broken[i] {
+			tau[i] = 0
+		}
+	}
+	return tau
 }
 
 // enforceHardStops clamps link positions at the mechanical stops with an
@@ -310,3 +327,47 @@ func (p *Plant) Transmission() kinematics.Transmission { return p.trans }
 
 // Time returns the plant-local simulated time in seconds.
 func (p *Plant) Time() float64 { return p.t }
+
+// State is the plant's complete mutable state, for checkpoint/restore.
+// Configuration (perturbed parameters, bank, limits) is derived
+// deterministically from Config at construction and stays with the target
+// plant.
+type State struct {
+	X        [dynamics.StateDim]float64
+	Model    dynamics.StepperState
+	Rng      randx.Pos
+	Brakes   bool
+	Broken   [kinematics.NumJoints]bool
+	T        float64
+	WristPos [wrist.NumJoints]float64
+	WristVel [wrist.NumJoints]float64
+}
+
+// CaptureState snapshots everything that evolves during simulation: the
+// two-mass joint states, the integrator's internal latches (torque and
+// gravity anchors), the disturbance rng position, brakes, cable breakage,
+// local time, and the instrument servo states.
+func (p *Plant) CaptureState() State {
+	return State{
+		X:        p.state.X,
+		Model:    p.model.Checkpoint(),
+		Rng:      p.rngSrc.Pos(),
+		Brakes:   p.brakes,
+		Broken:   p.broken,
+		T:        p.t,
+		WristPos: p.wrist.Pos(),
+		WristVel: p.wrist.Vel(),
+	}
+}
+
+// RestoreState rewinds the plant to a captured state. The restored rng
+// stream continues bit-identically to the run the snapshot was taken from.
+func (p *Plant) RestoreState(s State) {
+	p.state.X = s.X
+	p.model.RestoreCheckpoint(s.Model)
+	p.rngSrc.Restore(s.Rng)
+	p.brakes = s.Brakes
+	p.broken = s.Broken
+	p.t = s.T
+	p.wrist.SetState(s.WristPos, s.WristVel)
+}

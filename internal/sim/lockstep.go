@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"fmt"
+
+	"ravenguard/internal/control"
+	"ravenguard/internal/robot"
+	"ravenguard/internal/usb"
+)
+
+// RunLockstep advances all rigs together, one control period at a time,
+// until every rig's session has ended, integrating their plants through a
+// shared structure-of-arrays batch stepper (see robot.Batch). Each rig's
+// trajectory is bit-identical to running it alone with Rig.Run — the
+// lockstep only changes how the physics arithmetic is laid out across
+// rigs, not what any rig computes.
+//
+// This is the campaign fan-out engine: all variants forked from one shared
+// prefix run together, one SoA lane per live plant. A rig that finishes
+// early (script end) simply stops occupying a lane.
+func RunLockstep(rigs []*Rig) error {
+	if len(rigs) == 0 {
+		return nil
+	}
+	batch, err := robot.NewBatch(len(rigs))
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	live := make([]*Rig, 0, len(rigs))
+	plants := make([]*robot.Plant, 0, len(rigs))
+	dacs := make([][usb.NumChannels]int16, 0, len(rigs))
+	for {
+		live = live[:0]
+		for _, r := range rigs {
+			if !r.Done() {
+				live = append(live, r)
+			}
+		}
+		if len(live) == 0 {
+			return nil
+		}
+		plants, dacs = plants[:0], dacs[:0]
+		for _, r := range live {
+			if err := r.stepControl(); err != nil {
+				return err
+			}
+			plants = append(plants, r.plant)
+			dacs = append(dacs, r.board.DACs())
+		}
+		batch.Step(plants, dacs, control.Period)
+		for _, r := range live {
+			r.finishStep()
+		}
+	}
+}

@@ -119,12 +119,20 @@ type Config struct {
 	// before the first step — the installation point for board-level fault
 	// hooks (feedback-frame corruption, firmware stall; see internal/fault).
 	OnBoard func(b *usb.Board)
+
+	// Stateful lists extra stateful components installed via the closure
+	// hooks above (OnInput, OnFeedbackRead, WrapTransport, OnBoard) so the
+	// rig's Snapshot can capture them. Chain wrappers (Preload, Guards) that
+	// implement Snapshotter are discovered automatically and must not be
+	// listed here.
+	Stateful []Snapshotter
 }
 
 // Rig is one assembled simulation session. Not safe for concurrent use.
 type Rig struct {
 	cfg     Config
-	cons    *console.Console // nil when externally driven
+	cons    *console.Console  // nil when externally driven
+	mem     *itp.MemTransport // built-in console transport (nil when external)
 	trans   itp.Receiver
 	chain   *interpose.Chain
 	board   *usb.Board
@@ -145,6 +153,10 @@ type Rig struct {
 	// Step allocation-free (locals passed by pointer would escape).
 	inBuf control.Input
 	fbBuf usb.Feedback
+
+	// pending carries the control-phase results of a split step between
+	// stepControl and finishStep (see RunLockstep).
+	pending pendingStep
 }
 
 // FaultCounters aggregates the rig's graceful-degradation statistics: how
@@ -179,10 +191,11 @@ func New(cfg Config) (*Rig, error) {
 		cons  *console.Console
 		trans itp.Receiver
 	)
+	var mem *itp.MemTransport
 	if cfg.ExternalInput != nil {
 		trans = cfg.ExternalInput
 	} else {
-		mem := itp.NewMemTransport()
+		mem = itp.NewMemTransport()
 		trans = mem
 		var err error
 		cons, err = console.New(cfg.Script, cfg.Traj, mem)
@@ -231,6 +244,7 @@ func New(cfg Config) (*Rig, error) {
 	r := &Rig{
 		cfg:    cfg,
 		cons:   cons,
+		mem:    mem,
 		trans:  trans,
 		chain:  chain,
 		board:  board,
@@ -320,22 +334,44 @@ func (r *Rig) Done() bool {
 	return r.cons.Done()
 }
 
+// pendingStep carries what the control phase produced into the bookkeeping
+// phase of a split step.
+type pendingStep struct {
+	out       control.Output
+	fbDropped bool
+}
+
 // Step advances the whole system by one control period.
 func (r *Rig) Step() (StepInfo, error) {
+	const dt = control.Period
+	if err := r.stepControl(); err != nil {
+		return StepInfo{}, err
+	}
+	// 6. Physics: one control period of dynamics driven by whatever DACs
+	// the board latched (post-attack values).
+	r.plant.Step(r.board.DACs(), dt)
+	return r.finishStep(), nil
+}
+
+// stepControl runs the control half of one step — console, transport,
+// feedback read, control cycle, PLC supervision, brake command — up to (but
+// not including) the plant physics. RunLockstep uses the split to integrate
+// many rigs' plants together; Step is stepControl + Plant.Step + finishStep.
+func (r *Rig) stepControl() error {
 	const dt = control.Period
 
 	// 1. Console emits this cycle's ITP datagram (externally driven rigs
 	// receive whatever arrived on the transport instead).
 	if r.cons != nil {
 		if _, err := r.cons.Tick(dt); err != nil {
-			return StepInfo{}, err
+			return err
 		}
 	}
 
 	// 2. Control software receives the operator packet (or reuses the last
 	// one on loss, as the real software holds state).
 	if pkt, ok, err := r.trans.Recv(); err != nil {
-		return StepInfo{}, err
+		return err
 	} else if ok {
 		r.lastIn = control.Input{
 			Delta:       pkt.Delta,
@@ -397,14 +433,19 @@ func (r *Rig) Step() (StepInfo, error) {
 	// the interposition chain (malware, then guards, then the board).
 	out := r.ctrl.Tick(*in, *fb, r.plc.EStopped())
 
-	// 5. PLC supervises the relayed status byte.
+	// 5. PLC supervises the relayed status byte; brakes per PLC.
 	status, have := r.board.StatusByte()
 	r.plc.Tick(status, have, durationFromSeconds(dt))
-
-	// 6. Physics: brakes per PLC, then one control period of dynamics
-	// driven by whatever DACs the board latched (post-attack values).
 	r.plant.SetBrakes(r.plc.BrakesEngaged())
-	r.plant.Step(r.board.DACs(), dt)
+
+	r.pending = pendingStep{out: out, fbDropped: fbDropped}
+	return nil
+}
+
+// finishStep runs the bookkeeping half of one step, after the plant
+// physics: encoder latch, clock advance, StepInfo assembly, observers.
+func (r *Rig) finishStep() StepInfo {
+	const dt = control.Period
 	r.board.SetEncoders(r.plant.EncoderCounts())
 
 	r.t += dt
@@ -413,10 +454,10 @@ func (r *Rig) Step() (StepInfo, error) {
 	broken, _ := r.plant.CableBroken()
 	info := StepInfo{
 		T:        r.t,
-		Input:    *in,
-		Ctrl:     out,
+		Input:    r.inBuf,
+		Ctrl:     r.pending.out,
 		BoardDAC: r.board.DACs(),
-		Feedback: *fb,
+		Feedback: r.fbBuf,
 		TipTrue:  r.plant.TipPosition(),
 		JposTrue: r.plant.JointPos(),
 		JvelTrue: r.plant.JointVel(),
@@ -425,12 +466,12 @@ func (r *Rig) Step() (StepInfo, error) {
 		PLCEStop: r.plc.EStopped(),
 		Broken:   broken,
 
-		FeedbackDropped: fbDropped,
+		FeedbackDropped: r.pending.fbDropped,
 	}
 	for _, o := range r.obs {
 		o(info)
 	}
-	return info, nil
+	return info
 }
 
 // Run executes the whole scripted session (or until maxSteps, whichever is

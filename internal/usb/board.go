@@ -157,3 +157,43 @@ func (b *Board) StallDrops() int { return b.stallDrops }
 func (b *Board) Stats() (received, malformed int) {
 	return b.rxCount, b.malformedRx
 }
+
+// State is the board's mutable state, for checkpoint/restore. The
+// read-fault hook is configuration and stays with the target board.
+type State struct {
+	LastCmd     Command
+	HaveCmd     bool
+	Encoders    [NumChannels]int32
+	EncoderSeq  byte
+	RxCount     int
+	MalformedRx int
+	Stalled     bool
+	StallFrame  []byte
+	StallDrops  int
+}
+
+// CaptureState returns a copy of the board's mutable state.
+func (b *Board) CaptureState() State {
+	s := State{
+		LastCmd: b.lastCmd, HaveCmd: b.haveCmd,
+		Encoders: b.encoders, EncoderSeq: b.encoderSeq,
+		RxCount: b.rxCount, MalformedRx: b.malformedRx,
+		Stalled: b.stalled, StallDrops: b.stallDrops,
+	}
+	if b.stallFrame != nil {
+		s.StallFrame = append([]byte(nil), b.stallFrame...)
+	}
+	return s
+}
+
+// RestoreState rewinds the board to a captured state.
+func (b *Board) RestoreState(s State) {
+	b.lastCmd, b.haveCmd = s.LastCmd, s.HaveCmd
+	b.encoders, b.encoderSeq = s.Encoders, s.EncoderSeq
+	b.rxCount, b.malformedRx = s.RxCount, s.MalformedRx
+	b.stalled, b.stallDrops = s.Stalled, s.StallDrops
+	b.stallFrame = nil
+	if s.StallFrame != nil {
+		b.stallFrame = append([]byte(nil), s.StallFrame...)
+	}
+}

@@ -149,6 +149,12 @@ func (s *Servo) SetPos(p [NumJoints]float64) {
 	s.vel = [NumJoints]float64{}
 }
 
+// SetState restores positions and velocities verbatim
+// (checkpoint/restore; no clamping, the captured state was legal).
+func (s *Servo) SetState(pos, vel [NumJoints]float64) {
+	s.pos, s.vel = pos, vel
+}
+
 // Orientation composes the instrument orientation matrix from the wrist
 // pose: the tool rolls about its shaft axis and pitches about the wrist
 // axis. (Grasp does not change orientation.)

@@ -22,4 +22,16 @@ go test -race -timeout 900s ./...
 echo "==> go test -bench . -benchtime 1x ./..."
 go test -run '^$' -bench . -benchtime 1x -timeout 900s ./...
 
+# Allocation-regression guard: steady-state batch stepping must stay at
+# 0 allocs/op (TestBatchStepperAllocs pins it via testing.AllocsPerRun),
+# and the benchmark itself must report 0 under -benchmem.
+echo "==> batch-stepper allocation guard"
+go test -run 'TestBatchStepperAllocs' -count 1 ./internal/dynamics/
+go test -run '^$' -bench 'BatchStepRK4' -benchmem -benchtime 100x ./internal/dynamics/ |
+	awk '/^BenchmarkBatchStepRK4/ {
+		for (i = 1; i <= NF; i++) if ($(i+1) == "allocs/op" && $i + 0 != 0) {
+			print "FAIL: " $1 " allocates " $i " allocs/op, want 0"; bad = 1
+		}
+	} END { exit bad }'
+
 echo "OK"
