@@ -88,10 +88,10 @@ func StandardScript(teleop float64) Script {
 // Console replays a trajectory according to a script. Not safe for
 // concurrent use.
 type Console struct {
-	script Script
-	traj   trajectory.Trajectory
-	ori    trajectory.OriProfile
-	out    itp.Sender
+	script Script                //ravenlint:snapshot-ignore configuration, fixed after New
+	traj   trajectory.Trajectory //ravenlint:snapshot-ignore configuration, fixed after New
+	ori    trajectory.OriProfile //ravenlint:snapshot-ignore wrist profile, set during assembly
+	out    itp.Sender            //ravenlint:snapshot-ignore transport wiring; queued datagrams captured by the rig
 
 	seq       uint32
 	t         float64 // session time

@@ -128,10 +128,10 @@ type Output struct {
 // Controller is the RAVEN control software node. Not safe for concurrent
 // use; the simulation loop owns it.
 type Controller struct {
-	cfg   Config
+	cfg   Config //ravenlint:snapshot-ignore configuration, fixed after NewController
 	sm    *statemachine.Machine
 	pids  [kinematics.NumJoints]*PID
-	chain *interpose.Chain
+	chain *interpose.Chain //ravenlint:snapshot-ignore write-chain wiring; chain stats captured by the rig
 
 	jposD     kinematics.JointPos
 	havePose  bool
@@ -141,10 +141,9 @@ type Controller struct {
 	tick      int
 	watchdog  bool
 	unsafeHit bool // latched: stop petting the watchdog
-	gravComp  [kinematics.NumJoints]float64
 
-	grav     GravityModel
-	gravSet  bool
+	grav     GravityModel //ravenlint:snapshot-ignore gravity model installed during assembly, fixed during a run
+	gravSet  bool         //ravenlint:snapshot-ignore set with grav during assembly
 	ikFails  int
 	wristCtl *wrist.Controller
 	wristSet bool // wrist setpoint initialised from feedback
@@ -160,7 +159,7 @@ type Controller struct {
 
 	// frameBuf backs the command frame handed to the write chain each
 	// tick; keeping it on the struct keeps Tick allocation-free.
-	frameBuf [usb.CommandLen]byte
+	frameBuf [usb.CommandLen]byte //ravenlint:snapshot-ignore per-tick scratch, fully rewritten before use
 }
 
 // NewController builds the control node writing frames into chain.

@@ -28,7 +28,6 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
-	"time"
 
 	"ravenguard/internal/dynamics"
 	"ravenguard/internal/estimator"
@@ -153,6 +152,10 @@ type Config struct {
 	// EStop, when set, is invoked once on the first mitigated frame (the
 	// rig wires it to the PLC's emergency-stop latch).
 	EStop func(cause string)
+	// Clock times the one-step-ahead model evaluation for the
+	// detection-latency statistics (StepTime). Defaults to sim.WallClock;
+	// deterministic campaigns may inject sim.TickClock or their own.
+	Clock sim.Clock
 }
 
 func (c *Config) applyDefaults() {
@@ -174,6 +177,9 @@ func (c *Config) applyDefaults() {
 	if c.Mode == 0 {
 		c.Mode = ModeMonitor
 	}
+	if c.Clock == nil {
+		c.Clock = sim.WallClock
+	}
 	if c.Fusion == 0 {
 		c.Fusion = FusionAll
 	}
@@ -194,11 +200,13 @@ func (c *Config) applyDefaults() {
 // Guard is the dynamic model-based detector/mitigator. It implements
 // sim.Hook. Not safe for concurrent use: the control loop owns it.
 type Guard struct {
-	cfg    Config
-	model  *dynamics.Stepper
-	rk4    bool
-	state  dynamics.State
-	armed  bool // thresholds are non-zero
+	cfg   Config //ravenlint:snapshot-ignore configuration, fixed after New
+	model *dynamics.Stepper
+	rk4   bool //ravenlint:snapshot-ignore derived from cfg.Integrator at New
+	state dynamics.State
+	// armed (thresholds are non-zero) is derived from cfg.Thresholds at New
+	// and never changes afterwards.
+	armed  bool //ravenlint:snapshot-ignore derived from cfg.Thresholds at New
 	synced bool // model snapped to first feedback
 
 	prevFbMpos kinematics.MotorPos
@@ -455,11 +463,11 @@ func (g *Guard) OnWrite(buf []byte) interpose.Verdict {
 	}
 	prevMotorVel := g.state.MotorVel()
 
-	start := time.Now()
+	start := g.cfg.Clock()
 	g.model.SetTorque(tau)
 	const dt = 1e-3
 	g.model.Step(g.rk4, &g.state.X, dt)
-	g.stepTime.Add(float64(time.Since(start).Nanoseconds()))
+	g.stepTime.Add(float64(g.cfg.Clock() - start))
 
 	var est Sample
 	mv := g.state.MotorVel()

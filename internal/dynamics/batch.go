@@ -76,6 +76,8 @@ func (b *BatchStepper) SetLanes(n int) error {
 // FillLane loads lane of the batch from this kernel: per-joint constants,
 // gravity anchors, and held torque. The lane then steps exactly as this
 // Stepper would.
+//
+//ravenlint:noalloc
 func (s *Stepper) FillLane(b *BatchStepper, lane int) {
 	for j := 0; j < kinematics.NumJoints; j++ {
 		b.joints[j][lane] = s.joints[j]
@@ -86,6 +88,8 @@ func (s *Stepper) FillLane(b *BatchStepper, lane int) {
 // ReadLane writes the lane's mutated kernel state (gravity anchors, held
 // torque) back into this Stepper, so scalar stepping can resume from where
 // the batch left off.
+//
+//ravenlint:noalloc
 func (s *Stepper) ReadLane(b *BatchStepper, lane int) {
 	for j := 0; j < kinematics.NumJoints; j++ {
 		jl := &b.joints[j][lane]
@@ -124,6 +128,8 @@ func (b *BatchStepper) Component(c int) []float64 { return b.x[c][:b.n] }
 
 // StepEulerAll advances every active lane by one explicit Euler step,
 // replicating Stepper.StepEuler's per-joint operation order per lane.
+//
+//ravenlint:noalloc
 func (b *BatchStepper) StepEulerAll(dt float64) {
 	n := b.n
 	for jIdx := 0; jIdx < kinematics.NumJoints; jIdx++ {
@@ -159,6 +165,8 @@ func (b *BatchStepper) StepEulerAll(dt float64) {
 // three. Per lane the operation order matches Stepper.StepRK4 exactly
 // (anchor, friction band branch, accelG, stage offsets through gravAt), so
 // each lane's result is bit-identical to the scalar kernel's.
+//
+//ravenlint:noalloc
 func (b *BatchStepper) StepRK4All(dt float64) {
 	h2, h6 := dt/2, dt/6
 	n := b.n
@@ -239,6 +247,8 @@ func (b *BatchStepper) StepRK4All(dt float64) {
 }
 
 // StepAll advances every active lane by one step of the named scheme.
+//
+//ravenlint:noalloc
 func (b *BatchStepper) StepAll(rk4 bool, dt float64) {
 	if rk4 {
 		b.StepRK4All(dt)

@@ -81,6 +81,8 @@ type fusedJoint struct {
 // The load — the only transcendental part of the derivative — is hoisted
 // to the caller so this body is pure arithmetic and small enough for the
 // inliner: the RK4 stage loop calls it 12 times per step.
+//
+//ravenlint:noalloc
 func (j *fusedJoint) accelG(tau, mpos, mvel, lpos, lvel, load float64) (am, al float64) {
 	stretch := mpos*j.invRatio - lpos
 	stretchVel := mvel*j.invRatio - lvel
@@ -96,6 +98,8 @@ func (j *fusedJoint) accelG(tau, mpos, mvel, lpos, lvel, load float64) (am, al f
 // tanhTail — because a single function holding both the polynomial and
 // the fallback call exceeds the inline budget; this method is the
 // readable form, used where a few nanoseconds don't matter.
+//
+//ravenlint:noalloc
 func (j *fusedJoint) friction(lvel float64) float64 {
 	return j.coulomb * fastTanh(lvel*invSmooth)
 }
@@ -113,6 +117,8 @@ const anchorRad2 = 1e-4
 // though gravAt ignores their offset: walking the anchor along with the
 // link costs a cheap reanchor call every ~anchorRad of travel and keeps
 // this body small enough to inline.
+//
+//ravenlint:noalloc
 func (j *fusedJoint) anchor(lpos float64) float64 {
 	d := lpos - j.aLp
 	if d*d < anchorRad2 {
@@ -128,6 +134,7 @@ func (j *fusedJoint) anchor(lpos float64) float64 {
 // would push anchor itself past the inline budget.
 //
 //go:noinline
+//ravenlint:noalloc
 func (j *fusedJoint) reanchor(lpos float64) {
 	j.aLp = lpos
 	if !j.gravSin {
@@ -143,6 +150,8 @@ func (j *fusedJoint) reanchor(lpos float64) {
 //	sin(a+d) = sin a (1 - d²/2 + d⁴/24) + cos a (d - d³/6 + d⁵/120)
 //
 // whose truncation error d^6/720 is < 2e-13 within the anchor radius.
+//
+//ravenlint:noalloc
 func (j *fusedJoint) gravAt(d float64) float64 {
 	if !j.gravSin {
 		return j.gravConst
@@ -157,7 +166,7 @@ func (j *fusedJoint) gravAt(d float64) float64 {
 type Stepper struct {
 	joints [kinematics.NumJoints]fusedJoint
 	tau    [kinematics.NumJoints]float64
-	params Params
+	params Params //ravenlint:snapshot-ignore construction constants, never mutated
 }
 
 // NewStepper builds the kernel, validating the parameters.
@@ -191,12 +200,16 @@ func (s *Stepper) Params() Params { return s.params }
 
 // SetTorque fixes the motor torque input (zero-order hold) for subsequent
 // steps.
+//
+//ravenlint:noalloc
 func (s *Stepper) SetTorque(tau [kinematics.NumJoints]float64) { s.tau = tau }
 
 // Torque returns the currently applied motor torques.
 func (s *Stepper) Torque() [kinematics.NumJoints]float64 { return s.tau }
 
 // StepEuler advances x in place by one explicit Euler step.
+//
+//ravenlint:noalloc
 func (s *Stepper) StepEuler(x *[StateDim]float64, dt float64) {
 	for i := 0; i < kinematics.NumJoints; i++ {
 		j := &s.joints[i]
@@ -232,6 +245,8 @@ func (s *Stepper) StepEuler(x *[StateDim]float64, dt float64) {
 // would exceed the inline budget (see tanhPolyVel). Gravity comes from
 // each joint's anchor via gravAt, with the stage position offsets added
 // onto the anchor offset d0.
+//
+//ravenlint:noalloc
 func (s *Stepper) StepRK4(x *[StateDim]float64, dt float64) {
 	h2, h6 := dt/2, dt/6
 	ja, jb, jc := &s.joints[0], &s.joints[1], &s.joints[2]
@@ -383,6 +398,8 @@ func (s *Stepper) RestoreCheckpoint(st StepperState) {
 // Step advances x by one step of the named scheme: rk4 selects StepRK4,
 // otherwise StepEuler. It lets callers hold one branch flag instead of an
 // interface value.
+//
+//ravenlint:noalloc
 func (s *Stepper) Step(rk4 bool, x *[StateDim]float64, dt float64) {
 	if rk4 {
 		s.StepRK4(x, dt)
@@ -409,6 +426,8 @@ const tanhBandV2 = tanhBand2 / (invSmooth * invSmooth)
 // friction without first materializing v/0.02. Callers pass u = v² and
 // must have checked u < tanhBandV2. Same 8.2e-11 worst error as
 // tanhPoly; the two differ only in rounding, at ~1 ulp.
+//
+//ravenlint:noalloc
 func tanhPolyVel(v, u float64) float64 {
 	p := 2.600474304296876e+19
 	p = p*u - 3.984975920707703e+16
@@ -432,6 +451,8 @@ func tanhPolyVel(v, u float64) float64 {
 // branch and this body stay separately inlinable: one function holding
 // the polynomial, the branch, and the tanhTail fallback call would
 // exceed the inline budget.
+//
+//ravenlint:noalloc
 func tanhPoly(x, t float64) float64 {
 	p := 0.0021303085500800007
 	p = p*t - 0.008161230685609377
@@ -447,6 +468,8 @@ func tanhPoly(x, t float64) float64 {
 // Coulomb smoothing term. NaN propagates through both paths. The step
 // loops inline the same banding branch by hand instead of calling this
 // (see friction).
+//
+//ravenlint:noalloc
 func fastTanh(x float64) float64 {
 	t := x * x
 	if t < tanhBand2 {
@@ -460,6 +483,8 @@ func fastTanh(x float64) float64 {
 // ±1 is value-identical to math.Tanh while skipping its exp evaluation —
 // and saturation is the common case once a joint moves faster than the
 // Coulomb smoothing band. The remaining mid band defers to math.Tanh.
+//
+//ravenlint:noalloc
 func tanhTail(x float64) float64 {
 	if x >= 20 {
 		return 1
@@ -487,6 +512,8 @@ const (
 // [-π/2, π/2], then evaluate the Taylor series through x^17 (truncation
 // error ≈ 4e-14 at π/2). Arguments too large for the two-part reduction
 // fall back to math.Sin.
+//
+//ravenlint:noalloc
 func fastSin(x float64) float64 {
 	if x > sinMaxArg || x < -sinMaxArg {
 		return math.Sin(x) // also catches NaN/Inf
@@ -514,6 +541,8 @@ func fastSin(x float64) float64 {
 // fastSinCos returns sin(x) and cos(x) with the same reduction as
 // fastSin: fold into [-π/2, π/2] (the fold keeps the sine and negates the
 // cosine), then Taylor polynomials through x^17 / x^16.
+//
+//ravenlint:noalloc
 func fastSinCos(x float64) (sin, cos float64) {
 	if x > sinMaxArg || x < -sinMaxArg {
 		return math.Sincos(x) // also catches NaN/Inf

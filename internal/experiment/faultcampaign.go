@@ -683,12 +683,10 @@ func (r FaultCampaignResult) KindsExercised() bool {
 			fired[c.Kind] = true
 		}
 	}
-	for k := range scheduled {
-		if !fired[k] {
-			return false
-		}
-	}
-	return true
+	// fired is a subset of scheduled (both are keyed by cell kind), so
+	// full coverage is a size comparison — no map iteration whose order
+	// could leak into the result.
+	return len(fired) == len(scheduled)
 }
 
 // Write renders the matrix.

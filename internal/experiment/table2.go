@@ -5,13 +5,13 @@ import (
 	"io"
 	"net"
 	"os"
-	"time"
 
 	"ravenguard/internal/core"
 	"ravenguard/internal/interpose"
 	"ravenguard/internal/kinematics"
 	"ravenguard/internal/malware"
 	"ravenguard/internal/motor"
+	"ravenguard/internal/sim"
 	"ravenguard/internal/stats"
 	"ravenguard/internal/usb"
 )
@@ -22,6 +22,9 @@ import (
 type Table2Config struct {
 	// Calls per configuration (paper: 50,000).
 	Calls int
+	// Clock times each write; defaults to sim.WallClock. Tests inject a
+	// deterministic clock so the summary statistics are reproducible.
+	Clock sim.Clock
 }
 
 // Table2Row is one row of Table II.
@@ -52,6 +55,9 @@ func RunTable2(cfg Table2Config) (Table2Result, error) {
 	if cfg.Calls == 0 {
 		cfg.Calls = 50000
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.WallClock
+	}
 
 	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {
@@ -75,11 +81,11 @@ func RunTable2(cfg Table2Config) (Table2Result, error) {
 		buf := make([]byte, len(frame))
 		for i := 0; i < cfg.Calls; i++ {
 			copy(buf, frame[:]) // injection mutates in place; restore
-			start := time.Now()
+			start := cfg.Clock()
 			if err := chain.Write(buf); err != nil {
 				return stats.Summary{}, err
 			}
-			acc.Add(float64(time.Since(start).Nanoseconds()) / 1e3)
+			acc.Add(float64(cfg.Clock()-start) / 1e3)
 		}
 		return acc.Summarize(), nil
 	}

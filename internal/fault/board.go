@@ -17,10 +17,10 @@ import (
 // "change encoder feedback" attack; the guard, below this layer, still
 // sees the true stream).
 type readFaulter struct {
-	events []Event
-	rng    *rand.Rand
+	events []Event    //ravenlint:snapshot-ignore fault schedule, configuration
+	rng    *rand.Rand //ravenlint:snapshot-ignore draws through src, whose position is captured
 	src    *randx.Source
-	inj    *Injector
+	inj    *Injector //ravenlint:snapshot-ignore captured as its own snapshotter
 
 	stuck map[int]int32 // event index -> latched stuck value
 }
@@ -100,11 +100,11 @@ func (rf *readFaulter) RestoreSnap(st any) error {
 // hook and self-clocks on it — the rig reads feedback exactly once per
 // control period, so the call counter is the simulated time.
 type boardFaulter struct {
-	events []Event
-	rng    *rand.Rand
+	events []Event    //ravenlint:snapshot-ignore fault schedule, configuration
+	rng    *rand.Rand //ravenlint:snapshot-ignore draws through src, whose position is captured
 	src    *randx.Source
-	inj    *Injector
-	board  *usb.Board
+	inj    *Injector  //ravenlint:snapshot-ignore captured as its own snapshotter
+	board  *usb.Board //ravenlint:snapshot-ignore wiring; board state captured by the rig
 	tick   int
 }
 

@@ -267,6 +267,7 @@ func (p Plan) Kinds() []Kind {
 		seen[e.Kind] = true
 	}
 	kinds := make([]Kind, 0, len(seen))
+	//ravenlint:allow determinism keys are sorted below before use
 	for k := range seen {
 		kinds = append(kinds, k)
 	}

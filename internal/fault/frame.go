@@ -20,10 +20,10 @@ import (
 // which it uses only as a clock; interpose.Reslicer provides the
 // truncation capability the in-place OnWrite contract lacks.
 type frameFaulter struct {
-	events []Event
-	rng    *rand.Rand
+	events []Event    //ravenlint:snapshot-ignore fault schedule, configuration
+	rng    *rand.Rand //ravenlint:snapshot-ignore draws through src, whose position is captured
 	src    *randx.Source
-	inj    *Injector
+	inj    *Injector //ravenlint:snapshot-ignore captured as its own snapshotter
 
 	t     float64
 	stuck map[int]int16 // event index -> latched stuck value

@@ -24,11 +24,11 @@ type delayedPacket struct {
 // models, it delivers at most one datagram per cycle — backlogs from
 // duplication or released delays drain one per cycle.
 type faultyReceiver struct {
-	inner  itp.Receiver
-	events []Event
-	rng    *rand.Rand
+	inner  itp.Receiver //ravenlint:snapshot-ignore wrapped transport; its queue is captured by the rig
+	events []Event      //ravenlint:snapshot-ignore fault schedule, configuration
+	rng    *rand.Rand   //ravenlint:snapshot-ignore draws through src, whose position is captured
 	src    *randx.Source
-	inj    *Injector
+	inj    *Injector //ravenlint:snapshot-ignore captured as its own snapshotter
 
 	tick    int
 	queue   []itp.Packet    // ready to deliver, oldest first

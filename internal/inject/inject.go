@@ -52,8 +52,8 @@ func (p ScenarioAParams) Validate() error {
 
 // ScenarioA is a live scenario-A attack bound to one run.
 type ScenarioA struct {
-	params   ScenarioAParams
-	dir      mathx.Vec3
+	params   ScenarioAParams //ravenlint:snapshot-ignore attack configuration, fixed after NewScenarioA
+	dir      mathx.Vec3      //ravenlint:snapshot-ignore derived from params at NewScenarioA
 	seen     int
 	injected int
 }

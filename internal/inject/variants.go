@@ -266,7 +266,7 @@ func chainInput(prev sim.InputHook, next sim.InputHook) sim.InputHook {
 // state nibble of command frames headed to the board, so the PLC sees a
 // state the software is not in.
 type stateByteRewriter struct {
-	startAt float64
+	startAt float64 //ravenlint:snapshot-ignore attack configuration, fixed at construction
 	ticks   int
 }
 

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Annotation kinds.
+const (
+	annotAllow          = "allow"
+	annotNoalloc        = "noalloc"
+	annotSnapshotIgnore = "snapshot-ignore"
+)
+
+// annotation is one parsed //ravenlint:... directive.
+type annotation struct {
+	kind   string // allow, noalloc, snapshot-ignore
+	check  string // for allow: which check is waived
+	reason string // free-text justification (required for allow/ignore)
+}
+
+// allowAnnot is an allow directive pinned to a source line.
+type allowAnnot struct {
+	file  string
+	line  int
+	check string
+}
+
+// parseAnnotation parses one comment's text. It accepts both
+// `//ravenlint:...` (pragma style) and `// ravenlint:...`.
+func parseAnnotation(text string) (annotation, bool) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return annotation{}, false
+	}
+	body = strings.TrimSpace(body)
+	body, ok = strings.CutPrefix(body, "ravenlint:")
+	if !ok {
+		return annotation{}, false
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return annotation{}, false
+	}
+	a := annotation{kind: fields[0]}
+	switch a.kind {
+	case annotAllow:
+		if len(fields) >= 2 {
+			a.check = fields[1]
+		}
+		if len(fields) >= 3 {
+			a.reason = strings.Join(fields[2:], " ")
+		}
+	case annotSnapshotIgnore:
+		if len(fields) >= 2 {
+			a.reason = strings.Join(fields[1:], " ")
+		}
+	case annotNoalloc:
+		// no operands
+	default:
+		// Unknown directive: surfaced as a malformed-annotation finding
+		// by collectAnnotations.
+	}
+	return a, true
+}
+
+// collectAnnotations scans every comment in the package, recording allow
+// directives by file and line and reporting malformed directives
+// (unknown kind, missing check, missing reason) as CheckAnnotation
+// diagnostics.
+func (p *Package) collectAnnotations() {
+	for _, f := range p.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				a, ok := parseAnnotation(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				switch a.kind {
+				case annotAllow:
+					switch {
+					case a.check == "":
+						p.annotDiag = append(p.annotDiag, p.diag(CheckAnnotation, c.Pos(),
+							"ravenlint:allow needs a check name: //ravenlint:allow <check> <reason>"))
+					case a.reason == "":
+						p.annotDiag = append(p.annotDiag, p.diag(CheckAnnotation, c.Pos(),
+							"ravenlint:allow %s needs a reason: //ravenlint:allow %s <reason>", a.check, a.check))
+					default:
+						p.allows = append(p.allows, allowAnnot{file: pos.Filename, line: pos.Line, check: a.check})
+					}
+				case annotSnapshotIgnore:
+					if a.reason == "" {
+						p.annotDiag = append(p.annotDiag, p.diag(CheckAnnotation, c.Pos(),
+							"ravenlint:snapshot-ignore needs a reason: //ravenlint:snapshot-ignore <reason>"))
+					}
+				case annotNoalloc:
+					// validated where it is attached (function docs)
+				default:
+					p.annotDiag = append(p.annotDiag, p.diag(CheckAnnotation, c.Pos(),
+						"unknown ravenlint directive %q (have allow, noalloc, snapshot-ignore)", a.kind))
+				}
+			}
+		}
+	}
+}
+
+// commentGroupHas reports whether any comment in the group is a
+// directive of the given kind.
+func commentGroupHas(g *ast.CommentGroup, kind string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if a, ok := parseAnnotation(c.Text); ok && a.kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldIgnored reports whether a struct field carries a
+// snapshot-ignore directive in its doc or trailing comment.
+func fieldIgnored(f *ast.Field) bool {
+	return commentGroupHas(f.Doc, annotSnapshotIgnore) || commentGroupHas(f.Comment, annotSnapshotIgnore)
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismAnalyzer builds the determinism check. The deterministic-
+// replay packages (selected by match; nil selects every package) must
+// replay bit-identically from a seed and a snapshot, so the analyzer
+// forbids the three constructs that smuggle ambient nondeterminism in:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until) — simulated
+//     time is the only clock; instrumentation goes through an injectable
+//     sim.Clock;
+//   - package-level math/rand calls (rand.Intn, rand.Float64, ...) —
+//     they draw from the shared global source, whose position no
+//     snapshot can capture; randomness must come from seeded
+//     rand.New(rand.NewSource(...)) / internal/randx streams;
+//   - iteration over maps, unless the loop body provably cannot leak the
+//     iteration order (it only inserts into or deletes from maps) —
+//     anything else can carry map order into outputs or snapshot state.
+func DeterminismAnalyzer(match func(importPath string) bool) *Analyzer {
+	return &Analyzer{
+		Name: CheckDeterminism,
+		Doc:  "forbid wall clocks, global rand, and order-leaking map iteration in deterministic-replay packages",
+		Run: func(p *Package) []Diagnostic {
+			if match != nil && !match(p.ImportPath) {
+				return nil
+			}
+			var diags []Diagnostic
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.CallExpr:
+						if d, ok := checkDeterminismCall(p, n); ok {
+							diags = append(diags, d)
+						}
+					case *ast.RangeStmt:
+						t := p.Info.TypeOf(n.X)
+						if t == nil {
+							break
+						}
+						if _, isMap := t.Underlying().(*types.Map); isMap && !orderInsensitiveRange(p, n) {
+							diags = append(diags, p.diag(CheckDeterminism, n.Pos(),
+								"map iteration order can reach output or snapshot state; iterate sorted keys, or annotate //ravenlint:allow determinism <reason>"))
+						}
+					}
+					return true
+				})
+			}
+			return diags
+		},
+	}
+}
+
+// calleeFunc resolves a call's callee to a *types.Func, if it is a
+// plain (possibly imported) function or method reference.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// checkDeterminismCall flags wall-clock reads and package-level
+// math/rand calls.
+func checkDeterminismCall(p *Package, call *ast.CallExpr) (Diagnostic, bool) {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return Diagnostic{}, false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return p.diag(CheckDeterminism, call.Pos(),
+				"time.%s reads the wall clock; use simulated time or an injectable sim.Clock", fn.Name()), true
+		}
+	case "math/rand", "math/rand/v2":
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			break // methods on a seeded *rand.Rand are fine
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			// Constructors build seeded streams; only draws from the
+			// package-level global source are nondeterministic.
+			break
+		default:
+			return p.diag(CheckDeterminism, call.Pos(),
+				"package-level rand.%s draws from the global source; use a seeded rand.New(rand.NewSource(...)) or internal/randx stream", fn.Name()), true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// orderInsensitiveRange reports whether a range-over-map body provably
+// cannot leak the iteration order: every statement either stores into a
+// map, deletes from a map, declares loop-local temporaries from
+// side-effect-free expressions, or branches with `continue`. Early exits
+// (break/return/goto), writes to outer non-map variables, channel sends,
+// and calls with potential side effects all depend on — or publish — the
+// order some key was visited in.
+func orderInsensitiveRange(p *Package, rs *ast.RangeStmt) bool {
+	ok := true
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if !mapStoreOrLoopLocal(p, rs, lhs) {
+					ok = false
+				}
+			}
+		case *ast.IncDecStmt:
+			if !mapStoreOrLoopLocal(p, rs, n.X) {
+				ok = false
+			}
+		case *ast.CallExpr:
+			if !sideEffectFreeCall(p, n) {
+				ok = false
+			}
+		case *ast.BranchStmt:
+			// continue is order-neutral; break (and goto) ends the walk at
+			// a nondeterministic key.
+			if n.Tok != token.CONTINUE {
+				ok = false
+			}
+		case *ast.ReturnStmt, *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt:
+			ok = false
+		case *ast.UnaryExpr:
+			// Channel receives inside the body consume in visit order.
+			if n.Op == token.ARROW {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// mapStoreOrLoopLocal reports whether an assignment target is harmless
+// inside a map range: the blank identifier, an index into a map, or a
+// variable declared inside the loop itself.
+func mapStoreOrLoopLocal(p *Package, rs *ast.RangeStmt, lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return true
+		}
+		obj := p.Info.Defs[lhs]
+		if obj == nil {
+			obj = p.Info.Uses[lhs]
+		}
+		return obj != nil && rs.Pos() <= obj.Pos() && obj.Pos() < rs.End()
+	case *ast.IndexExpr:
+		t := p.Info.TypeOf(lhs.X)
+		if t == nil {
+			return false
+		}
+		_, isMap := t.Underlying().(*types.Map)
+		return isMap
+	}
+	return false
+}
+
+// sideEffectFreeCall reports whether a call inside a map-range body is
+// known not to observe or publish iteration order: type conversions and
+// the pure-ish builtins (delete's map mutation is itself order-neutral).
+func sideEffectFreeCall(p *Package, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := p.Info.Types[fun]; ok && tv.IsType() {
+		return true // conversion
+	}
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+		switch b.Name() {
+		case "delete", "len", "cap", "min", "max", "abs", "real", "imag", "complex":
+			return true
+		}
+	}
+	return false
+}

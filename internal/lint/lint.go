@@ -1,0 +1,204 @@
+// Package lint is ravenlint's engine: a stdlib-only static-analysis
+// framework (go/parser + go/types, driven off `go list -json -export`)
+// with three repo-specific analyzers that turn this repository's runtime
+// invariants into build breaks:
+//
+//   - determinism: the deterministic-replay packages must not read wall
+//     clocks, draw from the shared package-level math/rand stream, or
+//     leak map iteration order into outputs or snapshots;
+//   - snapshot: every capture/restore pair must cover every mutable
+//     field of its type, so a field added without a checkpoint entry is
+//     caught before forks silently diverge;
+//   - noalloc: functions annotated `//ravenlint:noalloc` must contain no
+//     allocating constructs — the static complement to the
+//     testing.AllocsPerRun guards.
+//
+// Escape hatches are explicit and carry a reason:
+//
+//	//ravenlint:allow <check> <reason>            (same line or line above)
+//	//ravenlint:snapshot-ignore <reason>          (on a struct field)
+//	//ravenlint:noalloc                           (opt a function in)
+//
+// The framework deliberately avoids golang.org/x/tools: go.mod stays
+// dependency-free, and the three analyzers need only syntax trees, type
+// information, and positions.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Check names.
+const (
+	CheckDeterminism = "determinism"
+	CheckSnapshot    = "snapshot"
+	CheckNoalloc     = "noalloc"
+	// CheckAnnotation reports malformed ravenlint annotations (for
+	// example an allow with no reason). It cannot be suppressed.
+	CheckAnnotation = "annotation"
+)
+
+// Diagnostic is one finding, positioned at the offending construct.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Diagnostic
+}
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	allows    []allowAnnot
+	annotDiag []Diagnostic
+}
+
+// diag builds a Diagnostic at pos.
+func (p *Package) diag(check string, pos token.Pos, format string, args ...any) Diagnostic {
+	position := p.Fset.Position(pos)
+	return Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// fileOf returns the *ast.File containing pos.
+func (p *Package) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// suppressed reports whether an allow annotation covers the diagnostic:
+// an `//ravenlint:allow <check> <reason>` on the same line, on the line
+// directly above, or in the doc comment of the enclosing function.
+func (p *Package) suppressed(d Diagnostic, pos token.Pos) bool {
+	if d.Check == CheckAnnotation {
+		return false
+	}
+	for _, a := range p.allows {
+		if a.check != d.Check || a.file != d.File {
+			continue
+		}
+		if a.line == d.Line || a.line == d.Line-1 {
+			return true
+		}
+	}
+	// Function-doc-level allows cover the whole body.
+	f := p.fileOf(pos)
+	if f == nil {
+		return false
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil || !(fd.Pos() <= pos && pos <= fd.End()) {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if ann, ok := parseAnnotation(c.Text); ok && ann.kind == annotAllow && ann.check == d.Check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run applies the analyzers to the packages, filters allow-suppressed
+// findings, appends malformed-annotation diagnostics, and returns the
+// remainder sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		out = append(out, p.annotDiag...)
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				pos := findPos(p, d)
+				if !p.suppressed(d, pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// findPos recovers a token.Pos for a diagnostic from its file:line:col,
+// for enclosing-function suppression lookups.
+func findPos(p *Package, d Diagnostic) token.Pos {
+	var pos token.Pos
+	p.Fset.Iterate(func(f *token.File) bool {
+		if f.Name() != d.File {
+			return true
+		}
+		if d.Line >= 1 && d.Line <= f.LineCount() {
+			pos = f.LineStart(d.Line)
+		}
+		return false
+	})
+	return pos
+}
+
+// Analyzers returns the analyzer set selected by the comma-separated
+// checks list (empty or "all" selects every check). match scopes the
+// determinism analyzer to the deterministic-replay packages; nil means
+// every package.
+func Analyzers(checks string, match func(importPath string) bool) ([]*Analyzer, error) {
+	all := map[string]*Analyzer{
+		CheckDeterminism: DeterminismAnalyzer(match),
+		CheckSnapshot:    SnapshotAnalyzer(),
+		CheckNoalloc:     NoallocAnalyzer(),
+	}
+	if checks == "" || checks == "all" {
+		return []*Analyzer{all[CheckDeterminism], all[CheckSnapshot], all[CheckNoalloc]}, nil
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := all[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q (have determinism, snapshot, noalloc)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

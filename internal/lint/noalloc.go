@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoallocAnalyzer builds the hot-path allocation check: functions whose
+// doc comment carries `//ravenlint:noalloc` are rejected if they contain
+// constructs the compiler may turn into heap allocations —
+//
+//   - make / new and address-of composite literals;
+//   - map and slice composite literals;
+//   - append (the backing array may grow);
+//   - closures that capture variables, and method values;
+//   - conversions of non-pointer-shaped values to interface types
+//     (boxing), at call arguments, assignments, returns, and explicit
+//     conversions;
+//   - fmt calls and non-constant string concatenation;
+//   - string <-> []byte conversions;
+//   - go statements.
+//
+// This is deliberately a conservative, syntactic complement to the
+// testing.AllocsPerRun regression guards: those prove a measured path is
+// allocation-free today, the analyzer proves nobody re-introduces an
+// allocating construct on an annotated path tomorrow. Constructs the
+// compiler provably keeps on the stack can be waived line-by-line with
+// `//ravenlint:allow noalloc <reason>`.
+func NoallocAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: CheckNoalloc,
+		Doc:  "functions annotated //ravenlint:noalloc must contain no allocating constructs",
+		Run:  runNoalloc,
+	}
+}
+
+func runNoalloc(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !commentGroupHas(fd.Doc, annotNoalloc) {
+				continue
+			}
+			diags = append(diags, checkNoallocFunc(p, fd)...)
+		}
+	}
+	return diags
+}
+
+// checkNoallocFunc walks one annotated function body.
+func checkNoallocFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, p.diag(CheckNoalloc, pos, format, args...))
+	}
+
+	// Method-value detection needs to know which selectors are callees.
+	callees := map[ast.Expr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callees[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+
+	sig := funcSignature(p, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkNoallocCall(p, n, report)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "address of composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := p.Info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					report(n.Pos(), "map literal allocates")
+				case *types.Slice:
+					report(n.Pos(), "slice literal allocates its backing array")
+				}
+			}
+		case *ast.FuncLit:
+			if v := capturedVar(p, fd, n); v != nil {
+				report(n.Pos(), "closure captures %q; captured variables and their closures are heap-allocated", v.Name())
+			}
+		case *ast.SelectorExpr:
+			if callees[n] {
+				break
+			}
+			if s, ok := p.Info.Selections[n]; ok && s.Kind() == types.MethodVal {
+				report(n.Pos(), "method value %s binds its receiver on the heap; call it directly or pass a named function", n.Sel.Name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := p.Info.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+					report(n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN {
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) {
+						checkBoxing(p, p.Info.TypeOf(lhs), n.Rhs[i], report)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				dst := p.Info.TypeOf(n.Type)
+				for _, v := range n.Values {
+					checkBoxing(p, dst, v, report)
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && len(n.Results) == sig.Results().Len() {
+				for i, res := range n.Results {
+					checkBoxing(p, sig.Results().At(i).Type(), res, report)
+				}
+			}
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates a goroutine stack")
+		}
+		return true
+	})
+	return diags
+}
+
+// checkNoallocCall flags make/new/append, fmt calls, string<->[]byte
+// conversions, explicit conversions to interfaces, and implicit boxing
+// of arguments into interface parameters.
+func checkNoallocCall(p *Package, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: T(x).
+	if tv, ok := p.Info.Types[fun]; ok && tv.IsType() {
+		dst := tv.Type
+		if len(call.Args) == 1 {
+			src := p.Info.TypeOf(call.Args[0])
+			switch {
+			case isString(dst) && isByteSlice(src):
+				report(call.Pos(), "string([]byte) conversion copies and allocates")
+			case isByteSlice(dst) && isString(src):
+				report(call.Pos(), "[]byte(string) conversion copies and allocates")
+			default:
+				checkBoxing(p, dst, call.Args[0], report)
+			}
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				report(call.Pos(), "append may grow the backing array; preallocate to capacity, or annotate //ravenlint:allow noalloc <reason>")
+			}
+			return
+		}
+	}
+
+	// fmt is wholesale off the hot path (interface boxing plus internal
+	// buffering); one finding per call, without per-argument noise.
+	if fn := calleeFunc(p, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call.Pos(), "fmt.%s allocates; hot paths must not format", fn.Name())
+		return
+	}
+
+	// Implicit boxing of arguments into interface parameters.
+	sig := callSignature(p, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no boxing
+			}
+			paramType = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		}
+		checkBoxing(p, paramType, arg, report)
+	}
+}
+
+// callSignature returns the signature of a (non-builtin, non-conversion)
+// call's callee, if known.
+func callSignature(p *Package, call *ast.CallExpr) *types.Signature {
+	t := p.Info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// checkBoxing reports expr if storing it into dst converts a
+// non-pointer-shaped concrete value to an interface (a heap-allocating
+// box). Constants are exempt: the compiler materialises them in static
+// data.
+func checkBoxing(p *Package, dst types.Type, expr ast.Expr, report func(token.Pos, string, ...any)) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Value != nil { // constants box without allocating
+		return
+	}
+	src := tv.Type
+	if src == nil || types.IsInterface(src) {
+		return
+	}
+	if b, ok := src.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: stored directly in the interface word
+	}
+	report(expr.Pos(), "conversion of non-pointer %s to interface %s allocates a box", src, dst)
+}
+
+// capturedVar returns a variable the closure captures from the enclosing
+// function, or nil if it captures nothing.
+func capturedVar(p *Package, enclosing *ast.FuncDecl, lit *ast.FuncLit) *types.Var {
+	var captured *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside
+		// the literal itself.
+		if v.Pos() >= enclosing.Pos() && v.Pos() < enclosing.End() &&
+			(v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			captured = v
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

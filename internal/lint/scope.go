@@ -1,0 +1,35 @@
+package lint
+
+import "strings"
+
+// DeterministicPackages are the deterministic-replay package suffixes:
+// everything a seeded campaign replays bit-identically, from the console
+// emulator down through the physics and back up through the experiment
+// drivers. The determinism analyzer is scoped to these; packages outside
+// the list (CLI entry points, the linter itself) may read clocks freely.
+var DeterministicPackages = []string{
+	"internal/sim",
+	"internal/dynamics",
+	"internal/robot",
+	"internal/fault",
+	"internal/experiment",
+	"internal/core",
+	"internal/control",
+	"internal/plc",
+	"internal/usb",
+	"internal/itp",
+	"internal/interpose",
+	"internal/malware",
+	"internal/inject",
+}
+
+// MatchDeterministic reports whether an import path is one of the
+// deterministic-replay packages.
+func MatchDeterministic(importPath string) bool {
+	for _, suffix := range DeterministicPackages {
+		if importPath == suffix || strings.HasSuffix(importPath, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// capturePairs are the method-name pairs the snapshot analyzer treats as
+// a checkpoint/restore protocol. The first two are the sim.Snapshotter
+// and component-state conventions; the others cover the kernel and rig
+// spellings.
+var capturePairs = [][2]string{
+	{"CaptureSnap", "RestoreSnap"},
+	{"CaptureState", "RestoreState"},
+	{"Checkpoint", "RestoreCheckpoint"},
+	{"Snapshot", "Restore"},
+}
+
+// SnapshotAnalyzer builds the snapshot-completeness check. For every
+// concrete struct type in the package that declares a capture/restore
+// method pair (the shape behind sim.Snapshotter and the component
+// CaptureState/RestoreState protocol), each field must be referenced in
+// BOTH method bodies — the invariant that makes PR 4's fork engine
+// sound: a field that evolves during simulation but is absent from
+// either side silently diverges after a fork. Genuinely immutable
+// configuration and derived scratch fields are opted out field-by-field
+// with `//ravenlint:snapshot-ignore <reason>`.
+func SnapshotAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: CheckSnapshot,
+		Doc:  "every field of a capture/restore-bearing type must appear in both method bodies or carry //ravenlint:snapshot-ignore",
+		Run:  runSnapshot,
+	}
+}
+
+func runSnapshot(p *Package) []Diagnostic {
+	methods := map[string]map[string]*ast.FuncDecl{} // type name -> method name -> decl
+	structs := map[string]*ast.StructType{}          // type name -> AST struct
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						structs[ts.Name.Name] = st
+					}
+				}
+			case *ast.FuncDecl:
+				if decl.Recv == nil || len(decl.Recv.List) != 1 || decl.Body == nil {
+					continue
+				}
+				base := receiverBaseName(decl.Recv.List[0].Type)
+				if base == "" {
+					continue
+				}
+				if methods[base] == nil {
+					methods[base] = map[string]*ast.FuncDecl{}
+				}
+				methods[base][decl.Name.Name] = decl
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for typeName, st := range structs {
+		ms := methods[typeName]
+		if ms == nil {
+			continue
+		}
+		for _, pair := range capturePairs {
+			capture, restore := ms[pair[0]], ms[pair[1]]
+			if capture == nil || restore == nil {
+				continue
+			}
+			if !captureShape(p, capture) || !restoreShape(p, restore) {
+				continue
+			}
+			diags = append(diags, checkFieldCoverage(p, typeName, st, capture, restore)...)
+			break // one pair per type; the first matching pair wins
+		}
+	}
+	return diags
+}
+
+// receiverBaseName unwraps a method receiver type to its named base.
+func receiverBaseName(expr ast.Expr) string {
+	switch expr := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return expr.Name
+	case *ast.StarExpr:
+		return receiverBaseName(expr.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverBaseName(expr.X)
+	case *ast.IndexListExpr:
+		return receiverBaseName(expr.X)
+	}
+	return ""
+}
+
+// captureShape: no parameters, one or two results (state, or state+error).
+func captureShape(p *Package, fd *ast.FuncDecl) bool {
+	sig := funcSignature(p, fd)
+	return sig != nil && sig.Params().Len() == 0 && sig.Results().Len() >= 1 && sig.Results().Len() <= 2
+}
+
+// restoreShape: exactly one parameter, at most one (error) result.
+func restoreShape(p *Package, fd *ast.FuncDecl) bool {
+	sig := funcSignature(p, fd)
+	return sig != nil && sig.Params().Len() == 1 && sig.Results().Len() <= 1
+}
+
+func funcSignature(p *Package, fd *ast.FuncDecl) *types.Signature {
+	obj := p.Info.Defs[fd.Name]
+	if obj == nil {
+		return nil
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	return sig
+}
+
+// checkFieldCoverage verifies that every non-ignored field of the struct
+// is referenced in both the capture and the restore body.
+func checkFieldCoverage(p *Package, typeName string, st *ast.StructType, capture, restore *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	inCapture := referencedFields(p, capture.Body)
+	inRestore := referencedFields(p, restore.Body)
+	for _, field := range st.Fields.List {
+		if fieldIgnored(field) {
+			continue
+		}
+		names := field.Names
+		if len(names) == 0 {
+			// Embedded field: referenced through its type name.
+			if id := embeddedFieldName(field.Type); id != nil {
+				names = []*ast.Ident{id}
+			} else {
+				continue
+			}
+		}
+		for _, name := range names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := p.Info.Defs[name]
+			fieldVar, ok := obj.(*types.Var)
+			if !ok {
+				continue
+			}
+			missCap, missRes := !inCapture[fieldVar], !inRestore[fieldVar]
+			if !missCap && !missRes {
+				continue
+			}
+			where := ""
+			switch {
+			case missCap && missRes:
+				where = capture.Name.Name + " or " + restore.Name.Name
+			case missCap:
+				where = capture.Name.Name
+			default:
+				where = restore.Name.Name
+			}
+			diags = append(diags, p.diag(CheckSnapshot, name.Pos(),
+				"field %s.%s is not referenced in %s; checkpoint it, or annotate //ravenlint:snapshot-ignore <reason> if it is config or derived scratch",
+				typeName, name.Name, where))
+		}
+	}
+	return diags
+}
+
+// embeddedFieldName digs the identifier out of an embedded field's type.
+func embeddedFieldName(expr ast.Expr) *ast.Ident {
+	switch expr := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return expr
+	case *ast.StarExpr:
+		return embeddedFieldName(expr.X)
+	case *ast.SelectorExpr:
+		return expr.Sel
+	}
+	return nil
+}
+
+// referencedFields collects every struct field object selected anywhere
+// in the body (x.field, however the receiver is spelled or copied).
+func referencedFields(p *Package, body *ast.BlockStmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,24 @@
+// Package annotfix holds deliberately malformed ravenlint directives;
+// TestMalformedAnnotations asserts each is reported as a
+// non-suppressible annotation diagnostic.
+package annotfix
+
+// MissingCheck has an allow with no check name.
+func MissingCheck() {
+	//ravenlint:allow
+}
+
+// MissingReason has an allow with a check but no justification.
+func MissingReason() {
+	//ravenlint:allow determinism
+}
+
+// Unknown uses a directive kind that does not exist.
+func Unknown() {
+	//ravenlint:nosuchdirective whatever
+}
+
+// BareIgnore is a snapshot-ignore without a reason.
+type BareIgnore struct {
+	n int //ravenlint:snapshot-ignore
+}

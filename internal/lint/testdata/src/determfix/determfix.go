@@ -1,0 +1,69 @@
+// Package determfix exercises the determinism analyzer: wall-clock
+// reads, package-level math/rand draws, and order-leaking map iteration,
+// each with a clean counterpart and an annotation-suppressed case.
+package determfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Tick reads the wall clock.
+func Tick() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// Elapsed reads the wall clock through time.Since.
+func Elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time\.Since reads the wall clock`
+}
+
+// GlobalDraw draws from the shared package-level source.
+func GlobalDraw() int {
+	return rand.Intn(6) // want `package-level rand\.Intn draws from the global source`
+}
+
+// SeededDraw draws from a seeded stream: constructors and *rand.Rand
+// methods are allowed.
+func SeededDraw(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}
+
+// AllowedTick is waived with a reasoned annotation.
+func AllowedTick() int64 {
+	//ravenlint:allow determinism fixture demonstrates suppression
+	return time.Now().UnixNano()
+}
+
+// Total folds map values in iteration order; the analyzer cannot prove
+// the fold commutes, so the range is flagged.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order can reach output`
+		total += v
+	}
+	return total
+}
+
+// Copy is the benign map-copy idiom: the body only stores into a map,
+// which is order-insensitive.
+func Copy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// SortedKeys collects then sorts; the collection order leak is waived at
+// the range statement because the sort erases it.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//ravenlint:allow determinism keys are sorted below before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

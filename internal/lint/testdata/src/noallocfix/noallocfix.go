@@ -1,0 +1,71 @@
+// Package noallocfix exercises the noalloc analyzer: every rejected
+// construct inside annotated functions, a clean annotated function, an
+// unannotated allocator, and an allow-waived append.
+package noallocfix
+
+import "fmt"
+
+type vec struct{ x, y float64 }
+
+// Clean is annotated and allocation-free: value composite literals and
+// arithmetic stay on the stack.
+//
+//ravenlint:noalloc
+func Clean(a, b vec) vec {
+	return vec{x: a.x + b.x, y: a.y + b.y}
+}
+
+// Unchecked is not annotated: it may allocate freely.
+func Unchecked(n int) []int {
+	return make([]int, n)
+}
+
+// Hot trips each allocating construct once.
+//
+//ravenlint:noalloc
+func Hot(n int, s string, xs []int) {
+	_ = make([]int, n) // want `make allocates`
+	_ = new(vec)       // want `new allocates`
+	_ = append(xs, n)  // want `append may grow the backing array`
+	_ = &vec{x: 1}     // want `address of composite literal escapes`
+	_ = []int{n}       // want `slice literal allocates its backing array`
+	_ = map[int]int{}  // want `map literal allocates`
+	_ = []byte(s)      // want `\[\]byte\(string\) conversion copies and allocates`
+	fmt.Println(n)     // want `fmt\.Println allocates`
+}
+
+// Boxed converts a non-pointer-shaped value to an interface.
+//
+//ravenlint:noalloc
+func Boxed(v vec) interface{} {
+	return v // want `conversion of non-pointer .*vec to interface .* allocates a box`
+}
+
+// Captured returns a closure over its parameter.
+//
+//ravenlint:noalloc
+func Captured(n int) func() int {
+	return func() int { return n } // want `closure captures "n"`
+}
+
+// Waived allows one measured-safe construct with a reason.
+//
+//ravenlint:noalloc
+func Waived(xs []int, n int) []int {
+	//ravenlint:allow noalloc caller preallocated to capacity
+	return append(xs, n)
+}
+
+// Spawn launches a goroutine (which also captures its channel).
+//
+//ravenlint:noalloc
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }() // want `go statement allocates a goroutine stack` `closure captures "ch"`
+}
+
+// Concat builds a string at runtime.
+//
+//ravenlint:noalloc
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}

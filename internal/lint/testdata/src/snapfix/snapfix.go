@@ -1,0 +1,71 @@
+// Package snapfix exercises the snapshot-completeness analyzer: a fully
+// covered capture/restore pair, pairs missing a field on one or both
+// sides, an ignored config field, and a wrong-shaped non-pair.
+package snapfix
+
+// Good's pair covers every field: no findings. The cfg field is opted
+// out as construction-time configuration.
+type Good struct {
+	pos float64
+	vel float64
+	cfg int //ravenlint:snapshot-ignore configuration, fixed at construction
+}
+
+// GoodSnap is Good's checkpoint record.
+type GoodSnap struct {
+	Pos, Vel float64
+}
+
+// CaptureSnap checkpoints both mutable fields.
+func (g *Good) CaptureSnap() GoodSnap { return GoodSnap{Pos: g.pos, Vel: g.vel} }
+
+// RestoreSnap rewinds both mutable fields.
+func (g *Good) RestoreSnap(s GoodSnap) {
+	g.pos = s.Pos
+	g.vel = s.Vel
+}
+
+// Leaky drops vel from the capture side: after a fork the restored copy
+// silently reverts it. This is the single-missing-field demonstration.
+type Leaky struct {
+	pos float64
+	vel float64 // want `field Leaky\.vel is not referenced in CaptureSnap`
+}
+
+func (l *Leaky) CaptureSnap() [2]float64 { return [2]float64{l.pos, 0} }
+
+func (l *Leaky) RestoreSnap(s [2]float64) {
+	l.pos = s[0]
+	l.vel = s[1]
+}
+
+// HalfRestore captures both fields but forgets one when restoring.
+type HalfRestore struct {
+	a int
+	b int // want `field HalfRestore\.b is not referenced in RestoreState`
+}
+
+func (h *HalfRestore) CaptureState() (int, int) { return h.a, h.b }
+
+func (h *HalfRestore) RestoreState(s [2]int) { h.a = s[0] }
+
+// Orphan misses a field on both sides of a Snapshot/Restore pair.
+type Orphan struct {
+	x int
+	y int // want `field Orphan\.y is not referenced in Snapshot or Restore`
+}
+
+func (o *Orphan) Snapshot() int { return o.x }
+
+func (o *Orphan) Restore(v int) { o.x = v }
+
+// NotAPair has capture-like method names of the wrong shape (parameter
+// on the capture side, none on the restore side), so the analyzer leaves
+// the type alone even though z is never checkpointed.
+type NotAPair struct {
+	z int
+}
+
+func (n *NotAPair) CaptureSnap(into *int) { *into = n.z }
+
+func (n *NotAPair) RestoreSnap() {}

@@ -26,7 +26,7 @@ const DefaultWatchdogTimeout = 50 * time.Millisecond
 // relays each control tick, using simulated time. The zero value is not
 // valid; use New.
 type PLC struct {
-	timeout time.Duration
+	timeout time.Duration //ravenlint:snapshot-ignore watchdog window, configuration
 
 	lastBit     bool
 	haveBit     bool

@@ -123,8 +123,8 @@ func (b *Batch) laneCheckCables(lane int, p *Plant) {
 			continue
 		}
 		jc := params.Joints[i]
-		stretch := b.bs.Component(4*i)[lane]/jc.Ratio - b.bs.Component(4*i+2)[lane]
-		stretchVel := b.bs.Component(4*i+1)[lane]/jc.Ratio - b.bs.Component(4*i+3)[lane]
+		stretch := b.bs.Component(4 * i)[lane]/jc.Ratio - b.bs.Component(4*i + 2)[lane]
+		stretchVel := b.bs.Component(4*i + 1)[lane]/jc.Ratio - b.bs.Component(4*i + 3)[lane]
 		tension := jc.CableStiffness*stretch + jc.CableDamping*stretchVel
 		if mathAbs(tension) > p.cfg.BreakTension[i] {
 			p.broken[i] = true

@@ -80,15 +80,15 @@ func (c *Config) applyDefaults() {
 // Plant is the simulated physical robot arm. It is not safe for concurrent
 // use: the simulation loop owns it.
 type Plant struct {
-	cfg    Config
+	cfg    Config //ravenlint:snapshot-ignore configuration, fixed after NewPlant
 	model  *dynamics.Stepper
 	state  dynamics.State
-	trans  kinematics.Transmission
-	rng    *rand.Rand
+	trans  kinematics.Transmission //ravenlint:snapshot-ignore derived from perturbed params at NewPlant
+	rng    *rand.Rand              //ravenlint:snapshot-ignore draws through rngSrc, whose position is captured
 	rngSrc *randx.Source
 	brakes bool
 	broken [kinematics.NumJoints]bool
-	hard   kinematics.Limits
+	hard   kinematics.Limits //ravenlint:snapshot-ignore derived from cfg.Limits at NewPlant
 	wrist  *wrist.Servo
 	t      float64
 }
@@ -166,6 +166,8 @@ func (p *Plant) BrakesEngaged() bool { return p.brakes }
 
 // Step advances the plant by one control period dt (seconds), driven by the
 // DAC values currently latched on the board's first NumJoints channels.
+//
+//ravenlint:noalloc
 func (p *Plant) Step(dacs [usb.NumChannels]int16, dt float64) {
 	if p.brakes {
 		p.stepBraked(dt)
@@ -186,6 +188,8 @@ func (p *Plant) Step(dacs [usb.NumChannels]int16, dt float64) {
 // stepBraked holds the arm for one control period: power-off brakes clamp
 // the motors. Velocities are zeroed so releasing the brakes starts from
 // rest.
+//
+//ravenlint:noalloc
 func (p *Plant) stepBraked(dt float64) {
 	for i := 0; i < kinematics.NumJoints; i++ {
 		p.state.X[4*i+1] = 0
@@ -199,6 +203,8 @@ func (p *Plant) stepBraked(dt float64) {
 // DAC-to-torque conversion for the positioning motors and the instrument
 // wrist servo update (channels 3..5: light direct-drive joints integrated
 // at the control period). It returns the commanded arm torques.
+//
+//ravenlint:noalloc
 func (p *Plant) prepTick(dacs [usb.NumChannels]int16, dt float64) [kinematics.NumJoints]float64 {
 	var tau [kinematics.NumJoints]float64
 	for i := 0; i < kinematics.NumJoints; i++ {
@@ -216,6 +222,8 @@ func (p *Plant) prepTick(dacs [usb.NumChannels]int16, dt float64) [kinematics.Nu
 // torques. The draw happens for every joint — broken ones included — so the
 // rng stream is identical whether or not a cable has snapped; a snapped
 // cable then decouples motor from link (zero drive, the link coasts).
+//
+//ravenlint:noalloc
 func (p *Plant) noisyTau(tau [kinematics.NumJoints]float64) [kinematics.NumJoints]float64 {
 	for i := 0; i < kinematics.NumJoints; i++ {
 		tau[i] += p.rng.NormFloat64() * p.cfg.TorqueNoise
@@ -228,6 +236,8 @@ func (p *Plant) noisyTau(tau [kinematics.NumJoints]float64) [kinematics.NumJoint
 
 // enforceHardStops clamps link positions at the mechanical stops with an
 // inelastic collision (velocity zeroed into the stop).
+//
+//ravenlint:noalloc
 func (p *Plant) enforceHardStops() {
 	for i := 0; i < kinematics.NumJoints; i++ {
 		pos := p.state.X[4*i+2]
@@ -247,6 +257,8 @@ func (p *Plant) enforceHardStops() {
 }
 
 // checkCables snaps a cable whose tension exceeds the break limit.
+//
+//ravenlint:noalloc
 func (p *Plant) checkCables() {
 	params := p.model.Params()
 	for i := 0; i < kinematics.NumJoints; i++ {

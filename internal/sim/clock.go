@@ -1,0 +1,34 @@
+package sim
+
+import "time"
+
+// Clock returns a monotonic timestamp in nanoseconds. It exists so the
+// two wall-clock instrumentation sites (the guard's detection-latency
+// timer and the overhead experiment) are injectable: deterministic
+// campaigns can plug in a simulated clock, tests can plug in a scripted
+// one, and the determinism analyzer has exactly one annotated place
+// where real time enters the tree.
+type Clock func() int64
+
+// wallEpoch anchors WallClock; time.Since(wallEpoch) reads the process
+// monotonic clock, so differences of WallClock values are immune to wall
+// time jumping.
+var wallEpoch = time.Now() //ravenlint:allow determinism wallclock-instrumentation anchor
+
+// WallClock is the real-time Clock: monotonic nanoseconds since process
+// start. It is the default for latency instrumentation; everything the
+// simulation replays deterministically must not consume it.
+func WallClock() int64 {
+	return int64(time.Since(wallEpoch)) //ravenlint:allow determinism wallclock-instrumentation
+}
+
+// TickClock returns a deterministic Clock that advances by step
+// nanoseconds per reading — a stand-in for WallClock in tests and
+// deterministic campaigns that still want non-zero timing statistics.
+func TickClock(step int64) Clock {
+	var now int64
+	return func() int64 {
+		now += step
+		return now
+	}
+}

@@ -130,33 +130,32 @@ type Config struct {
 
 // Rig is one assembled simulation session. Not safe for concurrent use.
 type Rig struct {
-	cfg     Config
+	cfg     Config            //ravenlint:snapshot-ignore configuration; cfg.Stateful components are captured via the snapshotters walk
 	cons    *console.Console  // nil when externally driven
 	mem     *itp.MemTransport // built-in console transport (nil when external)
-	trans   itp.Receiver
+	trans   itp.Receiver      //ravenlint:snapshot-ignore transport wiring; its queue is Snapshot.Pending plus faulter snapshots
 	chain   *interpose.Chain
 	board   *usb.Board
 	plc     *plc.PLC
 	plant   *robot.Plant
 	ctrl    *control.Controller
-	guards  []Hook
-	obs     []Observer
+	guards  []Hook     //ravenlint:snapshot-ignore hook wiring; snapshotter guards are captured via the chain walk
+	obs     []Observer //ravenlint:snapshot-ignore observer wiring, not simulation state
 	t       float64
 	lastIn  control.Input
 	lastFb  usb.Feedback // last good (decodable) feedback frame
 	fbDrops int          // undecodable feedback frames survived
 	steps   int
-	started bool
 
 	// inBuf and fbBuf back the per-step input/feedback values handed to
 	// the OnInput/OnFeedbackRead hooks by pointer; as fields they keep
 	// Step allocation-free (locals passed by pointer would escape).
-	inBuf control.Input
-	fbBuf usb.Feedback
+	inBuf control.Input //ravenlint:snapshot-ignore per-step scratch, fully rewritten each step
+	fbBuf usb.Feedback  //ravenlint:snapshot-ignore per-step scratch, fully rewritten each step
 
 	// pending carries the control-phase results of a split step between
 	// stepControl and finishStep (see RunLockstep).
-	pending pendingStep
+	pending pendingStep //ravenlint:snapshot-ignore intra-step scratch; snapshots are taken at step boundaries
 }
 
 // FaultCounters aggregates the rig's graceful-degradation statistics: how
@@ -342,6 +341,8 @@ type pendingStep struct {
 }
 
 // Step advances the whole system by one control period.
+//
+//ravenlint:noalloc
 func (r *Rig) Step() (StepInfo, error) {
 	const dt = control.Period
 	if err := r.stepControl(); err != nil {
@@ -357,6 +358,8 @@ func (r *Rig) Step() (StepInfo, error) {
 // feedback read, control cycle, PLC supervision, brake command — up to (but
 // not including) the plant physics. RunLockstep uses the split to integrate
 // many rigs' plants together; Step is stepControl + Plant.Step + finishStep.
+//
+//ravenlint:noalloc
 func (r *Rig) stepControl() error {
 	const dt = control.Period
 
@@ -444,6 +447,8 @@ func (r *Rig) stepControl() error {
 
 // finishStep runs the bookkeeping half of one step, after the plant
 // physics: encoder latch, clock advance, StepInfo assembly, observers.
+//
+//ravenlint:noalloc
 func (r *Rig) finishStep() StepInfo {
 	const dt = control.Period
 	r.board.SetEncoders(r.plant.EncoderCounts())

@@ -31,12 +31,12 @@ type Board struct {
 	// to the control software — the board-level accidental-fault hook
 	// (see internal/fault). It may return a frame of any length;
 	// wrong-length frames are undecodable upstream.
-	readFault func(frame []byte) []byte
+	readFault func(frame []byte) []byte //ravenlint:snapshot-ignore fault-hook wiring; hook state is its own snapshotter
 
 	// fbScratch backs the frame ReadFeedback returns, so the per-cycle
 	// read stays allocation-free. The frame is only valid until the next
 	// ReadFeedback call — the control loop decodes it immediately.
-	fbScratch [FeedbackLen]byte
+	fbScratch [FeedbackLen]byte //ravenlint:snapshot-ignore per-read scratch, valid only until the next read
 }
 
 // NewBoard returns a board with all DACs at zero.

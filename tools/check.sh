@@ -1,30 +1,53 @@
 #!/bin/sh
-# check.sh — the repo's CI gate: static analysis, the full test suite
-# under the race detector, and a single-iteration benchmark smoke run
-# (catches benchmarks that no longer compile or crash at runtime).
-# Run from anywhere inside the repo.
+# check.sh — the repo's CI gate: static analysis (go vet + ravenlint),
+# the full test suite under the race detector, and a single-iteration
+# benchmark smoke run (catches benchmarks that no longer compile or
+# crash at runtime). Run from anywhere inside the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+# Every gate names itself before running; on any failure the EXIT trap
+# reports which stage tripped, so a red run is attributable at a glance.
+stage="(startup)"
+trap 'status=$?; if [ "$status" -ne 0 ]; then echo "FAIL at stage: $stage (exit $status)" >&2; fi' EXIT
+
+stage="go vet"
 echo "==> go vet ./..."
 go vet ./...
 
+stage="ravenlint"
+echo "==> go run ./cmd/ravenlint ./..."
+go run ./cmd/ravenlint ./...
+
+# -json smoke: a clean tree must emit exactly the empty JSON array, so
+# downstream tooling can parse the output without special-casing.
+stage="ravenlint -json smoke"
+out="$(go run ./cmd/ravenlint -json ./...)"
+[ "$out" = "[]" ] || {
+	echo "ravenlint -json on a clean tree printed: $out" >&2
+	exit 1
+}
+
+stage="go build"
 echo "==> go build ./..."
 go build ./...
 
 # The experiment package's campaigns are the long pole under the race
 # detector (~6 min on one core); 900 s leaves headroom without masking
 # a genuine hang the way the old 2400 s escape hatch did.
+stage="go test -race"
 echo "==> go test -race ./..."
 go test -race -timeout 900s ./...
 
+stage="benchmark smoke"
 echo "==> go test -bench . -benchtime 1x ./..."
 go test -run '^$' -bench . -benchtime 1x -timeout 900s ./...
 
 # Allocation-regression guard: steady-state batch stepping must stay at
 # 0 allocs/op (TestBatchStepperAllocs pins it via testing.AllocsPerRun),
 # and the benchmark itself must report 0 under -benchmem.
+stage="batch-stepper allocation guard"
 echo "==> batch-stepper allocation guard"
 go test -run 'TestBatchStepperAllocs' -count 1 ./internal/dynamics/
 go test -run '^$' -bench 'BatchStepRK4' -benchmem -benchtime 100x ./internal/dynamics/ |
