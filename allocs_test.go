@@ -9,6 +9,7 @@ import (
 
 	"ravenguard/internal/core"
 	"ravenguard/internal/dynamics"
+	"ravenguard/internal/experiment"
 	"ravenguard/internal/interpose"
 	"ravenguard/internal/kinematics"
 	"ravenguard/internal/malware"
@@ -74,6 +75,49 @@ func TestHotPathsDoNotAllocate(t *testing.T) {
 	assertZeroAllocs(t, "dynamics.Stepper.StepEuler", func() {
 		stepper.StepEuler(&st.X, 1e-3)
 	})
+}
+
+// TestCampaignAllocCeilings pins whole-campaign allocation budgets at the
+// benchmark sizings, so campaign-level garbage (error wrapping on rejected
+// frames, queue regrowth, unshared session heads) cannot silently return.
+// The ceilings sit ~15% above the measured counts: Table I ~530 (was
+// 14 408 before the IK-failure errors became sentinels), fault campaign
+// ~7 000 (was 62 759 before the transport FIFOs reused their backing
+// arrays), mitigation sweep ~6 880 (above the 5 370 straight baseline —
+// the snapshot/fork engine allocates more but runs 1.3x faster).
+func TestCampaignAllocCeilings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole campaigns; skipped with -short")
+	}
+	for _, c := range []struct {
+		name  string
+		limit float64
+		run   func() error
+	}{
+		{"Table1", 700, func() error {
+			_, err := experiment.RunTable1(1)
+			return err
+		}},
+		{"FaultCampaign", 8500, func() error {
+			_, err := experiment.RunFaultCampaign(experiment.FaultCampaignConfig{BaseSeed: 1, Seeds: 1, Teleop: 4})
+			return err
+		}},
+		{"MitigationSweep", 8000, func() error {
+			_, err := experiment.RunMitigationSweep([]int16{12000, 16000, 20000},
+				experiment.MitigationConfig{Attacks: 12, BaseSeed: 1})
+			return err
+		}},
+	} {
+		got := testing.AllocsPerRun(1, func() {
+			experiment.ResetReferenceCache()
+			if err := c.run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > c.limit {
+			t.Errorf("%s allocates %.0f times per campaign, ceiling %.0f", c.name, got, c.limit)
+		}
+	}
 }
 
 // TestFullSimStepDoesNotAllocate pins the end-to-end property the

@@ -17,6 +17,16 @@
 //	labrunner -exp all        everything above except learn
 //
 // -quick shrinks the campaigns for a fast smoke pass.
+//
+// Monte Carlo campaigns (table1, table4, fig9, mitigation, faultcampaign)
+// also scale out across processes — see EXPERIMENTS.md "Sharded campaigns":
+//
+//	labrunner -exp faultcampaign -shards 4          spawn 4 workers, merge, render
+//	labrunner -exp faultcampaign -shard 1/4         run one shard by hand, frames on stdout
+//	labrunner -exp faultcampaign -merge a.jsonl,b.jsonl   merge by-hand shard files, render
+//
+// Sharded output is byte-identical to the in-process run at any shard,
+// chunk and worker count.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"time"
 
 	"ravenguard/internal/core"
+	"ravenguard/internal/dynamics"
 	"ravenguard/internal/experiment"
 )
 
@@ -50,9 +61,27 @@ func run() error {
 		outTh   = flag.String("out", "", "learn: also save the learned thresholds to this JSON file")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile (taken after the experiments) to this file")
+
+		shardSpec = flag.String("shard", "", "worker mode: run shard i/n of the selected campaign, streaming partial-aggregate frames on stdout")
+		shards    = flag.Int("shards", 0, "coordinator mode: spawn n shard worker processes for the selected campaign and merge their frames")
+		mergeList = flag.String("merge", "", "merge mode: comma-separated frame files written by -shard workers; merges and renders the campaign")
+		chunk     = flag.Int("chunk", 0, "jobs per streamed frame in -shard mode (0 = default); bounds worker memory")
+		seeds     = flag.Int("seeds", 0, "faultcampaign: override the seed count for scale runs (0 = campaign default)")
+		laneBlock = flag.Int("laneblock", 0, "batch-stepper lane block width (0 = unblocked full-width stages)")
 	)
 	flag.Parse()
 	experiment.SetWorkers(*workers)
+	dynamics.SetBatchBlock(*laneBlock)
+
+	opts := shardOpts{exp: *exp, quick: *quick, seed: *seed, seeds: *seeds, chunk: *chunk, workers: *workers}
+	switch {
+	case *shardSpec != "":
+		return runShardWorker(opts, *shardSpec)
+	case *shards > 0:
+		return runShardCoordinator(opts, *shards, *laneBlock)
+	case *mergeList != "":
+		return runShardMerge(opts, *mergeList)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -328,10 +357,7 @@ func run() error {
 
 	if all || *exp == "faultcampaign" {
 		ran = true
-		cfg := experiment.FaultCampaignConfig{BaseSeed: *seed, Seeds: 3, Teleop: 6}
-		if *quick {
-			cfg.Seeds, cfg.Teleop = 1, 4
-		}
+		cfg := faultCampaignConfig(*quick, *seed, *seeds)
 		if err := run("Fault campaign", func() error {
 			res, err := experiment.RunFaultCampaign(cfg)
 			if err != nil {

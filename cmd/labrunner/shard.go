@@ -1,0 +1,212 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ravenguard/internal/experiment"
+	"ravenguard/internal/shard"
+)
+
+// shardOpts carries the scale-out flags shared by the worker, coordinator
+// and merge modes.
+type shardOpts struct {
+	exp     string
+	quick   bool
+	seed    int64
+	seeds   int // faultcampaign seed-count override (0 = campaign default)
+	chunk   int // jobs per streamed frame (0 = default)
+	workers int // per-process worker-pool size passthrough
+}
+
+// defaultChunk bounds how many jobs a worker retains between frames: after
+// each chunk the partial is flushed and the reference cache dropped, so
+// worker memory stays flat at any trial count.
+const defaultChunk = 256
+
+// shardableSpec builds the shardable form of the selected experiment,
+// sized exactly as the in-process -exp run would be.
+func shardableSpec(o shardOpts) (experiment.CampaignShard, error) {
+	switch o.exp {
+	case "table1":
+		return experiment.Table1Shard(o.seed), nil
+	case "table4":
+		runsA, runsB := 1925, 1361
+		if o.quick {
+			runsA, runsB = 150, 150
+		}
+		return experiment.Table4Shard(experiment.Table4Config{RunsA: runsA, RunsB: runsB, BaseSeed: o.seed}), nil
+	case "fig9":
+		reps := 20
+		if o.quick {
+			reps = 5
+		}
+		return experiment.Fig9Shard(experiment.Fig9Config{Reps: reps, BaseSeed: o.seed}), nil
+	case "mitigation":
+		attacks := 60
+		if o.quick {
+			attacks = 12
+		}
+		return experiment.MitigationShard([]int16{12000, 16000, 20000},
+			experiment.MitigationConfig{Attacks: attacks, BaseSeed: o.seed}), nil
+	case "faultcampaign":
+		cfg := faultCampaignConfig(o.quick, o.seed, o.seeds)
+		return experiment.FaultCampaignShard(cfg), nil
+	default:
+		return experiment.CampaignShard{}, fmt.Errorf("-exp %q is not shardable (shardable: table1|table4|fig9|mitigation|faultcampaign)", o.exp)
+	}
+}
+
+// faultCampaignConfig sizes the fault campaign (shared by the in-process
+// and sharded paths).
+func faultCampaignConfig(quick bool, seed int64, seeds int) experiment.FaultCampaignConfig {
+	cfg := experiment.FaultCampaignConfig{BaseSeed: seed, Seeds: 3, Teleop: 6}
+	if quick {
+		cfg.Seeds, cfg.Teleop = 1, 4
+	}
+	if seeds > 0 {
+		cfg.Seeds = seeds
+	}
+	return cfg
+}
+
+// runShardWorker is `labrunner -shard i/n`: run this shard's slice of the
+// campaign's job space chunk by chunk, streaming one partial-aggregate
+// frame per chunk on stdout (nothing else may touch stdout). Between
+// chunks every per-trial structure — including the memoised reference
+// traces — is dropped, keeping memory flat at any trial count.
+func runShardWorker(o shardOpts, spec string) error {
+	idx, count, err := shard.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	cs, err := shardableSpec(o)
+	if err != nil {
+		return err
+	}
+	r, err := shard.Of(cs.Jobs, idx, count)
+	if err != nil {
+		return err
+	}
+	chunk := o.chunk
+	if chunk <= 0 {
+		chunk = defaultChunk
+	}
+	for _, ch := range shard.Chunks(r, chunk) {
+		partial, err := cs.RunRange(ch.Lo, ch.Hi)
+		if err != nil {
+			return fmt.Errorf("shard %s of %s: jobs %v: %w", spec, cs.Name, ch, err)
+		}
+		if err := shard.WriteFrame(os.Stdout, shard.Frame{
+			Campaign: cs.Name,
+			Shard:    idx,
+			Shards:   count,
+			Range:    ch,
+			Partial:  partial,
+		}); err != nil {
+			return err
+		}
+		experiment.ResetReferenceCache()
+	}
+	return nil
+}
+
+// frameMerger folds streamed frames for one campaign.
+func frameMerger(cs experiment.CampaignShard) (*shard.Merger[[]byte], func(shard.Frame) error) {
+	m := shard.NewMerger(cs.Jobs, func(a, b []byte) ([]byte, error) { return cs.Merge(a, b) })
+	observe := func(f shard.Frame) error {
+		if f.Campaign != cs.Name {
+			return fmt.Errorf("frame for campaign %q, expected %q (worker/coordinator -exp mismatch)", f.Campaign, cs.Name)
+		}
+		return m.Observe(f.Range, f.Partial)
+	}
+	return m, observe
+}
+
+// renderMerged finalizes full coverage and writes the campaign report.
+func renderMerged(cs experiment.CampaignShard, m *shard.Merger[[]byte], w io.Writer) error {
+	full, err := m.Result()
+	if err != nil {
+		return err
+	}
+	return cs.Render(w, full)
+}
+
+// runShardCoordinator is `labrunner -shards n`: spawn one worker process
+// per shard of the selected campaign, merge the frames they stream, render
+// the result, and report throughput plus the peak worker RSS (the number
+// that must stay flat as campaigns scale).
+func runShardCoordinator(o shardOpts, count, laneBlock int) error {
+	cs, err := shardableSpec(o)
+	if err != nil {
+		return err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	merger, observe := frameMerger(cs)
+	start := time.Now()
+	stats, err := shard.RunWorkers(count, func(i int) []string {
+		argv := []string{
+			exe,
+			"-exp", o.exp,
+			"-shard", fmt.Sprintf("%d/%d", i, count),
+			"-seed", fmt.Sprint(o.seed),
+			"-workers", fmt.Sprint(o.workers),
+			"-chunk", fmt.Sprint(o.chunk),
+			"-laneblock", fmt.Sprint(laneBlock),
+		}
+		if o.quick {
+			argv = append(argv, "-quick")
+		}
+		if o.seeds > 0 {
+			argv = append(argv, "-seeds", fmt.Sprint(o.seeds))
+		}
+		return argv
+	}, observe)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if err := renderMerged(cs, merger, os.Stdout); err != nil {
+		return err
+	}
+	trials := cs.Jobs * cs.TrialsPerJob
+	fmt.Printf("(%d shards: %d jobs, %d trials in %.1fs = %.1f trials/s; peak worker RSS %.1f MB; worker CPU %.1fs)\n",
+		count, cs.Jobs, trials, elapsed.Seconds(),
+		float64(trials)/elapsed.Seconds(),
+		float64(stats.PeakRSSBytes)/(1<<20), stats.TotalCPU)
+	return nil
+}
+
+// runShardMerge is `labrunner -merge a.jsonl,b.jsonl,...`: merge frame
+// files written by by-hand `-shard i/n > file` workers (possibly on other
+// machines) and render the campaign report. Files may arrive in any order;
+// coverage gaps or overlaps are rejected.
+func runShardMerge(o shardOpts, list string) error {
+	cs, err := shardableSpec(o)
+	if err != nil {
+		return err
+	}
+	merger, observe := frameMerger(cs)
+	for _, path := range strings.Split(list, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = shard.ReadFrames(f, observe)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return renderMerged(cs, merger, os.Stdout)
+}

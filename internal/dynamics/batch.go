@@ -2,9 +2,40 @@ package dynamics
 
 import (
 	"fmt"
+	"sync"
 
 	"ravenguard/internal/kinematics"
 )
+
+// defaultBatchBlock is the lane-block width new batch steppers start with
+// (0 = unblocked full-width stages). Campaign entry points set it once from
+// a flag before any stepping starts.
+var defaultBatchBlock struct {
+	mu sync.Mutex
+	w  int
+}
+
+// SetBatchBlock sets the lane-block width batch steppers are constructed
+// with: the stage-major step loops then process lanes in tiles of w, which
+// bounds the stage working set to the cache instead of streaming every
+// scratch array across the full lane count per stage. w <= 0 restores the
+// unblocked default. Lanes are independent and each lane's operation order
+// is unchanged by tiling, so results are bit-identical at every width.
+func SetBatchBlock(w int) {
+	if w < 0 {
+		w = 0
+	}
+	defaultBatchBlock.mu.Lock()
+	defaultBatchBlock.w = w
+	defaultBatchBlock.mu.Unlock()
+}
+
+// BatchBlock returns the current default lane-block width (0 = unblocked).
+func BatchBlock() int {
+	defaultBatchBlock.mu.Lock()
+	defer defaultBatchBlock.mu.Unlock()
+	return defaultBatchBlock.w
+}
 
 // BatchStepper steps N homogeneous two-mass plants in lockstep through the
 // fused RK4/Euler stages in structure-of-arrays layout: one slice per state
@@ -27,6 +58,7 @@ import (
 type BatchStepper struct {
 	capacity int
 	n        int
+	block    int // lane-block width of the stage loops (0 = full width)
 	joints   [kinematics.NumJoints][]fusedJoint // [joint][lane]
 	tau      [kinematics.NumJoints][]float64    // [joint][lane]
 	x        [StateDim][]float64                // [component][lane]
@@ -41,7 +73,7 @@ func NewBatchStepper(capacity int) (*BatchStepper, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("dynamics: batch capacity %d must be > 0", capacity)
 	}
-	b := &BatchStepper{capacity: capacity}
+	b := &BatchStepper{capacity: capacity, block: BatchBlock()}
 	for j := 0; j < kinematics.NumJoints; j++ {
 		b.joints[j] = make([]fusedJoint, capacity)
 		b.tau[j] = make([]float64, capacity)
@@ -72,6 +104,19 @@ func (b *BatchStepper) SetLanes(n int) error {
 	b.n = n
 	return nil
 }
+
+// SetBlock overrides this batch's lane-block width (0 = full width). Lanes
+// are independent, so the width only moves work between cache levels —
+// every width produces the same bits (pinned by batch_test.go).
+func (b *BatchStepper) SetBlock(w int) {
+	if w < 0 {
+		w = 0
+	}
+	b.block = w
+}
+
+// Block returns this batch's lane-block width (0 = full width).
+func (b *BatchStepper) Block() int { return b.block }
 
 // FillLane loads lane of the batch from this kernel: per-joint constants,
 // gravity anchors, and held torque. The lane then steps exactly as this
@@ -128,17 +173,34 @@ func (b *BatchStepper) Component(c int) []float64 { return b.x[c][:b.n] }
 
 // StepEulerAll advances every active lane by one explicit Euler step,
 // replicating Stepper.StepEuler's per-joint operation order per lane.
+// Lanes run in tiles of the configured block width.
 //
 //ravenlint:noalloc
 func (b *BatchStepper) StepEulerAll(dt float64) {
-	n := b.n
+	w := b.block
+	if w <= 0 || w > b.n {
+		w = b.n
+	}
+	for lo := 0; lo < b.n; lo += w {
+		hi := lo + w
+		if hi > b.n {
+			hi = b.n
+		}
+		b.stepEulerLanes(dt, lo, hi)
+	}
+}
+
+// stepEulerLanes is the Euler kernel over the lane tile [lo, hi).
+//
+//ravenlint:noalloc
+func (b *BatchStepper) stepEulerLanes(dt float64, lo, hi int) {
 	for jIdx := 0; jIdx < kinematics.NumJoints; jIdx++ {
-		js := b.joints[jIdx][:n]
-		tau := b.tau[jIdx][:n]
+		js := b.joints[jIdx][:hi]
+		tau := b.tau[jIdx][:hi]
 		base := 4 * jIdx
-		mp, mv := b.x[base][:n], b.x[base+1][:n]
-		lp, lv := b.x[base+2][:n], b.x[base+3][:n]
-		for l := 0; l < n; l++ {
+		mp, mv := b.x[base][:hi], b.x[base+1][:hi]
+		lp, lv := b.x[base+2][:hi], b.x[base+3][:hi]
+		for l := lo; l < hi; l++ {
 			j := &js[l]
 			d0 := j.anchor(lp[l])
 			u := lv[l] * lv[l]
@@ -166,26 +228,47 @@ func (b *BatchStepper) StepEulerAll(dt float64) {
 // (anchor, friction band branch, accelG, stage offsets through gravAt), so
 // each lane's result is bit-identical to the scalar kernel's.
 //
+// Lanes run in tiles of the configured block width: at wide fan-outs the
+// five stage sweeps otherwise stream ~20 scratch/state arrays across the
+// full lane count per joint, evicting each stage's inputs before the next
+// stage reads them.
+//
 //ravenlint:noalloc
 func (b *BatchStepper) StepRK4All(dt float64) {
-	h2, h6 := dt/2, dt/6
-	n := b.n
-	for jIdx := 0; jIdx < kinematics.NumJoints; jIdx++ {
-		js := b.joints[jIdx][:n]
-		tau := b.tau[jIdx][:n]
-		base := 4 * jIdx
-		mp, mv := b.x[base][:n], b.x[base+1][:n]
-		lp, lv := b.x[base+2][:n], b.x[base+3][:n]
-		d0 := b.d0[:n]
-		am1, al1 := b.am1[:n], b.al1[:n]
-		am2, al2 := b.am2[:n], b.al2[:n]
-		am3, al3 := b.am3[:n], b.al3[:n]
-		am4, al4 := b.am4[:n], b.al4[:n]
-		mv2, lv2 := b.mv2[:n], b.lv2[:n]
-		mv3, lv3 := b.mv3[:n], b.lv3[:n]
-		mv4, lv4 := b.mv4[:n], b.lv4[:n]
+	w := b.block
+	if w <= 0 || w > b.n {
+		w = b.n
+	}
+	for lo := 0; lo < b.n; lo += w {
+		hi := lo + w
+		if hi > b.n {
+			hi = b.n
+		}
+		b.stepRK4Lanes(dt, lo, hi)
+	}
+}
 
-		for l := 0; l < n; l++ {
+// stepRK4Lanes is the RK4 kernel over the lane tile [lo, hi).
+//
+//ravenlint:noalloc
+func (b *BatchStepper) stepRK4Lanes(dt float64, lo, hi int) {
+	h2, h6 := dt/2, dt/6
+	for jIdx := 0; jIdx < kinematics.NumJoints; jIdx++ {
+		js := b.joints[jIdx][:hi]
+		tau := b.tau[jIdx][:hi]
+		base := 4 * jIdx
+		mp, mv := b.x[base][:hi], b.x[base+1][:hi]
+		lp, lv := b.x[base+2][:hi], b.x[base+3][:hi]
+		d0 := b.d0[:hi]
+		am1, al1 := b.am1[:hi], b.al1[:hi]
+		am2, al2 := b.am2[:hi], b.al2[:hi]
+		am3, al3 := b.am3[:hi], b.al3[:hi]
+		am4, al4 := b.am4[:hi], b.al4[:hi]
+		mv2, lv2 := b.mv2[:hi], b.lv2[:hi]
+		mv3, lv3 := b.mv3[:hi], b.lv3[:hi]
+		mv4, lv4 := b.mv4[:hi], b.lv4[:hi]
+
+		for l := lo; l < hi; l++ {
 			j := &js[l]
 			d0[l] = j.anchor(lp[l])
 			u := lv[l] * lv[l]
@@ -198,7 +281,7 @@ func (b *BatchStepper) StepRK4All(dt float64) {
 			am1[l], al1[l] = j.accelG(tau[l], mp[l], mv[l], lp[l], lv[l], j.gravAt(d0[l])+j.coulomb*fr)
 		}
 
-		for l := 0; l < n; l++ {
+		for l := lo; l < hi; l++ {
 			j := &js[l]
 			mv2[l], lv2[l] = mv[l]+h2*am1[l], lv[l]+h2*al1[l]
 			u := lv2[l] * lv2[l]
@@ -211,7 +294,7 @@ func (b *BatchStepper) StepRK4All(dt float64) {
 			am2[l], al2[l] = j.accelG(tau[l], mp[l]+h2*mv[l], mv2[l], lp[l]+h2*lv[l], lv2[l], j.gravAt(d0[l]+h2*lv[l])+j.coulomb*fr)
 		}
 
-		for l := 0; l < n; l++ {
+		for l := lo; l < hi; l++ {
 			j := &js[l]
 			mv3[l], lv3[l] = mv[l]+h2*am2[l], lv[l]+h2*al2[l]
 			u := lv3[l] * lv3[l]
@@ -224,7 +307,7 @@ func (b *BatchStepper) StepRK4All(dt float64) {
 			am3[l], al3[l] = j.accelG(tau[l], mp[l]+h2*mv2[l], mv3[l], lp[l]+h2*lv2[l], lv3[l], j.gravAt(d0[l]+h2*lv2[l])+j.coulomb*fr)
 		}
 
-		for l := 0; l < n; l++ {
+		for l := lo; l < hi; l++ {
 			j := &js[l]
 			mv4[l], lv4[l] = mv[l]+dt*am3[l], lv[l]+dt*al3[l]
 			u := lv4[l] * lv4[l]
@@ -237,7 +320,7 @@ func (b *BatchStepper) StepRK4All(dt float64) {
 			am4[l], al4[l] = j.accelG(tau[l], mp[l]+dt*mv3[l], mv4[l], lp[l]+dt*lv3[l], lv4[l], j.gravAt(d0[l]+dt*lv3[l])+j.coulomb*fr)
 		}
 
-		for l := 0; l < n; l++ {
+		for l := lo; l < hi; l++ {
 			mp[l] += h6 * (mv[l] + 2*mv2[l] + 2*mv3[l] + mv4[l])
 			lp[l] += h6 * (lv[l] + 2*lv2[l] + 2*lv3[l] + lv4[l])
 			mv[l] += h6 * (am1[l] + 2*am2[l] + 2*am3[l] + am4[l])

@@ -292,6 +292,19 @@ func classifyFaultOutcome(rec faultRun, truthImpact bool) FaultOutcome {
 	}
 }
 
+// applyDefaults fills the campaign's default sizing in place.
+func (c *FaultCampaignConfig) applyDefaults() {
+	if c.Seeds <= 0 {
+		c.Seeds = 3
+	}
+	if c.Teleop <= 0 {
+		c.Teleop = 6
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = fault.AllKinds()
+	}
+}
+
 // RunFaultCampaign executes the fault-kind × guard-policy matrix.
 //
 // The matrix is run on the two-level plan: one group per (policy, seed)
@@ -308,21 +321,32 @@ func classifyFaultOutcome(rec faultRun, truthImpact bool) FaultOutcome {
 // matrix at any worker count, byte-for-byte equal to running every cell
 // straight through.
 func RunFaultCampaign(c FaultCampaignConfig) (FaultCampaignResult, error) {
-	if c.Seeds <= 0 {
-		c.Seeds = 3
-	}
-	if c.Teleop <= 0 {
-		c.Teleop = 6
-	}
-	kinds := c.Kinds
-	if len(kinds) == 0 {
-		kinds = fault.AllKinds()
-	}
-	policies := AllPolicies()
+	c.applyDefaults()
+	return RunFaultCampaignRange(c, 0, c.Seeds)
+}
 
-	groups, err := runGroups(len(policies)*c.Seeds,
+// RunFaultCampaignRange runs the matrix restricted to the seed indices
+// [lo, hi) — the campaign's shardable job space. Each seed's column covers
+// every policy (the PolicyOff ground truth a seed's guarded runs classify
+// against is computed in the same range), so per-seed sub-matrices merge
+// exactly: counters add, deviation maxima max, and the merged result of
+// any contiguous partition of [0, Seeds) is byte-identical to the
+// single-range run.
+func RunFaultCampaignRange(c FaultCampaignConfig, lo, hi int) (FaultCampaignResult, error) {
+	c.applyDefaults()
+	if lo < 0 || hi > c.Seeds || lo > hi {
+		return FaultCampaignResult{}, fmt.Errorf("experiment: fault campaign range %d:%d outside [0,%d)", lo, hi, c.Seeds)
+	}
+	span := hi - lo
+	kinds := c.Kinds
+	policies := AllPolicies()
+	if span == 0 {
+		return FaultCampaignResult{}, nil
+	}
+
+	groups, err := runGroups(len(policies)*span,
 		func(g int) (fcPrefix, error) {
-			return c.campaignPrefix(kinds, policies[g/c.Seeds], g%c.Seeds)
+			return c.campaignPrefix(kinds, policies[g/span], lo+g%span)
 		},
 		func(int) int { return 1 },
 		func(g, _ int, p fcPrefix) ([]faultRun, error) {
@@ -339,11 +363,11 @@ func RunFaultCampaign(c FaultCampaignConfig) (FaultCampaignResult, error) {
 	// Reduce in the legacy kind-major matrix order.
 	var out FaultCampaignResult
 	for ki, k := range kinds {
-		truth := make([]bool, c.Seeds)
+		truth := make([]bool, span)
 		for pi, pol := range policies {
-			cell := FaultCell{Kind: k, Policy: pol, Seeds: c.Seeds}
-			for s := 0; s < c.Seeds; s++ {
-				rec := groups[pi*c.Seeds+s][0][ki]
+			cell := FaultCell{Kind: k, Policy: pol, Seeds: span}
+			for s := 0; s < span; s++ {
+				rec := groups[pi*span+s][0][ki]
 				if pol == PolicyOff {
 					truth[s] = rec.impact
 				}
@@ -660,6 +684,45 @@ func runFaultCampaignStraight(c FaultCampaignConfig) (FaultCampaignResult, error
 			out.Cells = append(out.Cells, cell)
 		}
 	}
+	return out, nil
+}
+
+// mergeFaultCampaignResults combines the partial matrices of two adjacent
+// seed ranges: outcome counters add, deviation maxima max, confusion cells
+// add — all exact operations, so the merge is bit-identical to having run
+// the union range in one piece.
+func mergeFaultCampaignResults(a, b FaultCampaignResult) (FaultCampaignResult, error) {
+	if len(a.Cells) == 0 {
+		return b, nil
+	}
+	if len(b.Cells) == 0 {
+		return a, nil
+	}
+	if len(a.Cells) != len(b.Cells) {
+		return FaultCampaignResult{}, fmt.Errorf("experiment: fault campaign merge: %d vs %d cells", len(a.Cells), len(b.Cells))
+	}
+	out := FaultCampaignResult{Cells: make([]FaultCell, len(a.Cells))}
+	for i := range a.Cells {
+		x, y := a.Cells[i], b.Cells[i]
+		if x.Kind != y.Kind || x.Policy != y.Policy {
+			return FaultCampaignResult{}, fmt.Errorf("experiment: fault campaign merge: cell %d is %v/%v vs %v/%v",
+				i, x.Kind, x.Policy, y.Kind, y.Policy)
+		}
+		x.Seeds += y.Seeds
+		x.Crashes += y.Crashes
+		x.FalseAlarms += y.FalseAlarms
+		x.EStops += y.EStops
+		x.Missed += y.Missed
+		x.RodeThrough += y.RodeThrough
+		x.Detected += y.Detected
+		x.FaultsApplied += y.FaultsApplied
+		if y.MaxDevMM > x.MaxDevMM {
+			x.MaxDevMM = y.MaxDevMM
+		}
+		out.Cells[i] = x
+	}
+	out.Confusion = a.Confusion
+	out.Confusion.Merge(b.Confusion)
 	return out, nil
 }
 

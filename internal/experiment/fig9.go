@@ -46,43 +46,113 @@ type Fig9Result struct {
 	Reps  int
 }
 
-// RunFig9 sweeps the grid. Cells run concurrently trial-by-trial.
-func RunFig9(cfg Fig9Config) (Fig9Result, error) {
+// Fig9Jobs is the size of the grid's shardable job space: one job per
+// (cell, repetition), cell-major.
+func Fig9Jobs(cfg Fig9Config) int {
 	cfg.applyDefaults()
-	var (
-		trials []Trial
-		cells  []Fig9Cell
-	)
+	return len(cfg.Values) * len(cfg.Durations) * cfg.Reps
+}
+
+// Fig9Partial is the grid's partial aggregate over one job range: the full
+// cell grid with only the in-range repetitions observed. Proportions are
+// pure counts, so partials of any contiguous partition merge into the same
+// numbers the whole-grid run produces.
+type Fig9Partial struct {
+	Cells []Fig9Cell `json:"cells"`
+}
+
+// fig9Grid returns the zeroed cell grid in reporting order.
+func fig9Grid(cfg Fig9Config) []Fig9Cell {
+	cells := make([]Fig9Cell, 0, len(cfg.Values)*len(cfg.Durations))
 	for _, v := range cfg.Values {
 		for _, d := range cfg.Durations {
 			cells = append(cells, Fig9Cell{Value: v, Duration: d})
-			for rep := 0; rep < cfg.Reps; rep++ {
-				trials = append(trials, Trial{
-					Seed:     cfg.BaseSeed + int64(5000+rep), // pooled seeds: references cached
-					TrajIdx:  rep % 2,
-					Scenario: ScenarioB,
-					B: inject.ScenarioBParams{
-						Value:           v,
-						Channel:         rep % 3,
-						StartDelayTicks: 500 + 37*rep,
-						ActivationTicks: d,
-						Seed:            int64(rep),
-					},
-				})
-			}
 		}
+	}
+	return cells
+}
+
+// fig9Trial builds the trial at one global job index: cell idx/Reps,
+// repetition idx%Reps. Parameters are a pure function of the index, so any
+// range regenerates its trials directly.
+func fig9Trial(cfg Fig9Config, idx int) Trial {
+	ci, rep := idx/cfg.Reps, idx%cfg.Reps
+	v := cfg.Values[ci/len(cfg.Durations)]
+	d := cfg.Durations[ci%len(cfg.Durations)]
+	return Trial{
+		Seed:     cfg.BaseSeed + int64(5000+rep), // pooled seeds: references cached
+		TrajIdx:  rep % 2,
+		Scenario: ScenarioB,
+		B: inject.ScenarioBParams{
+			Value:           v,
+			Channel:         rep % 3,
+			StartDelayTicks: 500 + 37*rep,
+			ActivationTicks: d,
+			Seed:            int64(rep),
+		},
+	}
+}
+
+// RunFig9 sweeps the grid. Cells run concurrently trial-by-trial.
+func RunFig9(cfg Fig9Config) (Fig9Result, error) {
+	cfg.applyDefaults()
+	p, err := RunFig9Range(cfg, 0, Fig9Jobs(cfg))
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	return Fig9Result{Cells: p.Cells, Reps: cfg.Reps}, nil
+}
+
+// RunFig9Range runs the grid's trials at global indices [lo, hi) and
+// returns their partial grid.
+func RunFig9Range(cfg Fig9Config, lo, hi int) (Fig9Partial, error) {
+	cfg.applyDefaults()
+	jobs := Fig9Jobs(cfg)
+	if lo < 0 || hi > jobs || lo > hi {
+		return Fig9Partial{}, fmt.Errorf("experiment: fig9 range %d:%d outside [0,%d)", lo, hi, jobs)
+	}
+	trials := make([]Trial, 0, hi-lo)
+	for idx := lo; idx < hi; idx++ {
+		trials = append(trials, fig9Trial(cfg, idx))
 	}
 	results, err := runTrials(trials)
 	if err != nil {
-		return Fig9Result{}, fmt.Errorf("experiment: fig9: %w", err)
+		return Fig9Partial{}, fmt.Errorf("experiment: fig9: %w", err)
 	}
-	for i, res := range results {
-		cell := &cells[i/cfg.Reps]
+	cells := fig9Grid(cfg)
+	for j, res := range results {
+		cell := &cells[(lo+j)/cfg.Reps]
 		cell.PImpact.Observe(res.Impact)
 		cell.PDyn.Observe(res.DynPreemptive)
 		cell.PRaven.Observe(res.RavenDetected)
 	}
-	return Fig9Result{Cells: cells, Reps: cfg.Reps}, nil
+	return Fig9Partial{Cells: cells}, nil
+}
+
+// mergeFig9Partials combines the partial grids of two adjacent ranges.
+func mergeFig9Partials(a, b Fig9Partial) (Fig9Partial, error) {
+	if len(a.Cells) == 0 {
+		return b, nil
+	}
+	if len(b.Cells) == 0 {
+		return a, nil
+	}
+	if len(a.Cells) != len(b.Cells) {
+		return Fig9Partial{}, fmt.Errorf("experiment: fig9 merge: %d vs %d cells", len(a.Cells), len(b.Cells))
+	}
+	out := Fig9Partial{Cells: make([]Fig9Cell, len(a.Cells))}
+	for i := range a.Cells {
+		x, y := a.Cells[i], b.Cells[i]
+		if x.Value != y.Value || x.Duration != y.Duration {
+			return Fig9Partial{}, fmt.Errorf("experiment: fig9 merge: cell %d is %d/%d vs %d/%d",
+				i, x.Value, x.Duration, y.Value, y.Duration)
+		}
+		x.PImpact.Merge(y.PImpact)
+		x.PDyn.Merge(y.PDyn)
+		x.PRaven.Merge(y.PRaven)
+		out.Cells[i] = x
+	}
+	return out, nil
 }
 
 // Write renders the grid as three aligned tables (the paper's two subplots

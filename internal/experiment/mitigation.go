@@ -177,7 +177,10 @@ func RunMitigationComparison(cfg MitigationConfig) (MitigationResult, error) {
 	for ai, armSpec := range arms {
 		arm := MitigationArm{Name: armSpec.name}
 		jumps, completions := 0, 0
-		var lags, jumpSizes stats.Running
+		// Lag/Jump reduce through the index-aligned forest (not a left
+		// fold), so sharded sweeps merge to the same bits — see
+		// stats.Forest.
+		lags, jumpSizes := stats.NewForest(0), stats.NewForest(0)
 		for i := 0; i < cfg.Attacks; i++ {
 			rec := recs[ai*cfg.Attacks+i]
 			if rec.maxJump > AdverseJumpThreshold {
@@ -270,12 +273,43 @@ func mitigationSessionRig(cfg MitigationConfig, mode core.Mode, i int, value int
 	return sim.New(simCfg)
 }
 
-// mitPrefix is one (arm, attack) group's shared session head.
+// mitPrefix is one (arm, attack) group's shared session head. The rig it
+// simulated the head on is carried along (with its observer state, held by
+// pointer so the fan sees the prefix observer's writes): the rig was built
+// with values[0] and already sits at the fork state, so the fan continues
+// it as the first fork lane instead of building and restoring a fresh rig.
 type mitPrefix struct {
+	rig  *sim.Rig
 	snap sim.Snapshot
 	ref  []mathx.Vec3
-	rec  mitigationRun // partial lag/jump maxima at the fork point
-	st   mitState
+	rec  *mitigationRun // partial lag/jump maxima at the fork point
+	st   *mitState
+}
+
+// MitigationSweepJobs is the size of the sweep's shardable job space: one
+// job per attack index (each covering every arm × value session).
+func MitigationSweepJobs(cfg MitigationConfig) int {
+	cfg.applyDefaults()
+	return cfg.Attacks
+}
+
+// MitigationArmPartial is one (value, arm) cell's mergeable aggregate over
+// an attack-index range: counters plus the index-aligned lag/jump forests,
+// so partials of any contiguous partition merge to the bits of the
+// whole-range run.
+type MitigationArmPartial struct {
+	Attacks     int           `json:"attacks"`
+	Jumps       int           `json:"jumps"`
+	Completions int           `json:"completions"`
+	Lag         *stats.Forest `json:"lag"`
+	Jump        *stats.Forest `json:"jump"`
+}
+
+// MitigationPartial is the sweep's partial aggregate over one attack-index
+// range: the (value, arm) cell grid, value-major.
+type MitigationPartial struct {
+	Values []int16                `json:"values"`
+	Arms   []MitigationArmPartial `json:"arms"`
 }
 
 // RunMitigationSweep runs the mitigation comparison for several attack
@@ -289,15 +323,34 @@ type mitPrefix struct {
 // forks then step together through the structure-of-arrays batch stepper.
 func RunMitigationSweep(values []int16, cfg MitigationConfig) ([]MitigationResult, error) {
 	cfg.applyDefaults()
+	p, err := RunMitigationSweepRange(values, cfg, 0, cfg.Attacks)
+	if err != nil {
+		return nil, err
+	}
+	return FinalizeMitigationSweep(cfg, p)
+}
+
+// RunMitigationSweepRange runs the sweep's sessions at attack indices
+// [lo, hi) — the campaign's shardable job space.
+func RunMitigationSweepRange(values []int16, cfg MitigationConfig, lo, hi int) (MitigationPartial, error) {
+	cfg.applyDefaults()
 	if len(values) == 0 {
 		values = []int16{cfg.Value}
 	}
+	if lo < 0 || hi > cfg.Attacks || lo > hi {
+		return MitigationPartial{}, fmt.Errorf("experiment: mitigation range %d:%d outside [0,%d)", lo, hi, cfg.Attacks)
+	}
+	span := hi - lo
 	arms := mitigationArms
-	groups, err := runGroups(len(arms)*cfg.Attacks,
+	out := MitigationPartial{Values: append([]int16{}, values...)}
+	if span == 0 {
+		return out, nil
+	}
+	groups, err := runGroups(len(arms)*span,
 		func(g int) (mitPrefix, error) {
-			mode, i := arms[g/cfg.Attacks].mode, g%cfg.Attacks
+			mode, i := arms[g/span].mode, lo+g%span
 			trial := Trial{Seed: cfg.BaseSeed + int64(8000+i%37), TrajIdx: i % 2}
-			var p mitPrefix
+			p := mitPrefix{rec: &mitigationRun{}, st: &mitState{}}
 			ref, err := trial.reference()
 			if err != nil {
 				return p, err
@@ -307,68 +360,133 @@ func RunMitigationSweep(values []int16, cfg MitigationConfig) ([]MitigationResul
 			if err != nil {
 				return p, err
 			}
-			observeMitigation(rig, ref, &p.st, &p.rec)
+			observeMitigation(rig, ref, p.st, p.rec)
 			if _, err := rig.Run(mitigationPrefixSteps); err != nil {
 				return p, err
 			}
-			p.snap, err = rig.Snapshot()
+			p.rig = rig
+			if len(values) > 1 {
+				p.snap, err = rig.Snapshot()
+			}
 			return p, err
 		},
 		func(int) int { return 1 },
 		func(g, _ int, p mitPrefix) ([]mitigationRun, error) {
-			mode, i := arms[g/cfg.Attacks].mode, g%cfg.Attacks
+			mode, i := arms[g/span].mode, lo+g%span
 			rigs := make([]*sim.Rig, len(values))
 			recs := make([]mitigationRun, len(values))
 			states := make([]mitState, len(values))
-			for vi, v := range values {
-				rig, err := mitigationSessionRig(cfg, mode, i, v)
+			// The prefix rig was built with values[0] and is already at the
+			// fork state: continue it as lane 0 (its observer keeps writing
+			// into p.rec/p.st). The remaining values fork via the snapshot.
+			rigs[0] = p.rig
+			for vi := 1; vi < len(values); vi++ {
+				rig, err := mitigationSessionRig(cfg, mode, i, values[vi])
 				if err != nil {
 					return nil, err
 				}
 				if err := rig.Restore(p.snap); err != nil {
 					return nil, err
 				}
-				recs[vi] = p.rec
-				states[vi] = p.st // arrays copy by value: each fork owns its ring
+				recs[vi] = *p.rec
+				states[vi] = *p.st // arrays copy by value: each fork owns its ring
 				observeMitigation(rig, p.ref, &states[vi], &recs[vi])
 				rigs[vi] = rig
 			}
 			if err := sim.RunLockstep(rigs); err != nil {
 				return nil, err
 			}
+			recs[0] = *p.rec
 			for vi, rig := range rigs {
 				recs[vi].completed = !rig.PLC().EStopped() && rig.Controller().State() != statemachine.EStop
 			}
 			return recs, nil
 		})
 	if err != nil {
-		return nil, err
+		return MitigationPartial{}, err
 	}
 
-	results := make([]MitigationResult, len(values))
-	for vi, v := range values {
+	for range values {
+		for range arms {
+			out.Arms = append(out.Arms, MitigationArmPartial{
+				Attacks: span,
+				Lag:     stats.NewForest(lo),
+				Jump:    stats.NewForest(lo),
+			})
+		}
+	}
+	for vi := range values {
+		for ai := range arms {
+			cell := &out.Arms[vi*len(arms)+ai]
+			for s := 0; s < span; s++ {
+				rec := groups[ai*span+s][0][vi]
+				if rec.maxJump > AdverseJumpThreshold {
+					cell.Jumps++
+				}
+				if rec.completed {
+					cell.Completions++
+				}
+				cell.Lag.Add(rec.maxLag * 1e3)
+				cell.Jump.Add(rec.maxJump * 1e3)
+			}
+		}
+	}
+	return out, nil
+}
+
+// mergeMitigationPartials combines the partial grids of two adjacent
+// attack-index ranges.
+func mergeMitigationPartials(a, b MitigationPartial) (MitigationPartial, error) {
+	if len(a.Arms) == 0 {
+		return b, nil
+	}
+	if len(b.Arms) == 0 {
+		return a, nil
+	}
+	if len(a.Arms) != len(b.Arms) || len(a.Values) != len(b.Values) {
+		return MitigationPartial{}, fmt.Errorf("experiment: mitigation merge: %d/%d vs %d/%d cells/values",
+			len(a.Arms), len(a.Values), len(b.Arms), len(b.Values))
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			return MitigationPartial{}, fmt.Errorf("experiment: mitigation merge: value %d is %d vs %d", i, a.Values[i], b.Values[i])
+		}
+	}
+	for i := range a.Arms {
+		x, y := &a.Arms[i], b.Arms[i]
+		x.Attacks += y.Attacks
+		x.Jumps += y.Jumps
+		x.Completions += y.Completions
+		if err := x.Lag.Merge(y.Lag); err != nil {
+			return MitigationPartial{}, err
+		}
+		if err := x.Jump.Merge(y.Jump); err != nil {
+			return MitigationPartial{}, err
+		}
+	}
+	return a, nil
+}
+
+// FinalizeMitigationSweep renders a full-coverage partial as the per-value
+// comparison results.
+func FinalizeMitigationSweep(cfg MitigationConfig, p MitigationPartial) ([]MitigationResult, error) {
+	cfg.applyDefaults()
+	arms := mitigationArms
+	if len(p.Arms) != len(p.Values)*len(arms) {
+		return nil, fmt.Errorf("experiment: mitigation finalize: %d cells for %d values", len(p.Arms), len(p.Values))
+	}
+	results := make([]MitigationResult, len(p.Values))
+	for vi, v := range p.Values {
 		vcfg := cfg
 		vcfg.Value = v
 		out := MitigationResult{Config: vcfg}
 		for ai, armSpec := range arms {
+			cell := p.Arms[vi*len(arms)+ai]
 			arm := MitigationArm{Name: armSpec.name}
-			jumps, completions := 0, 0
-			var lags, jumpSizes stats.Running
-			for i := 0; i < cfg.Attacks; i++ {
-				rec := groups[ai*cfg.Attacks+i][0][vi]
-				if rec.maxJump > AdverseJumpThreshold {
-					jumps++
-				}
-				if rec.completed {
-					completions++
-				}
-				lags.Add(rec.maxLag * 1e3)
-				jumpSizes.Add(rec.maxJump * 1e3)
-			}
-			arm.JumpRate = float64(jumps) / float64(cfg.Attacks)
-			arm.CompletionRate = float64(completions) / float64(cfg.Attacks)
-			arm.Lag = lags.Summarize()
-			arm.Jump = jumpSizes.Summarize()
+			arm.JumpRate = float64(cell.Jumps) / float64(cell.Attacks)
+			arm.CompletionRate = float64(cell.Completions) / float64(cell.Attacks)
+			arm.Lag = cell.Lag.Summarize()
+			arm.Jump = cell.Jump.Summarize()
 			out.Arms = append(out.Arms, arm)
 		}
 		results[vi] = out

@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ravenguard/internal/fault"
+	"ravenguard/internal/shard"
+)
+
+// The sharded campaign runners must be byte-identical to the in-process
+// runs: for every ported campaign, the JSON partials of any shard split,
+// chunked and merged in an arbitrary arrival order, must equal the
+// single-range partial byte for byte — at any worker count. These tests
+// pin that through the same CampaignShard wire path labrunner's worker and
+// coordinator modes use.
+
+// shardedResult runs spec split into k shards the way k worker processes
+// would: each shard's range is cut into chunks, every chunk runs with a
+// cold reference cache, and the chunk partials merge in reversed arrival
+// order (the merge must be order-insensitive).
+func shardedResult(t *testing.T, spec CampaignShard, k int) json.RawMessage {
+	t.Helper()
+	type frame struct {
+		r shard.Range
+		p json.RawMessage
+	}
+	var frames []frame
+	for _, r := range shard.Split(spec.Jobs, k) {
+		chunkSize := r.Len() / 2
+		if chunkSize < 1 {
+			chunkSize = 1
+		}
+		for _, ch := range shard.Chunks(r, chunkSize) {
+			ResetReferenceCache()
+			p, err := spec.RunRange(ch.Lo, ch.Hi)
+			if err != nil {
+				t.Fatalf("%s: shard %d/%d chunk %v: %v", spec.Name, k, k, ch, err)
+			}
+			frames = append(frames, frame{r: ch, p: p})
+		}
+	}
+	m := shard.NewMerger(spec.Jobs, spec.Merge)
+	for i := len(frames) - 1; i >= 0; i-- {
+		if err := m.Observe(frames[i].r, frames[i].p); err != nil {
+			t.Fatalf("%s: merge %v: %v", spec.Name, frames[i].r, err)
+		}
+	}
+	out, err := m.Result()
+	if err != nil {
+		t.Fatalf("%s: merged result: %v", spec.Name, err)
+	}
+	return out
+}
+
+// assertShardIdentity pins spec's merged shard output against the
+// single-range run for every shard count in ks.
+func assertShardIdentity(t *testing.T, spec CampaignShard, ks []int) {
+	t.Helper()
+	ResetReferenceCache()
+	whole, err := spec.RunRange(0, spec.Jobs)
+	if err != nil {
+		t.Fatalf("%s: whole range: %v", spec.Name, err)
+	}
+	var wholeReport strings.Builder
+	if err := spec.Render(&wholeReport, whole); err != nil {
+		t.Fatalf("%s: render: %v", spec.Name, err)
+	}
+	for _, k := range ks {
+		merged := shardedResult(t, spec, k)
+		if !bytes.Equal(whole, merged) {
+			t.Fatalf("%s: %d-shard merge diverged from single-range run\nwhole:  %s\nmerged: %s",
+				spec.Name, k, whole, merged)
+		}
+		var mergedReport strings.Builder
+		if err := spec.Render(&mergedReport, merged); err != nil {
+			t.Fatalf("%s: render merged: %v", spec.Name, err)
+		}
+		if wholeReport.String() != mergedReport.String() {
+			t.Fatalf("%s: %d-shard merged report diverged from single-range report", spec.Name, k)
+		}
+	}
+}
+
+func TestFaultCampaignShardIdentity(t *testing.T) {
+	spec := FaultCampaignShard(FaultCampaignConfig{
+		BaseSeed: 60, Seeds: 3, Teleop: 4,
+		Kinds: fault.AllKinds()[:3],
+	})
+	withWorkers(t, 1, func() { assertShardIdentity(t, spec, []int{2}) })
+	withWorkers(t, 8, func() { assertShardIdentity(t, spec, []int{3}) })
+}
+
+func TestTable1ShardIdentity(t *testing.T) {
+	spec := Table1Shard(50)
+	withWorkers(t, 1, func() { assertShardIdentity(t, spec, []int{2}) })
+	withWorkers(t, 8, func() { assertShardIdentity(t, spec, []int{3}) })
+}
+
+func TestTable4ShardIdentity(t *testing.T) {
+	spec := Table4Shard(Table4Config{RunsA: 4, RunsB: 4, BaseSeed: 70})
+	// The 1/2/3-shard coverage is split across the worker counts: every
+	// shard count is pinned, without re-running the whole campaign for the
+	// full cross product (these tests re-simulate the campaign once per
+	// shard count, which adds up under -race on one core).
+	withWorkers(t, 1, func() { assertShardIdentity(t, spec, []int{1, 2}) })
+	withWorkers(t, 8, func() { assertShardIdentity(t, spec, []int{3}) })
+}
+
+func TestFig9ShardIdentity(t *testing.T) {
+	spec := Fig9Shard(Fig9Config{
+		Values: []int16{8000}, Durations: []int{32, 128}, Reps: 3, BaseSeed: 80,
+	})
+	withWorkers(t, 1, func() { assertShardIdentity(t, spec, []int{1, 2}) })
+	withWorkers(t, 8, func() { assertShardIdentity(t, spec, []int{3}) })
+}
+
+func TestMitigationShardIdentity(t *testing.T) {
+	spec := MitigationShard([]int16{12000, 20000}, MitigationConfig{Attacks: 3, BaseSeed: 90})
+	withWorkers(t, 1, func() { assertShardIdentity(t, spec, []int{1, 2}) })
+	withWorkers(t, 8, func() { assertShardIdentity(t, spec, []int{3}) })
+}
+
+// TestMitigationSweepRangeMatchesFinalize pins the typed path the sharded
+// sweep rides: the finalized full-range partial must equal RunMitigationSweep.
+func TestMitigationSweepRangeMatchesFinalize(t *testing.T) {
+	values := []int16{12000, 20000}
+	cfg := MitigationConfig{Attacks: 4, BaseSeed: 90}
+	ResetReferenceCache()
+	swept, err := RunMitigationSweep(values, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetReferenceCache()
+	a, err := RunMitigationSweepRange(values, cfg, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMitigationSweepRange(values, cfg, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mergeMitigationPartials(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := FinalizeMitigationSweep(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(swept) {
+		t.Fatalf("merged %d results, swept %d", len(merged), len(swept))
+	}
+	for i := range swept {
+		if swept[i].Config != merged[i].Config || len(swept[i].Arms) != len(merged[i].Arms) {
+			t.Fatalf("result %d config/arms diverged", i)
+		}
+		for ai := range swept[i].Arms {
+			if swept[i].Arms[ai] != merged[i].Arms[ai] {
+				t.Fatalf("result %d arm %d diverged:\nswept:  %+v\nmerged: %+v",
+					i, ai, swept[i].Arms[ai], merged[i].Arms[ai])
+			}
+		}
+	}
+}

@@ -29,6 +29,10 @@ type Table1Result struct {
 	Rows []Table1Row
 }
 
+// Table1Jobs is the size of Table I's shardable job space: one job per
+// attack variant.
+func Table1Jobs() int { return len(inject.AllVariants()) }
+
 // RunTable1 executes every Table I variant against a standard session and
 // classifies the observed impact the way the paper's Table I reports them.
 //
@@ -39,7 +43,22 @@ type Table1Result struct {
 // reference continuation and the attacked continuation. Rows are
 // byte-identical to running each session straight through.
 func RunTable1(baseSeed int64) (Table1Result, error) {
-	variants := inject.AllVariants()
+	return RunTable1Range(baseSeed, 0, Table1Jobs())
+}
+
+// RunTable1Range runs the variant indices [lo, hi) — Table I's shardable
+// job space. Each variant's row is independent, so the partial tables of
+// adjacent ranges merge by concatenation, byte-identical to the
+// single-range run.
+func RunTable1Range(baseSeed int64, lo, hi int) (Table1Result, error) {
+	all := inject.AllVariants()
+	if lo < 0 || hi > len(all) || lo > hi {
+		return Table1Result{}, fmt.Errorf("experiment: table1 range %d:%d outside [0,%d)", lo, hi, len(all))
+	}
+	variants := all[lo:hi]
+	if len(variants) == 0 {
+		return Table1Result{}, nil
+	}
 	type prefixOut struct {
 		rig       *sim.Rig // the attacked rig, paused at the fork point
 		snap      sim.Snapshot
@@ -69,7 +88,8 @@ func RunTable1(baseSeed int64) (Table1Result, error) {
 			if err != nil {
 				return prefixOut{}, err
 			}
-			steps := &[]table1Step{}
+			buf := make([]table1Step, 0, table1SessionCap)
+			steps := &buf
 			observeTable1(rig, steps)
 			if _, err := rig.Run(table1PrefixSteps(v)); err != nil {
 				return prefixOut{}, err
@@ -96,7 +116,7 @@ func RunTable1(baseSeed int64) (Table1Result, error) {
 				if err := refRig.Restore(p.snap); err != nil {
 					return fanOut{}, err
 				}
-				var tail []mathx.Vec3
+				tail := make([]mathx.Vec3, 0, table1SessionCap)
 				refRig.Observe(func(si sim.StepInfo) { tail = append(tail, si.TipTrue) })
 				if _, err := refRig.Run(0); err != nil {
 					return fanOut{}, err
@@ -158,6 +178,17 @@ func RunTable1(baseSeed int64) (Table1Result, error) {
 	}
 	return Table1Result{Rows: rows}, nil
 }
+
+// mergeTable1Results concatenates the partial tables of two adjacent
+// variant ranges.
+func mergeTable1Results(a, b Table1Result) (Table1Result, error) {
+	return Table1Result{Rows: append(append([]Table1Row{}, a.Rows...), b.Rows...)}, nil
+}
+
+// table1SessionCap bounds the step count of one 6 s Table I session
+// (~975 steps/s), so the step and reference-tail recorders allocate once
+// instead of regrowing through the run.
+const table1SessionCap = 6200
 
 // table1Step is one observed step of an attacked session, recorded so the
 // row can be classified once the reference trace is assembled.

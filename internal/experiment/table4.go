@@ -58,8 +58,8 @@ func scenarioBGrid() ([]int16, []int) {
 		[]int{2, 4, 8, 16, 32, 64, 128, 256}
 }
 
-// RunTable4 executes the detection campaign.
-func RunTable4(cfg Table4Config) (Table4Result, error) {
+// applyDefaults fills the campaign's default sizing in place.
+func (cfg *Table4Config) applyDefaults() {
 	if cfg.RunsA == 0 {
 		cfg.RunsA = 1925
 	}
@@ -69,50 +69,145 @@ func RunTable4(cfg Table4Config) (Table4Result, error) {
 	if cfg.FaultFreeFrac == 0 {
 		cfg.FaultFreeFrac = 0.15
 	}
-
-	a, err := runScenarioACampaign(cfg)
-	if err != nil {
-		return Table4Result{}, err
-	}
-	b, err := runScenarioBCampaign(cfg)
-	if err != nil {
-		return Table4Result{}, err
-	}
-	return Table4Result{A: a, B: b}, nil
 }
 
-func runScenarioACampaign(cfg Table4Config) (Table4Scenario, error) {
+// Table4Jobs is the size of the campaign's shardable job space: the
+// scenario-A trials at global indices [0, RunsA), the scenario-B trials at
+// [RunsA, RunsA+RunsB).
+func Table4Jobs(cfg Table4Config) int {
+	cfg.applyDefaults()
+	return cfg.RunsA + cfg.RunsB
+}
+
+// Table4Block is the mergeable partial score of one scenario: pure counts,
+// so adjacent ranges merge exactly.
+type Table4Block struct {
+	Runs      int               `json:"runs"`
+	Positives int               `json:"positives"`
+	Dyn       metrics.Confusion `json:"dyn"`
+	Raven     metrics.Confusion `json:"raven"`
+}
+
+func (b *Table4Block) merge(other Table4Block) {
+	b.Runs += other.Runs
+	b.Positives += other.Positives
+	b.Dyn.Merge(other.Dyn)
+	b.Raven.Merge(other.Raven)
+}
+
+// Table4Partial is the campaign's partial aggregate over one job range.
+type Table4Partial struct {
+	A Table4Block `json:"a"`
+	B Table4Block `json:"b"`
+}
+
+// RunTable4 executes the detection campaign.
+func RunTable4(cfg Table4Config) (Table4Result, error) {
+	cfg.applyDefaults()
+	p, err := RunTable4Range(cfg, 0, Table4Jobs(cfg))
+	if err != nil {
+		return Table4Result{}, err
+	}
+	return FinalizeTable4(p), nil
+}
+
+// RunTable4Range runs the trials at global indices [lo, hi) and returns
+// their partial score. Trial parameters regenerate deterministically from
+// the config for any range (the parameter rng streams replay from the
+// start, which costs only the skipped draws), and the scores are pure
+// counts, so partials of any contiguous partition merge into the same
+// numbers the whole-campaign run produces.
+func RunTable4Range(cfg Table4Config, lo, hi int) (Table4Partial, error) {
+	cfg.applyDefaults()
+	jobs := cfg.RunsA + cfg.RunsB
+	if lo < 0 || hi > jobs || lo > hi {
+		return Table4Partial{}, fmt.Errorf("experiment: table4 range %d:%d outside [0,%d)", lo, hi, jobs)
+	}
+	var p Table4Partial
+	if aHi := min(hi, cfg.RunsA); lo < aHi {
+		results, err := runTrials(scenarioATrials(cfg, lo, aHi))
+		if err != nil {
+			return Table4Partial{}, fmt.Errorf("experiment: table4 A: %w", err)
+		}
+		p.A = scoreBlock(results)
+	}
+	if bLo := max(lo-cfg.RunsA, 0); cfg.RunsA < hi {
+		results, err := runTrials(scenarioBTrials(cfg, bLo, hi-cfg.RunsA))
+		if err != nil {
+			return Table4Partial{}, fmt.Errorf("experiment: table4 B: %w", err)
+		}
+		p.B = scoreBlock(results)
+	}
+	return p, nil
+}
+
+// mergeTable4Partials combines the partial scores of two adjacent ranges.
+func mergeTable4Partials(a, b Table4Partial) (Table4Partial, error) {
+	a.A.merge(b.A)
+	a.B.merge(b.B)
+	return a, nil
+}
+
+// FinalizeTable4 renders a full-coverage partial as the paper's table.
+func FinalizeTable4(p Table4Partial) Table4Result {
+	return Table4Result{
+		A: finalizeScenario("A (User inputs)", p.A),
+		B: finalizeScenario("B (Torque commands)", p.B),
+	}
+}
+
+func finalizeScenario(name string, b Table4Block) Table4Scenario {
+	return Table4Scenario{
+		Name:      name,
+		Runs:      b.Runs,
+		Positives: b.Positives,
+		Dyn:       Table4Cell{Technique: "Dynamic Model", Confusion: b.Dyn},
+		Raven:     Table4Cell{Technique: "RAVEN", Confusion: b.Raven},
+	}
+}
+
+// scenarioATrials builds the scenario-A trials at indices [lo, hi). The
+// parameter rng is replayed from index 0 so every index draws the same
+// values regardless of the requested range.
+func scenarioATrials(cfg Table4Config, lo, hi int) []Trial {
 	rng := rand.New(rand.NewSource(cfg.BaseSeed + 101))
 	mags, durs := scenarioAGrid()
-	trials := make([]Trial, 0, cfg.RunsA)
-	for i := 0; i < cfg.RunsA; i++ {
+	trials := make([]Trial, 0, hi-lo)
+	for i := 0; i < hi; i++ {
+		start := 500 + rng.Intn(2000)
+		faultFree := rng.Float64() < cfg.FaultFreeFrac
+		if i < lo {
+			continue
+		}
 		trial := Trial{
 			Seed:     cfg.BaseSeed + int64(1000+i%97), // reuse a seed pool: references are cached
 			TrajIdx:  i % 2,
 			Scenario: ScenarioA,
 			A: inject.ScenarioAParams{
 				Magnitude:       mags[i%len(mags)],
-				StartAfterTicks: 500 + rng.Intn(2000),
+				StartAfterTicks: start,
 				ActivationTicks: durs[(i/len(mags))%len(durs)],
 			},
 		}
-		if rng.Float64() < cfg.FaultFreeFrac {
+		if faultFree {
 			trial.Scenario = ScenarioNone
 		}
 		trials = append(trials, trial)
 	}
-	results, err := runTrials(trials)
-	if err != nil {
-		return Table4Scenario{}, fmt.Errorf("experiment: table4 A: %w", err)
-	}
-	return scoreScenario("A (User inputs)", results), nil
+	return trials
 }
 
-func runScenarioBCampaign(cfg Table4Config) (Table4Scenario, error) {
+// scenarioBTrials builds the scenario-B trials at indices [lo, hi).
+func scenarioBTrials(cfg Table4Config, lo, hi int) []Trial {
 	rng := rand.New(rand.NewSource(cfg.BaseSeed + 202))
 	vals, durs := scenarioBGrid()
-	trials := make([]Trial, 0, cfg.RunsB)
-	for i := 0; i < cfg.RunsB; i++ {
+	trials := make([]Trial, 0, hi-lo)
+	for i := 0; i < hi; i++ {
+		start := 500 + rng.Intn(2000)
+		faultFree := rng.Float64() < cfg.FaultFreeFrac
+		if i < lo {
+			continue
+		}
 		trial := Trial{
 			Seed:     cfg.BaseSeed + int64(3000+i%97),
 			TrajIdx:  i % 2,
@@ -120,36 +215,31 @@ func runScenarioBCampaign(cfg Table4Config) (Table4Scenario, error) {
 			B: inject.ScenarioBParams{
 				Value:           vals[i%len(vals)],
 				Channel:         i % 3,
-				StartDelayTicks: 500 + rng.Intn(2000),
+				StartDelayTicks: start,
 				ActivationTicks: durs[(i/len(vals))%len(durs)],
 				Seed:            int64(i),
 			},
 		}
-		if rng.Float64() < cfg.FaultFreeFrac {
+		if faultFree {
 			trial.Scenario = ScenarioNone
 		}
 		trials = append(trials, trial)
 	}
-	results, err := runTrials(trials)
-	if err != nil {
-		return Table4Scenario{}, fmt.Errorf("experiment: table4 B: %w", err)
-	}
-	return scoreScenario("B (Torque commands)", results), nil
+	return trials
 }
 
-// scoreScenario accumulates trial results into a Table IV scenario block.
-func scoreScenario(name string, results []Result) Table4Scenario {
-	sc := Table4Scenario{Name: name, Runs: len(results)}
-	sc.Dyn.Technique = "Dynamic Model"
-	sc.Raven.Technique = "RAVEN"
+// scoreBlock accumulates trial results into a mergeable scenario block.
+func scoreBlock(results []Result) Table4Block {
+	var b Table4Block
+	b.Runs = len(results)
 	for _, res := range results {
 		if res.Impact {
-			sc.Positives++
+			b.Positives++
 		}
-		sc.Dyn.Confusion.Observe(res.Impact, res.DynPreemptive)
-		sc.Raven.Confusion.Observe(res.Impact, res.RavenDetected)
+		b.Dyn.Observe(res.Impact, res.DynPreemptive)
+		b.Raven.Observe(res.Impact, res.RavenDetected)
 	}
-	return sc
+	return b
 }
 
 // Write renders the paper's Table IV.

@@ -30,9 +30,16 @@ type faultyReceiver struct {
 	src    *randx.Source
 	inj    *Injector //ravenlint:snapshot-ignore captured as its own snapshotter
 
-	tick    int
-	queue   []itp.Packet    // ready to deliver, oldest first
-	delayed []delayedPacket // waiting for their release tick
+	tick int
+	// Both queues are consumed from a head index instead of resliced, so
+	// their backing arrays are reused: the steady state of one datagram per
+	// cycle would otherwise reallocate on nearly every tick. Only the live
+	// windows queue[qhead:] and delayed[dhead:] are receiver state; the
+	// snapshot captures them compacted.
+	queue   []itp.Packet    // ready to deliver, queue[qhead:] oldest first
+	qhead   int             //ravenlint:snapshot-ignore captured compacted into queue
+	delayed []delayedPacket // waiting for their release tick, delayed[dhead:]
+	dhead   int             //ravenlint:snapshot-ignore captured compacted into delayed
 	held    *itp.Packet     // reorder: packet waiting to be swapped behind the next
 }
 
@@ -49,9 +56,12 @@ func (f *faultyReceiver) Recv() (itp.Packet, bool, error) {
 	f.tick++
 
 	// Release delayed packets whose time has come (in arrival order).
-	for len(f.delayed) > 0 && f.delayed[0].release <= f.tick {
-		f.queue = append(f.queue, f.delayed[0].p)
-		f.delayed = f.delayed[1:]
+	for f.dhead < len(f.delayed) && f.delayed[f.dhead].release <= f.tick {
+		f.queue = append(f.queue, f.delayed[f.dhead].p)
+		f.dhead++
+	}
+	if f.dhead == len(f.delayed) {
+		f.delayed, f.dhead = f.delayed[:0], 0
 	}
 
 	// Drain the inner transport through the fault pipeline.
@@ -68,16 +78,20 @@ func (f *faultyReceiver) Recv() (itp.Packet, bool, error) {
 
 	// A reorder hold with no follow-up packet this cycle must not starve
 	// the link forever; if nothing newer arrived, release it now.
-	if f.held != nil && len(f.queue) == 0 && len(f.delayed) == 0 {
+	if f.held != nil && len(f.queue) == f.qhead && len(f.delayed) == f.dhead {
 		f.queue = append(f.queue, *f.held)
 		f.held = nil
 	}
 
-	if len(f.queue) == 0 {
+	if len(f.queue) == f.qhead {
+		f.queue, f.qhead = f.queue[:0], 0
 		return itp.Packet{}, false, nil
 	}
-	p := f.queue[0]
-	f.queue = f.queue[1:]
+	p := f.queue[f.qhead]
+	f.qhead++
+	if f.qhead == len(f.queue) {
+		f.queue, f.qhead = f.queue[:0], 0
+	}
 	return p, true, nil
 }
 
@@ -150,11 +164,11 @@ func (f *faultyReceiver) Name() string { return "fault-transport" }
 // CaptureSnap implements sim.Snapshotter.
 func (f *faultyReceiver) CaptureSnap() any {
 	s := receiverState{tick: f.tick, rng: f.src.Pos()}
-	if len(f.queue) > 0 {
-		s.queue = append([]itp.Packet(nil), f.queue...)
+	if len(f.queue) > f.qhead {
+		s.queue = append([]itp.Packet(nil), f.queue[f.qhead:]...)
 	}
-	if len(f.delayed) > 0 {
-		s.delayed = append([]delayedPacket(nil), f.delayed...)
+	if len(f.delayed) > f.dhead {
+		s.delayed = append([]delayedPacket(nil), f.delayed[f.dhead:]...)
 	}
 	if f.held != nil {
 		held := *f.held
@@ -171,8 +185,8 @@ func (f *faultyReceiver) RestoreSnap(st any) error {
 	}
 	f.tick = s.tick
 	f.src.Restore(s.rng)
-	f.queue = append(f.queue[:0], s.queue...)
-	f.delayed = append(f.delayed[:0], s.delayed...)
+	f.queue, f.qhead = append(f.queue[:0], s.queue...), 0
+	f.delayed, f.dhead = append(f.delayed[:0], s.delayed...), 0
 	f.held = nil
 	if s.held != nil {
 		held := *s.held

@@ -12,10 +12,7 @@
 // are going to be executed on the physical robot".
 package interpose
 
-import (
-	"errors"
-	"fmt"
-)
+import "errors"
 
 // Verdict is a wrapper's decision about a frame.
 type Verdict int
@@ -128,10 +125,10 @@ func (c *Chain) Write(buf []byte) error {
 			buf = rs.Reslice(buf)
 		}
 	}
-	if err := c.target(buf); err != nil {
-		return fmt.Errorf("interpose: target write: %w", err)
-	}
-	return nil
+	// The target's error is returned as-is: wrapping would allocate on
+	// every rejected frame, and fault campaigns reject frames for whole
+	// stall windows. Targets already name themselves in their errors.
+	return c.target(buf)
 }
 
 // Stats returns (total writes entering the chain, frames dropped by

@@ -150,6 +150,15 @@ func ForwardWithTrigDrift(jp JointPos, drift float64) mathx.Vec3 {
 // position cannot be realised by the spherical mechanism.
 var ErrUnreachable = fmt.Errorf("kinematics: position unreachable")
 
+// The two failure modes are pre-wrapped: under the Table I sin/cos drift
+// attack the solver fails on a large fraction of the campaign's ticks, and
+// allocating a fresh formatted error each time dominated whole-campaign
+// allocation profiles. Callers only branch on err / errors.Is(ErrUnreachable).
+var (
+	errZeroDepth   = fmt.Errorf("%w: zero insertion depth", ErrUnreachable)
+	errOutsideCone = fmt.Errorf("%w: tool axis outside mechanism cone", ErrUnreachable)
+)
+
 // Inverse computes joint coordinates that place the end-effector at pos
 // (relative to the remote center). It returns the elbow-down branch, which
 // is the configuration the RAVEN arm operates in. Positions with zero
@@ -168,7 +177,7 @@ func Inverse(pos mathx.Vec3) (JointPos, error) {
 func InverseWithTrigDrift(pos mathx.Vec3, drift float64) (JointPos, error) {
 	d := pos.Norm()
 	if d < 1e-9 {
-		return JointPos{}, fmt.Errorf("%w: zero insertion depth", ErrUnreachable)
+		return JointPos{}, errZeroDepth
 	}
 	u := pos.Scale(1 / d)
 
@@ -177,8 +186,7 @@ func InverseWithTrigDrift(pos mathx.Vec3, drift float64) (JointPos, error) {
 	s2, c2 := math.Sin(Alpha23)+drift, math.Cos(Alpha23)+drift
 	cosT2 := (c1*c2 - u.Z) / (s1 * s2)
 	if cosT2 < -1-1e-9 || cosT2 > 1+1e-9 {
-		return JointPos{}, fmt.Errorf("%w: tool axis outside mechanism cone (cos theta2 = %.4f)",
-			ErrUnreachable, cosT2)
+		return JointPos{}, errOutsideCone
 	}
 	cosT2 = mathx.Clamp(cosT2, -1, 1)
 	theta2 := math.Acos(cosT2) // elbow-down branch: theta2 in [0, pi]

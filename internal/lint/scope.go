@@ -21,6 +21,12 @@ var DeterministicPackages = []string{
 	"internal/interpose",
 	"internal/malware",
 	"internal/inject",
+	// The scale-out layer: partial aggregates and their merge schedules
+	// must be bit-identical at any shard/chunk/worker count, so the
+	// reducers and the shard partitioner are replay-deterministic too.
+	"internal/shard",
+	"internal/stats",
+	"internal/metrics",
 }
 
 // MatchDeterministic reports whether an import path is one of the

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// The sharded campaign runner depends on Confusion and Proportion merging
+// exactly: any partition of an observation stream, merged in any order,
+// must reproduce the whole-stream counts.
+
+func TestConfusionMergePartitionAndOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	truths := make([]bool, 211)
+	preds := make([]bool, len(truths))
+	for i := range truths {
+		truths[i] = rng.Intn(2) == 0
+		preds[i] = rng.Intn(3) == 0
+	}
+	var whole Confusion
+	for i := range truths {
+		whole.Observe(truths[i], preds[i])
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		// Random contiguous partition.
+		var parts []Confusion
+		for lo := 0; lo < len(truths); {
+			hi := lo + 1 + rng.Intn(40)
+			if hi > len(truths) {
+				hi = len(truths)
+			}
+			var c Confusion
+			for i := lo; i < hi; i++ {
+				c.Observe(truths[i], preds[i])
+			}
+			parts = append(parts, c)
+			lo = hi
+		}
+		// Merge in a random order (counts are commutative).
+		var merged Confusion
+		for _, pi := range rng.Perm(len(parts)) {
+			merged.Merge(parts[pi])
+		}
+		if merged != whole {
+			t.Fatalf("trial %d: merged %+v, whole %+v", trial, merged, whole)
+		}
+	}
+}
+
+func TestProportionMergeMatchesWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var whole, a, b, c Proportion
+	for i := 0; i < 151; i++ {
+		hit := rng.Intn(4) == 0
+		whole.Observe(hit)
+		switch {
+		case i < 50:
+			a.Observe(hit)
+		case i < 99:
+			b.Observe(hit)
+		default:
+			c.Observe(hit)
+		}
+	}
+	// (a+b)+c and a+(b+c) must both equal the whole stream.
+	left := a
+	left.Merge(b)
+	left.Merge(c)
+	right := b
+	right.Merge(c)
+	merged := a
+	merged.Merge(right)
+	if left != whole || merged != whole {
+		t.Fatalf("merge diverged: (a+b)+c=%+v a+(b+c)=%+v whole=%+v", left, merged, whole)
+	}
+}
+
+func TestProportionJSONRoundTrip(t *testing.T) {
+	var p Proportion
+	for i := 0; i < 9; i++ {
+		p.Observe(i%3 == 0)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Proportion
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Fatalf("round trip %+v -> %+v", p, q)
+	}
+	// A restored proportion keeps observing and merging.
+	q.Observe(true)
+	p.Observe(true)
+	if q != p {
+		t.Fatalf("post-round-trip observe diverged: %+v vs %+v", q, p)
+	}
+}
+
+func TestConfusionJSONRoundTrip(t *testing.T) {
+	c := Confusion{TP: 3, FP: 1, TN: 8, FN: 2}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Confusion
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d != c {
+		t.Fatalf("round trip %+v -> %+v", c, d)
+	}
+}

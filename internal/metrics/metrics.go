@@ -1,9 +1,17 @@
 // Package metrics implements binary-classification metrics for the detection
 // evaluation (Table IV: accuracy, true-positive rate, false-positive rate,
 // F1 score) and the conditional-probability estimation used by Figure 9.
+//
+// Both accumulators are pure integer counters, so they merge exactly: the
+// sharded campaign runner streams them between processes as JSON partial
+// aggregates and the merged result is bit-identical to a single-process
+// run regardless of how the job space was partitioned.
 package metrics
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Confusion is a binary confusion matrix. Positives are runs in which the
 // attack would cause an adverse physical impact; a prediction is an alarm
@@ -108,6 +116,33 @@ func (p *Proportion) Observe(hit bool) {
 	if hit {
 		p.hits++
 	}
+}
+
+// Merge adds the counts of other into p.
+func (p *Proportion) Merge(other Proportion) {
+	p.hits += other.hits
+	p.total += other.total
+}
+
+// proportionJSON is the wire form of a Proportion.
+type proportionJSON struct {
+	Hits  int `json:"hits"`
+	Total int `json:"total"`
+}
+
+// MarshalJSON serializes the counter state losslessly.
+func (p Proportion) MarshalJSON() ([]byte, error) {
+	return json.Marshal(proportionJSON{Hits: p.hits, Total: p.total})
+}
+
+// UnmarshalJSON restores a counter serialized by MarshalJSON.
+func (p *Proportion) UnmarshalJSON(data []byte) error {
+	var w proportionJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*p = Proportion{hits: w.Hits, total: w.Total}
+	return nil
 }
 
 // N returns the number of trials.

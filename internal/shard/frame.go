@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// FrameVersion is the wire version of the partial-aggregate frame format.
+const FrameVersion = 1
+
+// Frame is one streamed partial aggregate: the mergeable reduction of one
+// chunk of one shard's job range, emitted as a single JSON line on the
+// worker's stdout. Workers emit a frame per chunk and then forget the
+// chunk, so neither side of the pipe retains per-trial state.
+type Frame struct {
+	V        int             `json:"v"`
+	Campaign string          `json:"campaign"`
+	Shard    int             `json:"shard"`
+	Shards   int             `json:"shards"`
+	Range    Range           `json:"range"`
+	Partial  json.RawMessage `json:"partial"`
+}
+
+// WriteFrame emits one frame as a JSON line.
+func WriteFrame(w io.Writer, f Frame) error {
+	if f.V == 0 {
+		f.V = FrameVersion
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("shard: encode frame: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("shard: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrames decodes line-delimited frames from r, calling fn for each.
+// Blank lines are skipped; anything else that is not a frame is an error
+// (a worker's stdout must carry frames only).
+func ReadFrames(r io.Reader, fn func(Frame) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var f Frame
+		if err := json.Unmarshal(line, &f); err != nil {
+			return fmt.Errorf("shard: bad frame %q: %w", truncate(string(line), 120), err)
+		}
+		if f.V != FrameVersion {
+			return fmt.Errorf("shard: frame version %d, want %d", f.V, FrameVersion)
+		}
+		if err := fn(f); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

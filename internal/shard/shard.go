@@ -1,0 +1,193 @@
+// Package shard scales a campaign across worker processes: it partitions
+// the campaign's deterministic job-index space into contiguous ranges, one
+// per worker, and merges the partial aggregates the workers stream back as
+// JSON frames.
+//
+// The contract that makes this exact rather than approximate: a campaign's
+// partial aggregate over a job range must merge with its neighbour into
+// the same bits the single-process reduction over the union would produce
+// (integer counters and maxima are exact by nature; mean/std streams go
+// through stats.Forest, whose fixed-shape reduction tree is a function of
+// the job indices alone). Given that, the merged result of any shard
+// count, chunk size, and frame arrival order is byte-identical to the
+// in-process runner — sharding only trades wall-clock for processes.
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Range is a half-open interval [Lo, Hi) of job indices.
+type Range struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Len returns the number of jobs in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// String renders the range as "lo:hi".
+func (r Range) String() string { return fmt.Sprintf("%d:%d", r.Lo, r.Hi) }
+
+// Split partitions [0, n) into k contiguous near-equal ranges (the first
+// n%k ranges are one job longer). k must be positive; empty ranges appear
+// only when k > n.
+func Split(n, k int) []Range {
+	if k < 1 {
+		k = 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make([]Range, k)
+	lo := 0
+	for i := 0; i < k; i++ {
+		size := n / k
+		if i < n%k {
+			size++
+		}
+		out[i] = Range{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return out
+}
+
+// Of returns shard i of k over [0, n).
+func Of(n, i, k int) (Range, error) {
+	if k < 1 {
+		return Range{}, fmt.Errorf("shard: shard count %d must be >= 1", k)
+	}
+	if i < 0 || i >= k {
+		return Range{}, fmt.Errorf("shard: shard index %d out of range [0,%d)", i, k)
+	}
+	return Split(n, k)[i], nil
+}
+
+// ParseSpec parses a "i/k" shard specification.
+func ParseSpec(s string) (i, k int, err error) {
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &k); err != nil {
+		return 0, 0, fmt.Errorf("shard: bad shard spec %q, want i/n (e.g. 0/4)", s)
+	}
+	if k < 1 || i < 0 || i >= k {
+		return 0, 0, fmt.Errorf("shard: bad shard spec %q: index must be in [0,%d)", s, k)
+	}
+	return i, k, nil
+}
+
+// Chunks cuts r into consecutive pieces of at most size jobs. Workers
+// process one chunk at a time, emit its partial frame, and drop the
+// per-trial state — that is what keeps worker memory flat at any trial
+// count. size <= 0 returns r whole.
+func Chunks(r Range, size int) []Range {
+	if size <= 0 || r.Len() <= size {
+		if r.Len() <= 0 {
+			return nil
+		}
+		return []Range{r}
+	}
+	out := make([]Range, 0, (r.Len()+size-1)/size)
+	for lo := r.Lo; lo < r.Hi; lo += size {
+		hi := lo + size
+		if hi > r.Hi {
+			hi = r.Hi
+		}
+		out = append(out, Range{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// part is one contiguous merged piece held by a Merger.
+type part[P any] struct {
+	r Range
+	p P
+}
+
+// Merger folds partial aggregates, arriving in any order, into full
+// coverage of [0, jobs). Adjacent pieces coalesce eagerly, so the merger
+// holds at most one piece per coverage gap — memory stays flat no matter
+// how many frames stream through.
+type Merger[P any] struct {
+	jobs    int
+	merge   func(dst, src P) (P, error)
+	parts   []part[P] // sorted by Lo, disjoint, maximally coalesced
+	covered int
+}
+
+// NewMerger builds a merger for a job space of the given size. merge must
+// combine the partials of two adjacent ranges (dst immediately left of
+// src) into the partial of their union.
+func NewMerger[P any](jobs int, merge func(dst, src P) (P, error)) *Merger[P] {
+	return &Merger[P]{jobs: jobs, merge: merge}
+}
+
+// Observe folds in the partial for one job range. Ranges must be disjoint;
+// overlaps (a shard run twice, a duplicated frame) are rejected.
+func (m *Merger[P]) Observe(r Range, p P) error {
+	if r.Lo < 0 || r.Hi > m.jobs || r.Lo > r.Hi {
+		return fmt.Errorf("shard: partial range %v outside job space [0,%d)", r, m.jobs)
+	}
+	if r.Len() == 0 {
+		return nil
+	}
+	// Find the insertion point, reject overlap with either neighbour.
+	i := sort.Search(len(m.parts), func(i int) bool { return m.parts[i].r.Lo >= r.Lo })
+	if i > 0 && m.parts[i-1].r.Hi > r.Lo {
+		return fmt.Errorf("shard: partial range %v overlaps %v", r, m.parts[i-1].r)
+	}
+	if i < len(m.parts) && m.parts[i].r.Lo < r.Hi {
+		return fmt.Errorf("shard: partial range %v overlaps %v", r, m.parts[i].r)
+	}
+	m.parts = append(m.parts, part[P]{})
+	copy(m.parts[i+1:], m.parts[i:])
+	m.parts[i] = part[P]{r: r, p: p}
+	m.covered += r.Len()
+
+	// Coalesce with the right neighbour, then the left one. The merge
+	// operation is exact for adjacent ranges, so eager coalescing in
+	// arrival order cannot change the final bits.
+	if i+1 < len(m.parts) && m.parts[i].r.Hi == m.parts[i+1].r.Lo {
+		merged, err := m.merge(m.parts[i].p, m.parts[i+1].p)
+		if err != nil {
+			return err
+		}
+		m.parts[i] = part[P]{r: Range{Lo: m.parts[i].r.Lo, Hi: m.parts[i+1].r.Hi}, p: merged}
+		m.parts = append(m.parts[:i+1], m.parts[i+2:]...)
+	}
+	if i > 0 && m.parts[i-1].r.Hi == m.parts[i].r.Lo {
+		merged, err := m.merge(m.parts[i-1].p, m.parts[i].p)
+		if err != nil {
+			return err
+		}
+		m.parts[i-1] = part[P]{r: Range{Lo: m.parts[i-1].r.Lo, Hi: m.parts[i].r.Hi}, p: merged}
+		m.parts = append(m.parts[:i], m.parts[i+1:]...)
+	}
+	return nil
+}
+
+// Covered returns how many jobs the observed partials cover so far.
+func (m *Merger[P]) Covered() int { return m.covered }
+
+// Result returns the merged partial for the full job space. It fails while
+// coverage has gaps (a shard is missing or still running).
+func (m *Merger[P]) Result() (P, error) {
+	var zero P
+	if m.jobs == 0 {
+		return zero, nil
+	}
+	if m.covered != m.jobs || len(m.parts) != 1 {
+		missing := ""
+		lo := 0
+		for _, pt := range m.parts {
+			if pt.r.Lo > lo {
+				missing += fmt.Sprintf(" %v", Range{Lo: lo, Hi: pt.r.Lo})
+			}
+			lo = pt.r.Hi
+		}
+		if lo < m.jobs {
+			missing += fmt.Sprintf(" %v", Range{Lo: lo, Hi: m.jobs})
+		}
+		return zero, fmt.Errorf("shard: incomplete coverage, missing job ranges:%s", missing)
+	}
+	return m.parts[0].p, nil
+}

@@ -1,0 +1,237 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestSplitCoversAndBalances(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{10, 3}, {1, 1}, {7, 7}, {3, 8}, {1000, 7}, {0, 3},
+	} {
+		rs := Split(tc.n, tc.k)
+		if len(rs) != tc.k {
+			t.Fatalf("Split(%d,%d) returned %d ranges", tc.n, tc.k, len(rs))
+		}
+		lo := 0
+		maxLen, minLen := 0, tc.n+1
+		for _, r := range rs {
+			if r.Lo != lo {
+				t.Fatalf("Split(%d,%d): gap/overlap at %v", tc.n, tc.k, r)
+			}
+			lo = r.Hi
+			if r.Len() > maxLen {
+				maxLen = r.Len()
+			}
+			if r.Len() < minLen {
+				minLen = r.Len()
+			}
+		}
+		if lo != tc.n {
+			t.Fatalf("Split(%d,%d) covers [0,%d)", tc.n, tc.k, lo)
+		}
+		if tc.n >= tc.k && maxLen-minLen > 1 {
+			t.Fatalf("Split(%d,%d) unbalanced: lens %d..%d", tc.n, tc.k, minLen, maxLen)
+		}
+	}
+}
+
+func TestOfMatchesSplit(t *testing.T) {
+	rs := Split(23, 5)
+	for i := range rs {
+		r, err := Of(23, i, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != rs[i] {
+			t.Fatalf("Of(23,%d,5) = %v, Split gives %v", i, r, rs[i])
+		}
+	}
+	if _, err := Of(23, 5, 5); err == nil {
+		t.Fatal("Of with index == count should fail")
+	}
+	if _, err := Of(23, -1, 5); err == nil {
+		t.Fatal("Of with negative index should fail")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	i, k, err := ParseSpec("2/8")
+	if err != nil || i != 2 || k != 8 {
+		t.Fatalf("ParseSpec(2/8) = %d,%d,%v", i, k, err)
+	}
+	for _, bad := range []string{"", "3", "3/", "/4", "4/4", "-1/4", "a/b"} {
+		if _, _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) should fail", bad)
+		}
+	}
+}
+
+func TestChunks(t *testing.T) {
+	cs := Chunks(Range{Lo: 5, Hi: 22}, 6)
+	want := []Range{{5, 11}, {11, 17}, {17, 22}}
+	if !reflect.DeepEqual(cs, want) {
+		t.Fatalf("Chunks = %v, want %v", cs, want)
+	}
+	if cs := Chunks(Range{Lo: 3, Hi: 3}, 6); cs != nil {
+		t.Fatalf("Chunks of empty range = %v, want nil", cs)
+	}
+	if cs := Chunks(Range{Lo: 0, Hi: 4}, 0); !reflect.DeepEqual(cs, []Range{{0, 4}}) {
+		t.Fatalf("Chunks with size 0 = %v, want whole range", cs)
+	}
+}
+
+// sumPartial is a toy exactly-mergeable partial: the sum of job indices.
+type sumPartial struct{ Sum int }
+
+func mergeSum(a, b sumPartial) (sumPartial, error) {
+	return sumPartial{Sum: a.Sum + b.Sum}, nil
+}
+
+func sumOver(r Range) sumPartial {
+	s := 0
+	for i := r.Lo; i < r.Hi; i++ {
+		s += i
+	}
+	return sumPartial{Sum: s}
+}
+
+func TestMergerOutOfOrderAndPermuted(t *testing.T) {
+	const jobs = 97
+	want := sumOver(Range{0, jobs}).Sum
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		chunks := Chunks(Range{0, jobs}, 1+rng.Intn(13))
+		perm := rng.Perm(len(chunks))
+		m := NewMerger(jobs, mergeSum)
+		for step, pi := range perm {
+			if _, err := m.Result(); err == nil && step < len(perm) {
+				// Result must refuse until coverage completes (unless the
+				// permutation is already done, checked below).
+				if m.Covered() != jobs {
+					t.Fatal("Result succeeded on partial coverage")
+				}
+			}
+			if err := m.Observe(chunks[pi], sumOver(chunks[pi])); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+		got, err := m.Result()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.Sum != want {
+			t.Fatalf("trial %d: merged sum %d, want %d", trial, got.Sum, want)
+		}
+	}
+}
+
+func TestMergerRejectsOverlap(t *testing.T) {
+	m := NewMerger(10, mergeSum)
+	if err := m.Observe(Range{0, 6}, sumOver(Range{0, 6})); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe(Range{5, 10}, sumOver(Range{5, 10})); err == nil {
+		t.Fatal("overlapping partial should be rejected")
+	}
+	if err := m.Observe(Range{0, 6}, sumOver(Range{0, 6})); err == nil {
+		t.Fatal("duplicate partial should be rejected")
+	}
+	if err := m.Observe(Range{-1, 2}, sumPartial{}); err == nil {
+		t.Fatal("out-of-space partial should be rejected")
+	}
+}
+
+func TestMergerReportsMissingRanges(t *testing.T) {
+	m := NewMerger(10, mergeSum)
+	if err := m.Observe(Range{3, 6}, sumOver(Range{3, 6})); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Result()
+	if err == nil {
+		t.Fatal("Result on gappy coverage should fail")
+	}
+	for _, frag := range []string{"0:3", "6:10"} {
+		if !bytes.Contains([]byte(err.Error()), []byte(frag)) {
+			t.Fatalf("error %q does not name missing range %s", err, frag)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	partial, _ := json.Marshal(sumPartial{Sum: 41})
+	frames := []Frame{
+		{Campaign: "faultcampaign", Shard: 0, Shards: 2, Range: Range{0, 3}, Partial: partial},
+		{Campaign: "faultcampaign", Shard: 1, Shards: 2, Range: Range{3, 6}, Partial: partial},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Frame
+	if err := ReadFrames(&buf, func(f Frame) error { got = append(got, f); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("read %d frames, want %d", len(got), len(frames))
+	}
+	for i, f := range got {
+		if f.V != FrameVersion || f.Campaign != "faultcampaign" || f.Range != frames[i].Range {
+			t.Fatalf("frame %d mismatch: %+v", i, f)
+		}
+		var p sumPartial
+		if err := json.Unmarshal(f.Partial, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Sum != 41 {
+			t.Fatalf("frame %d partial = %+v", i, p)
+		}
+	}
+}
+
+func TestReadFramesRejectsGarbage(t *testing.T) {
+	err := ReadFrames(bytes.NewBufferString("not json\n"), func(Frame) error { return nil })
+	if err == nil {
+		t.Fatal("garbage line should fail")
+	}
+	err = ReadFrames(bytes.NewBufferString(`{"v":99,"campaign":"x","shard":0,"shards":1,"range":{"lo":0,"hi":1},"partial":{}}`+"\n"),
+		func(Frame) error { return nil })
+	if err == nil {
+		t.Fatal("wrong frame version should fail")
+	}
+}
+
+func TestRunWorkers(t *testing.T) {
+	// Spawn /bin/sh workers that each print one well-formed frame.
+	stats, err := RunWorkers(2, func(i int) []string {
+		frame, _ := json.Marshal(Frame{
+			V: FrameVersion, Campaign: "toy", Shard: i, Shards: 2,
+			Range:   Range{Lo: i * 3, Hi: i*3 + 3},
+			Partial: json.RawMessage(`{"Sum":1}`),
+		})
+		return []string{"/bin/sh", "-c", "echo '" + string(frame) + "'"}
+	}, func(f Frame) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PeakRSSBytes <= 0 {
+		t.Fatalf("peak RSS not measured: %+v", stats)
+	}
+}
+
+func TestRunWorkersPropagatesFailure(t *testing.T) {
+	_, err := RunWorkers(2, func(i int) []string {
+		if i == 1 {
+			return []string{"/bin/sh", "-c", "exit 3"}
+		}
+		return []string{"/bin/sh", "-c", "sleep 0.05"}
+	}, func(f Frame) error { return nil })
+	if err == nil {
+		t.Fatal("worker failure should propagate")
+	}
+}

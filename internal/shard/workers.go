@@ -1,0 +1,111 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+)
+
+// WorkerStats aggregates resource usage across a coordinator's workers.
+type WorkerStats struct {
+	// PeakRSSBytes is the largest resident set any single worker reached.
+	// With streaming aggregation it stays flat as the trial count grows —
+	// the property the coordinator reports so regressions are visible.
+	PeakRSSBytes int64
+	// TotalCPU is the summed user+system CPU seconds across workers.
+	TotalCPU float64
+}
+
+// RunWorkers spawns one worker process per argv(i) for i in [0, k),
+// streams every frame the workers write on stdout to onFrame (calls are
+// serialized; arrival order across workers is arbitrary, which is safe
+// because partial-aggregate merges are order-insensitive), and waits for
+// all of them. Worker stderr passes through to the coordinator's stderr.
+// The first failure kills the remaining workers.
+func RunWorkers(k int, argv func(i int) []string, onFrame func(Frame) error) (WorkerStats, error) {
+	if k < 1 {
+		return WorkerStats{}, fmt.Errorf("shard: worker count %d must be >= 1", k)
+	}
+	var (
+		mu       sync.Mutex // guards onFrame, firstErr, and kill fan-out
+		firstErr error
+		cmds     = make([]*exec.Cmd, k)
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil && err != nil {
+			firstErr = err
+			for _, c := range cmds {
+				if c != nil && c.Process != nil {
+					_ = c.Process.Kill()
+				}
+			}
+		}
+	}
+
+	for i := 0; i < k; i++ {
+		args := argv(i)
+		if len(args) == 0 {
+			return WorkerStats{}, fmt.Errorf("shard: empty argv for worker %d", i)
+		}
+		cmd := exec.Command(args[0], args[1:]...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			fail(err)
+			break
+		}
+		if err := cmd.Start(); err != nil {
+			fail(fmt.Errorf("shard: start worker %d: %w", i, err))
+			break
+		}
+		cmds[i] = cmd
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := ReadFrames(out, func(f Frame) error {
+				mu.Lock()
+				defer mu.Unlock()
+				if firstErr != nil {
+					return firstErr
+				}
+				return onFrame(f)
+			})
+			if err != nil {
+				fail(fmt.Errorf("shard: worker %d: %w", i, err))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var stats WorkerStats
+	for i, cmd := range cmds {
+		if cmd == nil {
+			continue
+		}
+		err := cmd.Wait()
+		mu.Lock()
+		aborted := firstErr != nil
+		mu.Unlock()
+		if err != nil && !aborted {
+			fail(fmt.Errorf("shard: worker %d: %w", i, err))
+		}
+		if ps := cmd.ProcessState; ps != nil {
+			if ru, ok := ps.SysUsage().(*syscall.Rusage); ok {
+				// Linux reports ru_maxrss in kilobytes.
+				if rss := int64(ru.Maxrss) * 1024; rss > stats.PeakRSSBytes {
+					stats.PeakRSSBytes = rss
+				}
+			}
+			stats.TotalCPU += ps.UserTime().Seconds() + ps.SystemTime().Seconds()
+		}
+	}
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	return stats, err
+}

@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file makes the streaming accumulators mergeable across shard
+// boundaries. Two things matter for the sharded campaign runner:
+//
+//  1. partial aggregates must cross process boundaries as JSON frames, so
+//     Running (and the Forest below) serialize losslessly;
+//  2. merged results must be BIT-IDENTICAL to the single-process run, so
+//     the reduction over a campaign's job-index space is defined as a
+//     fixed-shape binary tree over the global indices (Forest), not as a
+//     left fold — floating-point addition is not associative, but a fixed
+//     tree makes the merge schedule a function of the index space alone,
+//     independent of how the space was cut into shards or chunks.
+
+// runningJSON is the wire form of a Running accumulator.
+type runningJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON serializes the accumulator state losslessly.
+func (r Running) MarshalJSON() ([]byte, error) {
+	return json.Marshal(runningJSON{N: r.n, Mean: r.mean, M2: r.m2, Min: r.min, Max: r.max})
+}
+
+// UnmarshalJSON restores an accumulator serialized by MarshalJSON.
+func (r *Running) UnmarshalJSON(data []byte) error {
+	var w runningJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = Running{n: w.N, mean: w.Mean, m2: w.M2, min: w.Min, max: w.Max}
+	return nil
+}
+
+// Merge folds other into r using Chan et al.'s parallel update, as if r had
+// observed r's stream followed by other's. Count, min and max merge
+// exactly; mean and m2 merge deterministically (the result is a pure
+// function of the two operands) but are not bit-equal to having Added the
+// observations one by one — use a Forest when partition-independent bit
+// identity is required.
+func (r *Running) Merge(other Running) {
+	if other.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = other
+		return
+	}
+	if other.min < r.min {
+		r.min = other.min
+	}
+	if other.max > r.max {
+		r.max = other.max
+	}
+	n := r.n + other.n
+	delta := other.mean - r.mean
+	r.mean += delta * float64(other.n) / float64(n)
+	r.m2 += other.m2 + delta*delta*float64(r.n)*float64(other.n)/float64(n)
+	r.n = n
+}
+
+// forestNode is one complete, canonically aligned subtree: it covers
+// leaves [pos, pos+span) with span a power of two and pos a multiple of
+// span (alignment is relative to global index 0, not to the forest's own
+// start, so shards cut at arbitrary offsets build the same subtrees).
+type forestNode struct {
+	pos  int
+	span int
+	acc  Running
+}
+
+// Forest reduces an indexed stream of observations through a fixed-shape
+// binary tree over the global index space: leaf i is merged with its
+// sibling exactly when both halves of the canonically aligned parent
+// [k*2^j, (k+1)*2^j) are complete, mirroring a binary counter. Because the
+// merge schedule depends only on the indices — never on where the stream
+// was cut — a Forest built over [lo, hi) in one piece is bit-identical to
+// merging Forests built over any contiguous partition of [lo, hi), in any
+// merge order the adjacency allows. That is what lets sharded campaigns
+// report the same Mean/Std bits as the single-process run.
+//
+// A Forest holds at most O(log n) pending subtrees.
+type Forest struct {
+	start int
+	n     int
+	nodes []forestNode
+}
+
+// NewForest returns an empty forest whose first leaf has global index
+// start.
+func NewForest(start int) *Forest {
+	return &Forest{start: start}
+}
+
+// Start returns the global index of the forest's first leaf.
+func (f *Forest) Start() int { return f.start }
+
+// End returns one past the global index of the forest's last leaf.
+func (f *Forest) End() int { return f.start + f.n }
+
+// N returns the number of observations added.
+func (f *Forest) N() int { return f.n }
+
+// Add appends the observation at the next global index and carries any
+// completed sibling pairs.
+func (f *Forest) Add(x float64) {
+	var leaf Running
+	leaf.Add(x)
+	f.nodes = append(f.nodes, forestNode{pos: f.start + f.n, span: 1, acc: leaf})
+	f.n++
+	f.carry()
+}
+
+// carry merges trailing sibling pairs: two adjacent equal-span subtrees
+// combine exactly when they are the two halves of a canonically aligned
+// parent.
+func (f *Forest) carry() {
+	for len(f.nodes) >= 2 {
+		a := &f.nodes[len(f.nodes)-2]
+		b := &f.nodes[len(f.nodes)-1]
+		if a.span != b.span || a.pos+a.span != b.pos || a.pos%(2*a.span) != 0 {
+			return
+		}
+		a.acc.Merge(b.acc)
+		a.span *= 2
+		f.nodes = f.nodes[:len(f.nodes)-1]
+	}
+}
+
+// Merge appends g, which must cover the index range immediately following
+// f's, and carries the junction. g is consumed: it must not be used
+// afterwards.
+func (f *Forest) Merge(g *Forest) error {
+	if g.start != f.End() {
+		return fmt.Errorf("stats: forest merge gap: have [%d,%d), merging [%d,%d)",
+			f.start, f.End(), g.start, g.End())
+	}
+	for i := range g.nodes {
+		f.nodes = append(f.nodes, g.nodes[i])
+		f.carry()
+	}
+	f.n += g.n
+	return nil
+}
+
+// Fold collapses the pending subtrees right-to-left into one accumulator.
+// The final forest for a range is canonical — the same for every partition
+// of the range — so the fold, and every statistic derived from it, is too.
+func (f *Forest) Fold() Running {
+	if len(f.nodes) == 0 {
+		return Running{}
+	}
+	acc := f.nodes[len(f.nodes)-1].acc
+	for i := len(f.nodes) - 2; i >= 0; i-- {
+		left := f.nodes[i].acc
+		left.Merge(acc)
+		acc = left
+	}
+	return acc
+}
+
+// Summarize returns the canonical summary of all observations.
+func (f *Forest) Summarize() Summary {
+	acc := f.Fold()
+	return acc.Summarize()
+}
+
+// forestJSON is the wire form of a Forest.
+type forestJSON struct {
+	Start int              `json:"start"`
+	Nodes []forestNodeJSON `json:"nodes"`
+}
+
+type forestNodeJSON struct {
+	Pos  int     `json:"pos"`
+	Span int     `json:"span"`
+	Acc  Running `json:"acc"`
+}
+
+// MarshalJSON serializes the forest losslessly (pending subtrees and all),
+// so partial forests stream between shard processes as compact frames.
+func (f *Forest) MarshalJSON() ([]byte, error) {
+	w := forestJSON{Start: f.start, Nodes: make([]forestNodeJSON, len(f.nodes))}
+	for i, n := range f.nodes {
+		w.Nodes[i] = forestNodeJSON{Pos: n.pos, Span: n.span, Acc: n.acc}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON restores a forest serialized by MarshalJSON.
+func (f *Forest) UnmarshalJSON(data []byte) error {
+	var w forestJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	f.start = w.Start
+	f.n = 0
+	f.nodes = f.nodes[:0]
+	for _, n := range w.Nodes {
+		f.nodes = append(f.nodes, forestNode{pos: n.Pos, span: n.Span, acc: n.Acc})
+		f.n += n.Span
+	}
+	return nil
+}

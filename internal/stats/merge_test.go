@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// forestValues builds a deterministic but awkward observation stream:
+// wildly mixed magnitudes so that any change in float summation order is
+// certain to flip result bits.
+func forestValues(n int) []float64 {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = (rng.Float64() - 0.3) * math.Pow(10, float64(rng.Intn(7)-3))
+	}
+	return xs
+}
+
+// buildForest accumulates xs[lo:hi] into a forest starting at global
+// index lo.
+func buildForest(xs []float64, lo, hi int) *Forest {
+	f := NewForest(lo)
+	for _, x := range xs[lo:hi] {
+		f.Add(x)
+	}
+	return f
+}
+
+// TestForestPartitionIndependence pins the property the sharded campaign
+// runner leans on: reducing [0,n) in one piece is bit-identical to
+// reducing any contiguous partition of [0,n) and merging the pieces.
+func TestForestPartitionIndependence(t *testing.T) {
+	const n = 257 // deliberately not a power of two
+	xs := forestValues(n)
+	whole := buildForest(xs, 0, n)
+	want := whole.Fold()
+
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		// Random partition into 1..8 contiguous pieces.
+		k := 1 + rng.Intn(8)
+		cuts := map[int]bool{0: true, n: true}
+		for len(cuts) < k+1 {
+			cuts[rng.Intn(n)] = true
+		}
+		bounds := make([]int, 0, len(cuts))
+		for b := 0; b < n+1; b++ {
+			if cuts[b] {
+				bounds = append(bounds, b)
+			}
+		}
+		pieces := make([]*Forest, 0, len(bounds)-1)
+		for i := 0; i+1 < len(bounds); i++ {
+			pieces = append(pieces, buildForest(xs, bounds[i], bounds[i+1]))
+		}
+		merged := pieces[0]
+		for _, p := range pieces[1:] {
+			if err := merged.Merge(p); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+		got := merged.Fold()
+		if got != want {
+			t.Fatalf("trial %d (bounds %v): partitioned fold diverged\nwant %+v\ngot  %+v",
+				trial, bounds, want, got)
+		}
+	}
+}
+
+// TestForestMergeOrderIndependence: adjacent merges may be performed in
+// any order the adjacency allows (the shard merger receives frames in
+// arbitrary arrival order and folds whichever neighbours are available).
+func TestForestMergeOrderIndependence(t *testing.T) {
+	const n = 100
+	xs := forestValues(n)
+	want := buildForest(xs, 0, n).Fold()
+
+	// Three pieces merged right-to-left first: a + (b + c).
+	a, b, c := buildForest(xs, 0, 33), buildForest(xs, 33, 70), buildForest(xs, 70, n)
+	if err := b.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Fold(); got != want {
+		t.Fatalf("right-to-left merge diverged\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestForestMergeRejectsGaps(t *testing.T) {
+	xs := forestValues(30)
+	a, c := buildForest(xs, 0, 10), buildForest(xs, 20, 30)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merging non-adjacent forests should fail")
+	}
+}
+
+func TestForestJSONRoundTrip(t *testing.T) {
+	xs := forestValues(57)
+	f := buildForest(xs, 13, 57)
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Forest
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Start() != f.Start() || g.N() != f.N() {
+		t.Fatalf("round trip lost range: want [%d,%d), got [%d,%d)", f.Start(), f.End(), g.Start(), g.End())
+	}
+	if got, want := g.Fold(), f.Fold(); got != want {
+		t.Fatalf("round trip changed fold\nwant %+v\ngot  %+v", want, got)
+	}
+
+	// A round-tripped forest must keep merging bit-identically.
+	more := NewForest(g.End())
+	more.Add(1.5)
+	if err := g.Merge(more); err != nil {
+		t.Fatal(err)
+	}
+	f2 := buildForest(xs, 13, 57)
+	f2ext := NewForest(f2.End())
+	f2ext.Add(1.5)
+	if err := f2.Merge(f2ext); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.Fold(), f2.Fold(); got != want {
+		t.Fatalf("post-round-trip merge diverged\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestForestCompactness(t *testing.T) {
+	// The pending-subtree forest must stay logarithmic: that is what keeps
+	// streamed partial aggregates compact at any trial count.
+	f := NewForest(0)
+	for i := 0; i < 1<<16; i++ {
+		f.Add(float64(i))
+	}
+	if len(f.nodes) > 17 {
+		t.Fatalf("forest holds %d pending subtrees for 2^16 leaves, want <= 17", len(f.nodes))
+	}
+}
+
+func TestRunningMergeCounts(t *testing.T) {
+	var a, b Running
+	for i := 0; i < 5; i++ {
+		a.Add(float64(i))
+	}
+	for i := 5; i < 12; i++ {
+		b.Add(float64(i))
+	}
+	a.Merge(b)
+	if a.N() != 12 {
+		t.Fatalf("merged N = %d, want 12", a.N())
+	}
+	if a.Min() != 0 || a.Max() != 11 {
+		t.Fatalf("merged min/max = %v/%v, want 0/11", a.Min(), a.Max())
+	}
+	if math.Abs(a.Mean()-5.5) > 1e-12 {
+		t.Fatalf("merged mean = %v, want 5.5", a.Mean())
+	}
+	// Variance of 0..11 is 13 (unbiased).
+	if math.Abs(a.Variance()-13) > 1e-9 {
+		t.Fatalf("merged variance = %v, want 13", a.Variance())
+	}
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var a, b Running
+	b.Add(3)
+	a.Merge(b)
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatalf("empty.Merge(one) = %+v", a.Summarize())
+	}
+	var c Running
+	a.Merge(c)
+	if a.N() != 1 {
+		t.Fatalf("merge of empty changed N: %d", a.N())
+	}
+}
+
+func TestRunningJSONRoundTrip(t *testing.T) {
+	var r Running
+	for _, x := range forestValues(9) {
+		r.Add(x)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Running
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	if r != s {
+		t.Fatalf("round trip changed accumulator\nwant %+v\ngot  %+v", r.Summarize(), s.Summarize())
+	}
+}

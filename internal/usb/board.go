@@ -42,6 +42,10 @@ type Board struct {
 // NewBoard returns a board with all DACs at zero.
 func NewBoard() *Board { return &Board{} }
 
+// errBoardStalled is pre-allocated: a stalled board rejects a frame every
+// control cycle for the stall's whole duration.
+var errBoardStalled = fmt.Errorf("usb: board stalled: frame ignored")
+
 // Receive accepts one command frame exactly as a write() to the board's
 // endpoint would. Malformed (wrong-length) frames are counted and dropped,
 // matching hardware that ignores short transfers; well-formed frames are
@@ -49,12 +53,14 @@ func NewBoard() *Board { return &Board{} }
 func (b *Board) Receive(frame []byte) error {
 	if b.stalled {
 		b.stallDrops++
-		return fmt.Errorf("usb: board stalled: frame ignored")
+		return errBoardStalled
 	}
 	cmd, err := DecodeCommand(frame)
 	if err != nil {
 		b.malformedRx++
-		return fmt.Errorf("usb: board dropped frame: %w", err)
+		// Returned unwrapped: a stall or corruption fault rejects a frame
+		// every cycle, and each wrap would be a fresh heap error.
+		return err
 	}
 	b.lastCmd = cmd
 	b.haveCmd = true

@@ -17,6 +17,15 @@ import (
 	"fmt"
 )
 
+// Decode errors are pre-allocated sentinels: under frame-corruption faults
+// a decode failure fires every control cycle, and formatting a fresh error
+// each time dominated campaign allocation profiles. Callers only branch on
+// err != nil (malformed frames are counted and dropped, like the hardware).
+var (
+	ErrCommandFrameLen  = fmt.Errorf("usb: command frame length mismatch (want %d)", CommandLen)
+	ErrFeedbackFrameLen = fmt.Errorf("usb: feedback frame length mismatch (want %d)", FeedbackLen)
+)
+
 // Geometry of the command frame.
 const (
 	CommandLen  = 18 // bytes per command packet
@@ -64,7 +73,7 @@ func (c Command) Encode() [CommandLen]byte {
 // so neither does the decoder.
 func DecodeCommand(frame []byte) (Command, error) {
 	if len(frame) != CommandLen {
-		return Command{}, fmt.Errorf("usb: command frame length %d, want %d", len(frame), CommandLen)
+		return Command{}, ErrCommandFrameLen
 	}
 	var c Command
 	c.StateNibble = frame[StateByte] & StateMask
@@ -105,7 +114,7 @@ func (f Feedback) Encode() [FeedbackLen]byte {
 // DecodeFeedback parses a feedback frame.
 func DecodeFeedback(frame []byte) (Feedback, error) {
 	if len(frame) != FeedbackLen {
-		return Feedback{}, fmt.Errorf("usb: feedback frame length %d, want %d", len(frame), FeedbackLen)
+		return Feedback{}, ErrFeedbackFrameLen
 	}
 	var f Feedback
 	f.StatusEcho = frame[0]

@@ -5,11 +5,17 @@
 # repo can diff PR over PR (see BENCH_PR3.json for the recorded format).
 #
 # Usage: tools/bench.sh [-p pattern] [-n count] [-t benchtime] [-o file]
+#                       [-s exp] [-x "extra labrunner args"]
 #   -p  benchmark regexp (default: the component micro-benchmarks; pass
 #       '.' with -t 1x to smoke every campaign benchmark too)
 #   -n  repetitions per benchmark, go test -count (default 3)
 #   -t  go test -benchtime (default 100ms)
 #   -o  output JSON path (default stdout)
+#   -s  also measure multi-process shard scaling of this campaign
+#       (labrunner -exp <exp> -quick -shards {1,2,4,8}); each run's
+#       trials/sec, peak worker RSS and total worker CPU land in a
+#       "shard_scaling" array in the JSON
+#   -x  extra labrunner flags for the -s runs (e.g. "-seeds 8")
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,24 +24,49 @@ pattern='Fused|DynamicsStep|USBCommandCodec|InterposeChainWrite|GuardOnWrite|Ful
 count=3
 benchtime=100ms
 out=""
-while getopts "p:n:t:o:" opt; do
+shardexp=""
+shardextra=""
+while getopts "p:n:t:o:s:x:" opt; do
 	case $opt in
 	p) pattern=$OPTARG ;;
 	n) count=$OPTARG ;;
 	t) benchtime=$OPTARG ;;
 	o) out=$OPTARG ;;
+	s) shardexp=$OPTARG ;;
+	x) shardextra=$OPTARG ;;
 	*) exit 2 ;;
 	esac
 done
 
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+shardtmp=$(mktemp)
+trap 'rm -f "$tmp" "$shardtmp" "$tmp.labrunner"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem -count "$count" \
 	-benchtime "$benchtime" ./... | tee "$tmp"
 
+# Shard-scaling sweep: spawn the campaign at 1/2/4/8 worker processes and
+# record each coordinator summary line. The absolute trials/sec is the
+# measurement; speedup beyond 1 shard is bounded by the machine's core
+# count (the merged result is byte-identical at every shard count either
+# way — that is what the shard_equivalence tests pin).
+if [ -n "$shardexp" ]; then
+	go build -o "$tmp.labrunner" ./cmd/labrunner
+	for n in 1 2 4 8; do
+		echo "==> labrunner -exp $shardexp -quick -shards $n $shardextra" >&2
+		# shellcheck disable=SC2086 — shardextra is intentionally re-split
+		"$tmp.labrunner" -exp "$shardexp" -quick -shards "$n" $shardextra |
+			sed -nE 's|^\(([0-9]+) shards: ([0-9]+) jobs, ([0-9]+) trials in ([0-9.]+)s = ([0-9.]+) trials/s; peak worker RSS ([0-9.]+) MB; worker CPU ([0-9.]+)s\)$|\1 \2 \3 \4 \5 \6 \7|p' |
+			while read -r shards jobs trials wall rate rss cpu; do
+				printf '{"shards": %s, "jobs": %s, "trials": %s, "wall_s": %s, "trials_per_s": %s, "peak_worker_rss_mb": %s, "worker_cpu_s": %s}\n' \
+					"$shards" "$jobs" "$trials" "$wall" "$rate" "$rss" "$cpu"
+			done >>"$shardtmp"
+	done
+fi
+
 awk -v goversion="$(go version | awk '{print $3}')" \
-	-v count="$count" -v benchtime="$benchtime" '
+	-v count="$count" -v benchtime="$benchtime" \
+	-v shardfile="$shardtmp" -v shardexp="$shardexp" '
 /^Benchmark/ {
 	name = $1; iters = $2
 	metrics = ""
@@ -51,6 +82,16 @@ END {
 	printf "  \"go\": \"%s\",\n", goversion
 	printf "  \"count\": %s,\n", count
 	printf "  \"benchtime\": \"%s\",\n", benchtime
+	nshard = 0
+	while ((getline line < shardfile) > 0) shardrows[nshard++] = line
+	if (nshard > 0) {
+		printf "  \"shard_scaling\": {\n"
+		printf "    \"campaign\": \"%s\",\n", shardexp
+		printf "    \"runs\": [\n"
+		for (i = 0; i < nshard; i++)
+			printf "      %s%s\n", shardrows[i], (i < nshard - 1 ? "," : "")
+		printf "    ]\n  },\n"
+	}
 	printf "  \"benchmarks\": [\n"
 	for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i < n - 1 ? "," : "")
 	printf "  ]\n}\n"

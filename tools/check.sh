@@ -10,7 +10,8 @@ cd "$(dirname "$0")/.."
 # Every gate names itself before running; on any failure the EXIT trap
 # reports which stage tripped, so a red run is attributable at a glance.
 stage="(startup)"
-trap 'status=$?; if [ "$status" -ne 0 ]; then echo "FAIL at stage: $stage (exit $status)" >&2; fi' EXIT
+sharddir=""
+trap 'status=$?; if [ -n "$sharddir" ]; then rm -rf "$sharddir"; fi; if [ "$status" -ne 0 ]; then echo "FAIL at stage: $stage (exit $status)" >&2; fi' EXIT
 
 stage="go vet"
 echo "==> go vet ./..."
@@ -34,15 +35,36 @@ echo "==> go build ./..."
 go build ./...
 
 # The experiment package's campaigns are the long pole under the race
-# detector (~6 min on one core); 900 s leaves headroom without masking
-# a genuine hang the way the old 2400 s escape hatch did.
+# detector; the shard-equivalence tests added in PR 6 re-simulate whole
+# campaigns per shard count, pushing it to ~12 min on one core. 1200 s
+# leaves headroom without masking a genuine hang the way the old 2400 s
+# escape hatch did.
 stage="go test -race"
 echo "==> go test -race ./..."
-go test -race -timeout 900s ./...
+go test -race -timeout 1200s ./...
 
 stage="benchmark smoke"
 echo "==> go test -bench . -benchtime 1x ./..."
 go test -run '^$' -bench . -benchtime 1x -timeout 900s ./...
+
+# Shard-equivalence smoke: the multi-process scale-out path (worker
+# frames on stdout, by-hand merge) must render the quick fault campaign
+# byte-identically to the in-process runner. This exercises the labrunner
+# CLI plumbing end to end — the library-level identity is pinned per
+# campaign by the shard_equivalence tests.
+stage="shard-equivalence smoke"
+echo "==> labrunner shard-equivalence smoke (quick faultcampaign, 2 shards)"
+sharddir=$(mktemp -d)
+go build -o "$sharddir/labrunner" ./cmd/labrunner
+"$sharddir/labrunner" -exp faultcampaign -quick -shard 0/2 >"$sharddir/s0.jsonl"
+"$sharddir/labrunner" -exp faultcampaign -quick -shard 1/2 >"$sharddir/s1.jsonl"
+"$sharddir/labrunner" -exp faultcampaign -quick -merge "$sharddir/s1.jsonl,$sharddir/s0.jsonl" >"$sharddir/merged.txt"
+"$sharddir/labrunner" -exp faultcampaign -quick |
+	sed -e '/^====/d' -e '/took .*s)$/d' -e '/^$/d' >"$sharddir/inproc.txt"
+diff "$sharddir/merged.txt" "$sharddir/inproc.txt" || {
+	echo "sharded faultcampaign output diverged from the in-process run" >&2
+	exit 1
+}
 
 # Allocation-regression guard: steady-state batch stepping must stay at
 # 0 allocs/op (TestBatchStepperAllocs pins it via testing.AllocsPerRun),
