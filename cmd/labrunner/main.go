@@ -19,14 +19,20 @@
 // -quick shrinks the campaigns for a fast smoke pass.
 //
 // Monte Carlo campaigns (table1, table4, fig9, mitigation, faultcampaign)
-// also scale out across processes — see EXPERIMENTS.md "Sharded campaigns":
+// also scale out across processes — see EXPERIMENTS.md "Sharded campaigns"
+// and "Resilient campaigns":
 //
-//	labrunner -exp faultcampaign -shards 4          spawn 4 workers, merge, render
+//	labrunner -exp faultcampaign -shards 4          4 supervised workers, merge, render
 //	labrunner -exp faultcampaign -shard 1/4         run one shard by hand, frames on stdout
 //	labrunner -exp faultcampaign -merge a.jsonl,b.jsonl   merge by-hand shard files, render
 //
-// Sharded output is byte-identical to the in-process run at any shard,
-// chunk and worker count.
+// The -shards coordinator supervises its workers chunk by chunk: crashed,
+// hung (-deadline) or stream-corrupting workers are killed, respawned and
+// their chunks re-dispatched; -journal persists accepted frames so a
+// killed coordinator restarts with -resume running only what is missing;
+// -chaos injects seeded worker failures for drills. Sharded output is
+// byte-identical to the in-process run at any shard, chunk and worker
+// count — through every failure and resume.
 package main
 
 import (
@@ -63,22 +69,38 @@ func run() error {
 		memProf = flag.String("memprofile", "", "write a heap profile (taken after the experiments) to this file")
 
 		shardSpec = flag.String("shard", "", "worker mode: run shard i/n of the selected campaign, streaming partial-aggregate frames on stdout")
-		shards    = flag.Int("shards", 0, "coordinator mode: spawn n shard worker processes for the selected campaign and merge their frames")
+		shards    = flag.Int("shards", 0, "coordinator mode: run the selected campaign across n supervised worker processes, merge their frames, render")
 		mergeList = flag.String("merge", "", "merge mode: comma-separated frame files written by -shard workers; merges and renders the campaign")
-		chunk     = flag.Int("chunk", 0, "jobs per streamed frame in -shard mode (0 = default); bounds worker memory")
+		chunk     = flag.Int("chunk", 0, "jobs per streamed frame / dispatched chunk (0 = default); bounds worker memory and re-dispatch granularity")
 		seeds     = flag.Int("seeds", 0, "faultcampaign: override the seed count for scale runs (0 = campaign default)")
 		laneBlock = flag.Int("laneblock", 0, "batch-stepper lane block width (0 = unblocked full-width stages)")
+
+		serve        = flag.Bool("serve", false, "worker mode: serve coordinator-dispatched job ranges (\"lo:hi:attempt\" lines on stdin), one frame per range on stdout")
+		chaosSpec    = flag.String("chaos", "", "seeded control-plane chaos plan enacted by -serve workers (e.g. \"seed=7,crash=0.2,stall=0.1\"); coordinator passes it through")
+		journalPath  = flag.String("journal", "", "coordinator: persist accepted frames to this fsync'd journal so a killed campaign can -resume")
+		resume       = flag.Bool("resume", false, "coordinator: resume a killed campaign from -journal, running only the uncovered job ranges")
+		deadline     = flag.Duration("deadline", 0, "coordinator: per-chunk frame deadline; a worker silent past it is killed and its chunk reassigned (0 = off)")
+		retries      = flag.Int("retries", 0, "coordinator: max dispatch attempts per chunk before its failure is deterministic and the campaign aborts (0 = 4)")
+		dieAfter     = flag.Int("dieafter", 0, "test hook: coordinator halts after journaling n frames, simulating a coordinator kill (finish with -resume)")
+		journalFlush = flag.Int("journalflush", 1, "coordinator: fsync the journal every n accepted frames (1 = every frame)")
 	)
 	flag.Parse()
 	experiment.SetWorkers(*workers)
 	dynamics.SetBatchBlock(*laneBlock)
 
 	opts := shardOpts{exp: *exp, quick: *quick, seed: *seed, seeds: *seeds, chunk: *chunk, workers: *workers}
+	super := superOpts{
+		chaos: *chaosSpec, journal: *journalPath, resume: *resume,
+		deadline: *deadline, retries: *retries, dieAfter: *dieAfter,
+		journalFlush: *journalFlush,
+	}
 	switch {
+	case *serve:
+		return runShardServe(opts, *chaosSpec)
 	case *shardSpec != "":
 		return runShardWorker(opts, *shardSpec)
 	case *shards > 0:
-		return runShardCoordinator(opts, *shards, *laneBlock)
+		return runShardCoordinator(opts, *shards, *laneBlock, super)
 	case *mergeList != "":
 		return runShardMerge(opts, *mergeList)
 	}

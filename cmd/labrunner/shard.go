@@ -5,7 +5,6 @@ import (
 	"io"
 	"os"
 	"strings"
-	"time"
 
 	"ravenguard/internal/experiment"
 	"ravenguard/internal/shard"
@@ -133,54 +132,6 @@ func renderMerged(cs experiment.CampaignShard, m *shard.Merger[[]byte], w io.Wri
 		return err
 	}
 	return cs.Render(w, full)
-}
-
-// runShardCoordinator is `labrunner -shards n`: spawn one worker process
-// per shard of the selected campaign, merge the frames they stream, render
-// the result, and report throughput plus the peak worker RSS (the number
-// that must stay flat as campaigns scale).
-func runShardCoordinator(o shardOpts, count, laneBlock int) error {
-	cs, err := shardableSpec(o)
-	if err != nil {
-		return err
-	}
-	exe, err := os.Executable()
-	if err != nil {
-		return err
-	}
-	merger, observe := frameMerger(cs)
-	start := time.Now()
-	stats, err := shard.RunWorkers(count, func(i int) []string {
-		argv := []string{
-			exe,
-			"-exp", o.exp,
-			"-shard", fmt.Sprintf("%d/%d", i, count),
-			"-seed", fmt.Sprint(o.seed),
-			"-workers", fmt.Sprint(o.workers),
-			"-chunk", fmt.Sprint(o.chunk),
-			"-laneblock", fmt.Sprint(laneBlock),
-		}
-		if o.quick {
-			argv = append(argv, "-quick")
-		}
-		if o.seeds > 0 {
-			argv = append(argv, "-seeds", fmt.Sprint(o.seeds))
-		}
-		return argv
-	}, observe)
-	if err != nil {
-		return err
-	}
-	elapsed := time.Since(start)
-	if err := renderMerged(cs, merger, os.Stdout); err != nil {
-		return err
-	}
-	trials := cs.Jobs * cs.TrialsPerJob
-	fmt.Printf("(%d shards: %d jobs, %d trials in %.1fs = %.1f trials/s; peak worker RSS %.1f MB; worker CPU %.1fs)\n",
-		count, cs.Jobs, trials, elapsed.Seconds(),
-		float64(trials)/elapsed.Seconds(),
-		float64(stats.PeakRSSBytes)/(1<<20), stats.TotalCPU)
-	return nil
 }
 
 // runShardMerge is `labrunner -merge a.jsonl,b.jsonl,...`: merge frame

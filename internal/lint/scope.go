@@ -24,6 +24,11 @@ var DeterministicPackages = []string{
 	// The scale-out layer: partial aggregates and their merge schedules
 	// must be bit-identical at any shard/chunk/worker count, so the
 	// reducers and the shard partitioner are replay-deterministic too.
+	// That includes the supervision layer (supervisor, journal, chaos):
+	// deadlines and backoff run on an injectable Clock, ChaosPlan
+	// decisions are a pure hash of (seed, range, attempt), and journal
+	// replay rides the same order-insensitive Merger — so recovery from
+	// crashes, hangs and coordinator kills cannot perturb the bits.
 	"internal/shard",
 	"internal/stats",
 	"internal/metrics",

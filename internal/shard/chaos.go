@@ -1,0 +1,206 @@
+// Control-plane chaos: seed-reproducible failure injection for the
+// campaign supervisor, mirroring internal/fault's philosophy one level
+// up. Where fault.Plan corrupts the simulated robot's pipeline, a
+// ChaosPlan corrupts the experiment infrastructure itself — worker
+// crashes, mid-frame deaths, stdout garbage, stalls — so the supervision
+// layer's recovery guarantees are testable the same way the rig's are:
+// same seed, same failures, and the merged campaign output must stay
+// byte-identical to a failure-free run.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ChaosAction is one control-plane failure a worker inflicts on itself
+// when it reaches a chaotic chunk.
+type ChaosAction int
+
+// Chaos actions, in decode order.
+const (
+	// ChaosNone runs the chunk normally.
+	ChaosNone ChaosAction = iota
+	// ChaosCrash exits nonzero before emitting the chunk's frame — a
+	// worker process crash mid-campaign.
+	ChaosCrash
+	// ChaosTruncate writes part of the chunk's frame line and dies — the
+	// stdout shape of a mid-frame SIGKILL.
+	ChaosTruncate
+	// ChaosGarbage writes a non-frame line on stdout and dies — a
+	// corrupted stream the coordinator must refuse to trust.
+	ChaosGarbage
+	// ChaosStall hangs without emitting anything — straggler-deadline
+	// fodder for the supervisor's kill-and-reassign path.
+	ChaosStall
+)
+
+// String names the action.
+func (a ChaosAction) String() string {
+	switch a {
+	case ChaosNone:
+		return "none"
+	case ChaosCrash:
+		return "crash"
+	case ChaosTruncate:
+		return "truncate"
+	case ChaosGarbage:
+		return "garbage"
+	case ChaosStall:
+		return "stall"
+	default:
+		return fmt.Sprintf("ChaosAction(%d)", int(a))
+	}
+}
+
+// ChaosPlan is a declarative, seed-reproducible schedule of control-plane
+// failures. Decide is a pure function of (Seed, chunk range, attempt), so
+// the same plan reproduces the same failure sequence in any process and
+// any dispatch order — no shared RNG stream to position.
+//
+// Failures hit only dispatch attempts below Attempts (default 1), so a
+// retried chunk always eventually succeeds: chaos exercises the recovery
+// machinery without being able to starve the campaign. Setting Attempts
+// at or above the supervisor's retry cap forces the permanent-failure
+// path instead.
+type ChaosPlan struct {
+	Seed int64
+	// Crash, Truncate, Garbage, Stall are per-(chunk, attempt)
+	// probabilities of each action; their sum must be at most 1.
+	Crash    float64
+	Truncate float64
+	Garbage  float64
+	Stall    float64
+	// Attempts bounds which dispatch attempts can fail (0 means 1).
+	Attempts int
+}
+
+// Enabled reports whether the plan can produce any failure.
+func (p ChaosPlan) Enabled() bool {
+	return p.Crash > 0 || p.Truncate > 0 || p.Garbage > 0 || p.Stall > 0
+}
+
+// Validate checks the rates.
+func (p ChaosPlan) Validate() error {
+	sum := 0.0
+	for _, r := range []float64{p.Crash, p.Truncate, p.Garbage, p.Stall} {
+		if r < 0 || r > 1 || math.IsNaN(r) {
+			return fmt.Errorf("shard: chaos rate %v outside [0,1]", r)
+		}
+		sum += r
+	}
+	if sum > 1 {
+		return fmt.Errorf("shard: chaos rates sum to %v > 1", sum)
+	}
+	if p.Attempts < 0 {
+		return fmt.Errorf("shard: chaos attempts %d must be >= 0", p.Attempts)
+	}
+	return nil
+}
+
+// attempts returns the effective failing-attempt bound.
+func (p ChaosPlan) attempts() int {
+	if p.Attempts <= 0 {
+		return 1
+	}
+	return p.Attempts
+}
+
+// Decide returns the action for one dispatch of chunk r on the given
+// attempt ordinal (0 = first try).
+func (p ChaosPlan) Decide(r Range, attempt int) ChaosAction {
+	if !p.Enabled() || attempt >= p.attempts() {
+		return ChaosNone
+	}
+	u := chaosUnit(uint64(p.Seed), uint64(int64(r.Lo)), uint64(int64(attempt)))
+	switch {
+	case u < p.Crash:
+		return ChaosCrash
+	case u < p.Crash+p.Truncate:
+		return ChaosTruncate
+	case u < p.Crash+p.Truncate+p.Garbage:
+		return ChaosGarbage
+	case u < p.Crash+p.Truncate+p.Garbage+p.Stall:
+		return ChaosStall
+	default:
+		return ChaosNone
+	}
+}
+
+// chaosUnit hashes (seed, lo, attempt) to a uniform value in [0, 1) with
+// splitmix64 finalization — stateless, so decisions are independent of
+// evaluation order.
+func chaosUnit(seed, lo, attempt uint64) float64 {
+	x := seed ^ lo*0x9e3779b97f4a7c15 ^ attempt*0xbf58476d1ce4e5b9
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// ParseChaosPlan parses the flag form of a plan:
+// "seed=7,crash=0.2,trunc=0.1,garbage=0.1,stall=0.1,attempts=1".
+// Unknown keys are rejected; omitted keys default to zero. The empty
+// string parses to the zero (disabled) plan.
+func ParseChaosPlan(s string) (ChaosPlan, error) {
+	var p ChaosPlan
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return ChaosPlan{}, fmt.Errorf("shard: chaos spec %q: want key=value, got %q", s, kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "crash":
+			p.Crash, err = strconv.ParseFloat(val, 64)
+		case "trunc", "truncate":
+			p.Truncate, err = strconv.ParseFloat(val, 64)
+		case "garbage":
+			p.Garbage, err = strconv.ParseFloat(val, 64)
+		case "stall":
+			p.Stall, err = strconv.ParseFloat(val, 64)
+		case "attempts":
+			p.Attempts, err = strconv.Atoi(val)
+		default:
+			return ChaosPlan{}, fmt.Errorf("shard: chaos spec: unknown key %q (have seed, crash, trunc, garbage, stall, attempts)", key)
+		}
+		if err != nil {
+			return ChaosPlan{}, fmt.Errorf("shard: chaos spec %q: %v", kv, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return ChaosPlan{}, err
+	}
+	return p, nil
+}
+
+// String renders the plan back into ParseChaosPlan's flag form.
+func (p ChaosPlan) String() string {
+	var parts []string
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+		}
+	}
+	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	add("crash", p.Crash)
+	add("trunc", p.Truncate)
+	add("garbage", p.Garbage)
+	add("stall", p.Stall)
+	if p.Attempts > 0 {
+		parts = append(parts, fmt.Sprintf("attempts=%d", p.Attempts))
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChaosDecideDeterministicAndSeedSensitive(t *testing.T) {
+	p := ChaosPlan{Seed: 7, Crash: 0.2, Truncate: 0.1, Garbage: 0.1, Stall: 0.1}
+	q := p
+	q.Seed = 8
+	differs := false
+	for lo := 0; lo < 512; lo += 4 {
+		r := Range{lo, lo + 4}
+		if p.Decide(r, 0) != p.Decide(r, 0) {
+			t.Fatalf("Decide not deterministic at %v", r)
+		}
+		if p.Decide(r, 0) != q.Decide(r, 0) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("seeds 7 and 8 produced identical chaos schedules")
+	}
+}
+
+func TestChaosAttemptGating(t *testing.T) {
+	p := ChaosPlan{Seed: 3, Crash: 1}
+	for lo := 0; lo < 64; lo += 4 {
+		r := Range{lo, lo + 4}
+		if p.Decide(r, 0) != ChaosCrash {
+			t.Fatalf("crash=1 plan spared %v on first attempt", r)
+		}
+		if p.Decide(r, 1) != ChaosNone {
+			t.Fatalf("attempt 1 failed with default Attempts=1 at %v", r)
+		}
+	}
+	p.Attempts = 3
+	if p.Decide(Range{0, 4}, 2) != ChaosCrash {
+		t.Fatal("Attempts=3 plan spared attempt 2")
+	}
+	if p.Decide(Range{0, 4}, 3) != ChaosNone {
+		t.Fatal("Attempts=3 plan failed attempt 3")
+	}
+}
+
+func TestChaosRatePartition(t *testing.T) {
+	p := ChaosPlan{Seed: 11, Crash: 0.25, Truncate: 0.25, Garbage: 0.25, Stall: 0.25}
+	counts := map[ChaosAction]int{}
+	const n = 4000
+	for lo := 0; lo < n; lo++ {
+		counts[p.Decide(Range{lo, lo + 1}, 0)]++
+	}
+	if counts[ChaosNone] != 0 {
+		t.Fatalf("rates summing to 1 still produced %d ChaosNone", counts[ChaosNone])
+	}
+	for _, a := range []ChaosAction{ChaosCrash, ChaosTruncate, ChaosGarbage, ChaosStall} {
+		frac := float64(counts[a]) / n
+		if frac < 0.20 || frac > 0.30 {
+			t.Fatalf("action %v frequency %.3f, want ~0.25", a, frac)
+		}
+	}
+
+	if (ChaosPlan{}).Enabled() {
+		t.Fatal("zero plan reports enabled")
+	}
+	if got := (ChaosPlan{}).Decide(Range{0, 4}, 0); got != ChaosNone {
+		t.Fatalf("zero plan decided %v", got)
+	}
+}
+
+func TestChaosValidate(t *testing.T) {
+	for name, p := range map[string]ChaosPlan{
+		"negative rate":     {Crash: -0.1},
+		"rate above one":    {Stall: 1.5},
+		"sum above one":     {Crash: 0.6, Garbage: 0.6},
+		"negative attempts": {Crash: 0.1, Attempts: -1},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: plan accepted", name)
+		}
+	}
+	if err := (ChaosPlan{Crash: 0.5, Stall: 0.5}).Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestParseChaosPlan(t *testing.T) {
+	p, err := ParseChaosPlan("seed=7,crash=0.2,trunc=0.1,garbage=0.1,stall=0.1,attempts=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ChaosPlan{Seed: 7, Crash: 0.2, Truncate: 0.1, Garbage: 0.1, Stall: 0.1, Attempts: 2}
+	if p != want {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+
+	// String() re-serializes to something ParseChaosPlan accepts and that
+	// round-trips to the same plan.
+	back, err := ParseChaosPlan(p.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.String(), err)
+	}
+	if back != p {
+		t.Fatalf("round trip %+v != %+v via %q", back, p, p.String())
+	}
+
+	zero, err := ParseChaosPlan("")
+	if err != nil || zero.Enabled() {
+		t.Fatalf("empty spec: %+v err=%v", zero, err)
+	}
+
+	for _, bad := range []string{"boom=1", "crash", "crash=x", "crash=2", "attempts=-1"} {
+		if _, err := ParseChaosPlan(bad); err == nil {
+			t.Errorf("ParseChaosPlan(%q) accepted", bad)
+		}
+	}
+	if _, err := ParseChaosPlan("boom=1"); err == nil || !strings.Contains(err.Error(), "unknown key") {
+		t.Fatalf("unknown-key error unhelpful: %v", err)
+	}
+}

@@ -2,7 +2,9 @@ package shard
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -23,6 +25,13 @@ type Frame struct {
 	Partial  json.RawMessage `json:"partial"`
 }
 
+// ErrTruncatedTail reports a frame stream that ends mid-line: the worker
+// died between starting and finishing a frame write. The bytes of the
+// partial line are dropped; the chunk they would have covered is simply
+// not covered, which coverage tracking (Merger.Missing, the supervisor's
+// chunk table) turns into a re-dispatch rather than a campaign abort.
+var ErrTruncatedTail = errors.New("shard: frame stream ends mid-line (worker died mid-write)")
+
 // WriteFrame emits one frame as a JSON line.
 func WriteFrame(w io.Writer, f Frame) error {
 	if f.V == 0 {
@@ -39,29 +48,52 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return nil
 }
 
+// decodeFrame decodes one newline-stripped frame line, checking the wire
+// version.
+func decodeFrame(line []byte) (Frame, error) {
+	var f Frame
+	if err := json.Unmarshal(line, &f); err != nil {
+		return Frame{}, fmt.Errorf("shard: bad frame %q: %w", truncate(string(line), 120), err)
+	}
+	if f.V != FrameVersion {
+		return Frame{}, fmt.Errorf("shard: frame version %d, want %d", f.V, FrameVersion)
+	}
+	return f, nil
+}
+
 // ReadFrames decodes line-delimited frames from r, calling fn for each.
-// Blank lines are skipped; anything else that is not a frame is an error
-// (a worker's stdout must carry frames only).
+// Blank lines are skipped; a newline-terminated line that is not a frame
+// is an error (a worker's stdout must carry frames only). A partial
+// trailing line that fails to decode means the writer died mid-frame:
+// ReadFrames returns ErrTruncatedTail, after having delivered every
+// complete frame before it — callers treat the lost chunk as uncovered
+// (to be re-dispatched or reported missing), not as a fatal stream error.
 func ReadFrames(r io.Reader, fn func(Frame) error) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	br := bufio.NewReaderSize(r, 64*1024)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			f, derr := decodeFrame(trimmed)
+			if derr != nil {
+				if rerr != nil {
+					// The stream ended inside this line: a dying worker's
+					// half-written frame, not coordinator-fatal garbage.
+					return fmt.Errorf("%w: dropped %d trailing bytes", ErrTruncatedTail, len(line))
+				}
+				return derr
+			}
+			if err := fn(f); err != nil {
+				return err
+			}
 		}
-		var f Frame
-		if err := json.Unmarshal(line, &f); err != nil {
-			return fmt.Errorf("shard: bad frame %q: %w", truncate(string(line), 120), err)
+		if rerr == io.EOF {
+			return nil
 		}
-		if f.V != FrameVersion {
-			return fmt.Errorf("shard: frame version %d, want %d", f.V, FrameVersion)
-		}
-		if err := fn(f); err != nil {
-			return err
+		if rerr != nil {
+			return rerr
 		}
 	}
-	return sc.Err()
 }
 
 func truncate(s string, n int) string {

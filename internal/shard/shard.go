@@ -103,6 +103,13 @@ type part[P any] struct {
 	p P
 }
 
+// Part is one contiguous merged piece of a Merger's coverage, exposed for
+// journal compaction: the partial aggregate of the covered range.
+type Part[P any] struct {
+	Range   Range
+	Partial P
+}
+
 // Merger folds partial aggregates, arriving in any order, into full
 // coverage of [0, jobs). Adjacent pieces coalesce eagerly, so the merger
 // holds at most one piece per coverage gap — memory stays flat no matter
@@ -112,6 +119,7 @@ type Merger[P any] struct {
 	merge   func(dst, src P) (P, error)
 	parts   []part[P] // sorted by Lo, disjoint, maximally coalesced
 	covered int
+	dropped int // already-covered duplicates observed and discarded
 }
 
 // NewMerger builds a merger for a job space of the given size. merge must
@@ -121,8 +129,14 @@ func NewMerger[P any](jobs int, merge func(dst, src P) (P, error)) *Merger[P] {
 	return &Merger[P]{jobs: jobs, merge: merge}
 }
 
-// Observe folds in the partial for one job range. Ranges must be disjoint;
-// overlaps (a shard run twice, a duplicated frame) are rejected.
+// Observe folds in the partial for one job range. A range that is already
+// fully covered — a retried worker's duplicate frame, a chunk replayed
+// from a journal — is a no-op: campaign partials are deterministic per
+// range, so the duplicate carries no new information and is dropped
+// (counted by Dropped). Ranges that only *partially* overlap existing
+// coverage are rejected: they would double-count the overlapped jobs,
+// and the aligned chunk grids every dispatcher uses can never produce
+// them, so one appearing means misconfigured inputs.
 func (m *Merger[P]) Observe(r Range, p P) error {
 	if r.Lo < 0 || r.Hi > m.jobs || r.Lo > r.Hi {
 		return fmt.Errorf("shard: partial range %v outside job space [0,%d)", r, m.jobs)
@@ -130,12 +144,22 @@ func (m *Merger[P]) Observe(r Range, p P) error {
 	if r.Len() == 0 {
 		return nil
 	}
-	// Find the insertion point, reject overlap with either neighbour.
+	// Find the insertion point; drop fully-covered duplicates, reject
+	// partial overlap with either neighbour. Parts are maximally
+	// coalesced, so any fully-covered range lies inside a single part.
 	i := sort.Search(len(m.parts), func(i int) bool { return m.parts[i].r.Lo >= r.Lo })
 	if i > 0 && m.parts[i-1].r.Hi > r.Lo {
+		if m.parts[i-1].r.Hi >= r.Hi {
+			m.dropped++
+			return nil
+		}
 		return fmt.Errorf("shard: partial range %v overlaps %v", r, m.parts[i-1].r)
 	}
 	if i < len(m.parts) && m.parts[i].r.Lo < r.Hi {
+		if m.parts[i].r.Lo == r.Lo && m.parts[i].r.Hi >= r.Hi {
+			m.dropped++
+			return nil
+		}
 		return fmt.Errorf("shard: partial range %v overlaps %v", r, m.parts[i].r)
 	}
 	m.parts = append(m.parts, part[P]{})
@@ -168,6 +192,37 @@ func (m *Merger[P]) Observe(r Range, p P) error {
 // Covered returns how many jobs the observed partials cover so far.
 func (m *Merger[P]) Covered() int { return m.covered }
 
+// Dropped returns how many already-covered duplicate ranges Observe has
+// discarded (retried workers re-emitting a chunk, journal replays).
+func (m *Merger[P]) Dropped() int { return m.dropped }
+
+// Missing returns the uncovered gaps of the job space, in ascending
+// order. A resuming coordinator dispatches exactly these ranges.
+func (m *Merger[P]) Missing() []Range {
+	var gaps []Range
+	lo := 0
+	for _, pt := range m.parts {
+		if pt.r.Lo > lo {
+			gaps = append(gaps, Range{Lo: lo, Hi: pt.r.Lo})
+		}
+		lo = pt.r.Hi
+	}
+	if lo < m.jobs {
+		gaps = append(gaps, Range{Lo: lo, Hi: m.jobs})
+	}
+	return gaps
+}
+
+// Parts returns the merged coverage so far as maximally-coalesced pieces
+// in ascending order — what a journal compaction persists.
+func (m *Merger[P]) Parts() []Part[P] {
+	out := make([]Part[P], len(m.parts))
+	for i, pt := range m.parts {
+		out[i] = Part[P]{Range: pt.r, Partial: pt.p}
+	}
+	return out
+}
+
 // Result returns the merged partial for the full job space. It fails while
 // coverage has gaps (a shard is missing or still running).
 func (m *Merger[P]) Result() (P, error) {
@@ -177,15 +232,8 @@ func (m *Merger[P]) Result() (P, error) {
 	}
 	if m.covered != m.jobs || len(m.parts) != 1 {
 		missing := ""
-		lo := 0
-		for _, pt := range m.parts {
-			if pt.r.Lo > lo {
-				missing += fmt.Sprintf(" %v", Range{Lo: lo, Hi: pt.r.Lo})
-			}
-			lo = pt.r.Hi
-		}
-		if lo < m.jobs {
-			missing += fmt.Sprintf(" %v", Range{Lo: lo, Hi: m.jobs})
+		for _, g := range m.Missing() {
+			missing += fmt.Sprintf(" %v", g)
 		}
 		return zero, fmt.Errorf("shard: incomplete coverage, missing job ranges:%s", missing)
 	}

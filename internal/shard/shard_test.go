@@ -3,6 +3,7 @@ package shard
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -129,19 +130,82 @@ func TestMergerOutOfOrderAndPermuted(t *testing.T) {
 	}
 }
 
-func TestMergerRejectsOverlap(t *testing.T) {
+func TestMergerRejectsPartialOverlap(t *testing.T) {
 	m := NewMerger(10, mergeSum)
 	if err := m.Observe(Range{0, 6}, sumOver(Range{0, 6})); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Observe(Range{5, 10}, sumOver(Range{5, 10})); err == nil {
-		t.Fatal("overlapping partial should be rejected")
+		t.Fatal("partially overlapping partial should be rejected")
 	}
-	if err := m.Observe(Range{0, 6}, sumOver(Range{0, 6})); err == nil {
-		t.Fatal("duplicate partial should be rejected")
+	if err := m.Observe(Range{4, 8}, sumOver(Range{4, 8})); err == nil {
+		t.Fatal("partial straddling the covered boundary should be rejected")
 	}
 	if err := m.Observe(Range{-1, 2}, sumPartial{}); err == nil {
 		t.Fatal("out-of-space partial should be rejected")
+	}
+}
+
+// TestMergerDropsCoveredDuplicates pins the retry-replay contract: a
+// chunk re-observed after a worker retry (or journal replay) is a no-op
+// — coverage, part structure, and the final Result bits are unchanged.
+func TestMergerDropsCoveredDuplicates(t *testing.T) {
+	const jobs = 12
+	m := NewMerger(jobs, mergeSum)
+	for _, r := range []Range{{0, 4}, {4, 8}} {
+		if err := m.Observe(r, sumOver(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exact duplicate of an original chunk, a range inside the coalesced
+	// part, and the whole coalesced part itself: all already covered.
+	for _, dup := range []Range{{0, 4}, {4, 8}, {2, 6}, {0, 8}, {5, 5}} {
+		if err := m.Observe(dup, sumOver(dup)); err != nil {
+			t.Fatalf("re-observing covered %v: %v", dup, err)
+		}
+	}
+	if m.Covered() != 8 {
+		t.Fatalf("Covered = %d after duplicates, want 8", m.Covered())
+	}
+	if m.Dropped() != 4 {
+		// The empty range is not counted as a drop.
+		t.Fatalf("Dropped = %d, want 4", m.Dropped())
+	}
+	if err := m.Observe(Range{8, jobs}, sumOver(Range{8, jobs})); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sumOver(Range{0, jobs}); got != want {
+		t.Fatalf("Result after duplicates = %+v, want %+v", got, want)
+	}
+}
+
+func TestMergerMissingAndParts(t *testing.T) {
+	m := NewMerger(20, mergeSum)
+	for _, r := range []Range{{2, 5}, {5, 8}, {12, 15}} {
+		if err := m.Observe(r, sumOver(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantGaps := []Range{{0, 2}, {8, 12}, {15, 20}}
+	if got := m.Missing(); !reflect.DeepEqual(got, wantGaps) {
+		t.Fatalf("Missing = %v, want %v", got, wantGaps)
+	}
+	parts := m.Parts()
+	wantParts := []Range{{2, 8}, {12, 15}}
+	if len(parts) != len(wantParts) {
+		t.Fatalf("Parts = %v, want ranges %v", parts, wantParts)
+	}
+	for i, p := range parts {
+		if p.Range != wantParts[i] {
+			t.Fatalf("part %d range = %v, want %v", i, p.Range, wantParts[i])
+		}
+		if p.Partial != sumOver(p.Range) {
+			t.Fatalf("part %d partial = %+v, want %+v", i, p.Partial, sumOver(p.Range))
+		}
 	}
 }
 
@@ -203,6 +267,43 @@ func TestReadFramesRejectsGarbage(t *testing.T) {
 		func(Frame) error { return nil })
 	if err == nil {
 		t.Fatal("wrong frame version should fail")
+	}
+}
+
+// TestReadFramesTruncatedTail pins the worker-died-mid-write shape: the
+// complete frames before the torn line are all delivered, and the tail
+// surfaces as ErrTruncatedTail (chunk lost) rather than a generic decode
+// failure (campaign abort).
+func TestReadFramesTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	whole := Range{0, 3}
+	partial, _ := json.Marshal(sumPartial{Sum: 3})
+	if err := WriteFrame(&buf, Frame{Campaign: "toy", Shards: 1, Range: whole, Partial: partial}); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"v":1,"campaign":"toy","ran`) // no trailing newline
+
+	var got []Frame
+	err := ReadFrames(&buf, func(f Frame) error { got = append(got, f); return nil })
+	if !errors.Is(err, ErrTruncatedTail) {
+		t.Fatalf("err = %v, want ErrTruncatedTail", err)
+	}
+	if len(got) != 1 || got[0].Range != whole {
+		t.Fatalf("frames before the torn tail = %+v, want the one complete frame", got)
+	}
+
+	// A complete final frame merely missing its newline is still a frame.
+	buf.Reset()
+	if err := WriteFrame(&buf, Frame{Campaign: "toy", Shards: 1, Range: whole, Partial: partial}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Truncate(buf.Len() - 1)
+	got = nil
+	if err := ReadFrames(&buf, func(f Frame) error { got = append(got, f); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("newline-less complete frame dropped: %+v", got)
 	}
 }
 

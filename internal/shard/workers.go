@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -18,21 +19,67 @@ type WorkerStats struct {
 	TotalCPU float64
 }
 
+// accountUsage folds one exited process's rusage into the stats.
+func (s *WorkerStats) accountUsage(ps *os.ProcessState) {
+	if ps == nil {
+		return
+	}
+	if ru, ok := ps.SysUsage().(*syscall.Rusage); ok {
+		// Linux reports ru_maxrss in kilobytes.
+		if rss := int64(ru.Maxrss) * 1024; rss > s.PeakRSSBytes {
+			s.PeakRSSBytes = rss
+		}
+	}
+	s.TotalCPU += ps.UserTime().Seconds() + ps.SystemTime().Seconds()
+}
+
+// exitDescription renders a worker's exit status for error context: the
+// exit code, or the signal that killed it.
+func exitDescription(ps *os.ProcessState) string {
+	if ps == nil {
+		return "no exit status"
+	}
+	if ws, ok := ps.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
+		return fmt.Sprintf("killed by signal %s", ws.Signal())
+	}
+	return fmt.Sprintf("exit code %d", ps.ExitCode())
+}
+
+// describeRange renders the last frame range a worker delivered, for
+// pinning which part of the job space a failure interrupted.
+func describeRange(r Range, any bool) string {
+	if !any {
+		return "no frames received"
+	}
+	return fmt.Sprintf("last frame range %v", r)
+}
+
 // RunWorkers spawns one worker process per argv(i) for i in [0, k),
 // streams every frame the workers write on stdout to onFrame (calls are
 // serialized; arrival order across workers is arbitrary, which is safe
 // because partial-aggregate merges are order-insensitive), and waits for
 // all of them. Worker stderr passes through to the coordinator's stderr.
-// The first failure kills the remaining workers.
+// The first failure kills the remaining workers; its error names the
+// failing shard, its exit code or fatal signal, and the last frame range
+// it delivered, so the lost slice of the job space is attributable. A
+// truncated trailing line on a dying worker's stdout is not itself fatal
+// — the worker's exit status carries the real cause, and the chunk the
+// partial line would have covered surfaces as a coverage gap.
+//
+// RunWorkers is the fail-fast fan-out (one static shard per worker). For
+// campaigns that must survive worker failure, use Supervise, which
+// re-dispatches chunk-granular work to respawned workers.
 func RunWorkers(k int, argv func(i int) []string, onFrame func(Frame) error) (WorkerStats, error) {
 	if k < 1 {
 		return WorkerStats{}, fmt.Errorf("shard: worker count %d must be >= 1", k)
 	}
 	var (
-		mu       sync.Mutex // guards onFrame, firstErr, and kill fan-out
-		firstErr error
-		cmds     = make([]*exec.Cmd, k)
-		wg       sync.WaitGroup
+		mu        sync.Mutex // guards onFrame, firstErr, lastRange, and kill fan-out
+		firstErr  error
+		cmds      = make([]*exec.Cmd, k)
+		lastRange = make([]Range, k)
+		gotFrame  = make([]bool, k)
+		wg        sync.WaitGroup
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -70,13 +117,22 @@ func RunWorkers(k int, argv func(i int) []string, onFrame func(Frame) error) (Wo
 			err := ReadFrames(out, func(f Frame) error {
 				mu.Lock()
 				defer mu.Unlock()
+				lastRange[i], gotFrame[i] = f.Range, true
 				if firstErr != nil {
 					return firstErr
 				}
 				return onFrame(f)
 			})
+			if errors.Is(err, ErrTruncatedTail) {
+				// The worker died mid-frame; Wait reports the death with
+				// its exit status. The half-written chunk is simply lost.
+				return
+			}
 			if err != nil {
-				fail(fmt.Errorf("shard: worker %d: %w", i, err))
+				mu.Lock()
+				ctx := describeRange(lastRange[i], gotFrame[i])
+				mu.Unlock()
+				fail(fmt.Errorf("shard: worker %d: %s: %w", i, ctx, err))
 			}
 		}(i)
 	}
@@ -90,19 +146,13 @@ func RunWorkers(k int, argv func(i int) []string, onFrame func(Frame) error) (Wo
 		err := cmd.Wait()
 		mu.Lock()
 		aborted := firstErr != nil
+		ctx := describeRange(lastRange[i], gotFrame[i])
 		mu.Unlock()
 		if err != nil && !aborted {
-			fail(fmt.Errorf("shard: worker %d: %w", i, err))
+			fail(fmt.Errorf("shard: worker %d: %s; %s: %w",
+				i, exitDescription(cmd.ProcessState), ctx, err))
 		}
-		if ps := cmd.ProcessState; ps != nil {
-			if ru, ok := ps.SysUsage().(*syscall.Rusage); ok {
-				// Linux reports ru_maxrss in kilobytes.
-				if rss := int64(ru.Maxrss) * 1024; rss > stats.PeakRSSBytes {
-					stats.PeakRSSBytes = rss
-				}
-			}
-			stats.TotalCPU += ps.UserTime().Seconds() + ps.SystemTime().Seconds()
-		}
+		stats.accountUsage(cmd.ProcessState)
 	}
 	mu.Lock()
 	err := firstErr

@@ -16,6 +16,10 @@
 #       trials/sec, peak worker RSS and total worker CPU land in a
 #       "shard_scaling" array in the JSON
 #   -x  extra labrunner flags for the -s runs (e.g. "-seeds 8")
+#   -j  also measure journaling overhead of this campaign: the supervised
+#       coordinator run twice (with and without -journal, best wall of 5
+#       each), reported as a "journal_overhead" object in the JSON — the
+#       fault-tolerance budget is <5% over the plain run
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,7 +30,8 @@ benchtime=100ms
 out=""
 shardexp=""
 shardextra=""
-while getopts "p:n:t:o:s:x:" opt; do
+journalexp=""
+while getopts "p:n:t:o:s:x:j:" opt; do
 	case $opt in
 	p) pattern=$OPTARG ;;
 	n) count=$OPTARG ;;
@@ -34,13 +39,15 @@ while getopts "p:n:t:o:s:x:" opt; do
 	o) out=$OPTARG ;;
 	s) shardexp=$OPTARG ;;
 	x) shardextra=$OPTARG ;;
+	j) journalexp=$OPTARG ;;
 	*) exit 2 ;;
 	esac
 done
 
 tmp=$(mktemp)
 shardtmp=$(mktemp)
-trap 'rm -f "$tmp" "$shardtmp" "$tmp.labrunner"' EXIT
+journaltmp=$(mktemp)
+trap 'rm -f "$tmp" "$shardtmp" "$journaltmp" "$tmp.labrunner" "$tmp.journal"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem -count "$count" \
 	-benchtime "$benchtime" ./... | tee "$tmp"
@@ -64,9 +71,45 @@ if [ -n "$shardexp" ]; then
 	done
 fi
 
+# Journaling-overhead probe: the supervised coordinator with -journal
+# fsyncs every accepted frame before dispatch continues, so the price of
+# crash-recoverability is pure I/O on the coordinator. Best wall of 5
+# per arm smooths 1-core scheduler noise; an unrecorded warmup run plus
+# alternating the arm order per rep keeps cold caches and ambient load
+# drifts from biasing either arm. Wall time is parsed from the
+# coordinator summary line.
+if [ -n "$journalexp" ]; then
+	[ -x "$tmp.labrunner" ] || go build -o "$tmp.labrunner" ./cmd/labrunner
+	echo "==> labrunner -exp $journalexp -quick -shards 2 (warmup)" >&2
+	# shellcheck disable=SC2086 — shardextra is intentionally re-split
+	"$tmp.labrunner" -exp "$journalexp" -quick -shards 2 $shardextra >/dev/null
+	rep=1
+	while [ "$rep" -le 5 ]; do
+		if [ $((rep % 2)) -eq 1 ]; then
+			order="plain journal"
+		else
+			order="journal plain"
+		fi
+		for mode in $order; do
+			rm -f "$tmp.journal"
+			if [ "$mode" = journal ]; then
+				set -- -journal "$tmp.journal"
+			else
+				set --
+			fi
+			echo "==> labrunner -exp $journalexp -quick -shards 2 ($mode, rep $rep)" >&2
+			# shellcheck disable=SC2086 — shardextra is intentionally re-split
+			"$tmp.labrunner" -exp "$journalexp" -quick -shards 2 $shardextra "$@" |
+				sed -nE "s|^\(([0-9]+) shards: ([0-9]+) jobs, ([0-9]+) trials in ([0-9.]+)s = .*\$|$mode \4|p" >>"$journaltmp"
+		done
+		rep=$((rep + 1))
+	done
+fi
+
 awk -v goversion="$(go version | awk '{print $3}')" \
 	-v count="$count" -v benchtime="$benchtime" \
-	-v shardfile="$shardtmp" -v shardexp="$shardexp" '
+	-v shardfile="$shardtmp" -v shardexp="$shardexp" \
+	-v journalfile="$journaltmp" -v journalexp="$journalexp" '
 /^Benchmark/ {
 	name = $1; iters = $2
 	metrics = ""
@@ -91,6 +134,19 @@ END {
 		for (i = 0; i < nshard; i++)
 			printf "      %s%s\n", shardrows[i], (i < nshard - 1 ? "," : "")
 		printf "    ]\n  },\n"
+	}
+	while ((getline line < journalfile) > 0) {
+		split(line, f, " ")
+		if (!(f[1] in best) || f[2] + 0 < best[f[1]] + 0) best[f[1]] = f[2]
+		sawjournal = 1
+	}
+	if (sawjournal) {
+		printf "  \"journal_overhead\": {\n"
+		printf "    \"campaign\": \"%s\",\n", journalexp
+		printf "    \"plain_wall_s\": %s,\n", best["plain"]
+		printf "    \"journal_wall_s\": %s,\n", best["journal"]
+		printf "    \"overhead_pct\": %.1f\n", (best["journal"] - best["plain"]) / best["plain"] * 100
+		printf "  },\n"
 	}
 	printf "  \"benchmarks\": [\n"
 	for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i < n - 1 ? "," : "")

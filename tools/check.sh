@@ -66,6 +66,50 @@ diff "$sharddir/merged.txt" "$sharddir/inproc.txt" || {
 	exit 1
 }
 
+# Chaos + resume smoke: the supervised coordinator must absorb seeded
+# worker failures of every kind (a crash, a mid-frame death, stdout
+# garbage, a hang caught by -deadline) plus a coordinator halt
+# (-dieafter, the deterministic stand-in for a kill) and a -resume from
+# the journal — and still render the quick fault campaign byte-identical
+# to the in-process run. Chaos seed 16 over the 6-chunk grid schedules
+# truncate/garbage/stall/crash on first attempts; retries are spared.
+stage="chaos-resume smoke"
+echo "==> labrunner chaos-resume smoke (supervised faultcampaign, seeded chaos + journal resume)"
+chaos="seed=16,crash=0.25,trunc=0.15,garbage=0.2,stall=0.15"
+if "$sharddir/labrunner" -exp faultcampaign -quick -seeds 6 -chunk 1 -shards 2 \
+	-chaos "$chaos" -deadline 8s \
+	-journal "$sharddir/campaign.journal" -dieafter 2 \
+	>/dev/null 2>"$sharddir/chaos1.log"; then
+	echo "-dieafter coordinator halt exited 0; expected a reported halt" >&2
+	exit 1
+fi
+grep -q "halted by -dieafter" "$sharddir/chaos1.log" || {
+	echo "-dieafter run failed for the wrong reason:" >&2
+	cat "$sharddir/chaos1.log" >&2
+	exit 1
+}
+"$sharddir/labrunner" -exp faultcampaign -quick -seeds 6 -chunk 1 -shards 2 \
+	-chaos "$chaos" -deadline 8s \
+	-journal "$sharddir/campaign.journal" -resume \
+	2>"$sharddir/chaos2.log" |
+	sed -e '/^([0-9]* shards:/d' >"$sharddir/chaos.txt"
+grep -q "resuming" "$sharddir/chaos2.log" || {
+	echo "resume run did not report journal coverage" >&2
+	exit 1
+}
+for kind in "crashing" "dying mid-frame" "poisoning stdout" "stalling"; do
+	grep -q "chaos: $kind" "$sharddir/chaos1.log" "$sharddir/chaos2.log" || {
+		echo "chaos plan never enacted: $kind" >&2
+		exit 1
+	}
+done
+"$sharddir/labrunner" -exp faultcampaign -quick -seeds 6 |
+	sed -e '/^====/d' -e '/took .*s)$/d' -e '/^$/d' >"$sharddir/inproc6.txt"
+diff "$sharddir/chaos.txt" "$sharddir/inproc6.txt" || {
+	echo "chaos+resume faultcampaign output diverged from the in-process run" >&2
+	exit 1
+}
+
 # Allocation-regression guard: steady-state batch stepping must stay at
 # 0 allocs/op (TestBatchStepperAllocs pins it via testing.AllocsPerRun),
 # and the benchmark itself must report 0 under -benchmem.
