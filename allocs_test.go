@@ -10,6 +10,7 @@ import (
 	"ravenguard/internal/core"
 	"ravenguard/internal/dynamics"
 	"ravenguard/internal/experiment"
+	"ravenguard/internal/fleet"
 	"ravenguard/internal/interpose"
 	"ravenguard/internal/kinematics"
 	"ravenguard/internal/malware"
@@ -137,6 +138,47 @@ func TestFullSimStepDoesNotAllocate(t *testing.T) {
 	}
 	assertZeroAllocs(t, "System.Step", func() {
 		if _, err := sys.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestFleetTickDoesNotAllocate pins the multi-tenant extension of the same
+// property: a fleet worker's steady-state tick — control halves for every
+// resident session, lane reconcile, one fused batch integration, digest
+// folds, latency record — runs without touching the heap. (Admission and
+// retirement may allocate; ticks in between must not.)
+func TestFleetTickDoesNotAllocate(t *testing.T) {
+	w, err := fleet.NewWorker(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Endless sessions (no retirement inside the measured window), mixed:
+	// clean unguarded, clean guarded, attacked + mitigating guard.
+	specs := []fleet.Spec{
+		{Seed: 1, TeleopSeconds: 1e9},
+		{Seed: 2, TeleopSeconds: 1e9, Guard: "monitor"},
+		{Seed: 3, TeleopSeconds: 1e9, Guard: "mitigate",
+			Attack: "B", AttackValue: 20000, AttackDelay: 150, AttackDuration: 64},
+	}
+	for _, sp := range specs {
+		s, err := sp.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Admit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm past state-machine transitions, the attack window, the
+	// mitigation E-STOP (which parks a lane), and lazy first-use setup.
+	for i := 0; i < 5000; i++ {
+		if err := w.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertZeroAllocs(t, "fleet.Worker.Tick", func() {
+		if err := w.Tick(); err != nil {
 			t.Fatal(err)
 		}
 	})

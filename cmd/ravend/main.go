@@ -1,149 +1,148 @@
-// Command ravend runs one simulated teleoperated-surgery session on the
+// Command ravend runs simulated teleoperated-surgery sessions on the
 // RAVEN II stack: console emulator, 1 kHz control software, USB boards,
 // PLC, and physical plant — optionally under attack and optionally
 // protected by the dynamic model-based guard.
 //
-// Examples:
+// Single-session examples:
 //
 //	ravend -teleop 10
 //	ravend -attack B -value 20000 -duration 128 -guard monitor
 //	ravend -attack A -magnitude 0.0004 -duration 64 -guard mitigate
+//
+// Fleet mode runs N concurrent sessions in one process (the multi-tenant
+// guard service), sharded across workers, and reports the sessions/core
+// SLO:
+//
+//	ravend -fleet 512 -workers 1 -mix none:off,B:mitigate -teleop 1
+//	ravend -fleet 64 -mix A:holdsafe -stagger 200 -fleetout report.json
+//
+// Every fleet session line carries a verdict/trajectory digest; running
+// the same seed/attack/guard flags single-session with -digest prints an
+// identical value (tools/check.sh diffs them).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"ravenguard"
+	"ravenguard/internal/fleet"
 	"ravenguard/internal/mathx"
 	"ravenguard/internal/record"
 	"ravenguard/internal/viz"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ravend:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		seed      = flag.Int64("seed", 1, "simulation seed (runs are reproducible)")
-		teleop    = flag.Float64("teleop", 10, "pedal-down teleoperation time, seconds")
-		trajIdx   = flag.Int("traj", 0, "trajectory index (0 = circle, 1 = lissajous)")
-		attack    = flag.String("attack", "none", "attack scenario: none | A | B")
-		value     = flag.Int("value", 16000, "scenario B: injected DAC error value")
-		magnitude = flag.Float64("magnitude", 2e-4, "scenario A: injected tip motion per cycle, meters")
-		duration  = flag.Int("duration", 64, "attack activation period, control cycles (= ms)")
-		delay     = flag.Int("delay", 1000, "pedal-down cycles before the attack activates")
-		guardMode = flag.String("guard", "off", "dynamic-model guard: off | monitor | mitigate | holdsafe")
-		verbose   = flag.Bool("v", false, "print per-second telemetry")
-		recordTo  = flag.String("record", "", "record the session to this JSONL file")
-		svgTo     = flag.String("svg", "", "render the tip path to this SVG file")
-		replayOf  = flag.String("replay", "", "replay a recorded session (JSONL) instead of the built-in script/trajectory")
-		thFile    = flag.String("thresholds", "", "load guard thresholds from this JSON file (default: built-in learned values)")
-	)
-	flag.Parse()
+// options are the parsed command-line flags. run is the testable entry
+// point: cmd tests drive it with argument vectors and capture out.
+type options struct {
+	seed      int64
+	teleop    float64
+	trajIdx   int
+	attack    string
+	value     int
+	magnitude float64
+	duration  int
+	delay     int
+	guardMode string
+	verbose   bool
+	recordTo  string
+	svgTo     string
+	replayOf  string
+	thFile    string
+	digest    bool
 
-	cfg := ravenguard.SystemConfig{
-		Seed:   *seed,
-		Script: ravenguard.StandardScript(*teleop),
-		Traj:   ravenguard.StandardTrajectories()[*trajIdx%2],
-	}
-	if *replayOf != "" {
-		rec, err := record.Load(*replayOf)
-		if err != nil {
-			return err
-		}
-		script, err := rec.Script()
-		if err != nil {
-			return err
-		}
-		replay, err := rec.Trajectory()
-		if err != nil {
-			return err
-		}
-		cfg.Script = script
-		cfg.Traj = replay
-		fmt.Printf("replaying %s: %d ticks, %.1f s of motion\n", *replayOf, len(rec.Ticks), replay.Duration())
-	}
+	fleetN   int
+	workers  int
+	mix      string
+	stagger  int
+	fleetOut string
+}
 
-	var guard *ravenguard.Guard
-	if *guardMode != "off" {
-		mode := ravenguard.ModeMonitor
-		switch *guardMode {
-		case "mitigate":
-			mode = ravenguard.ModeMitigate
-		case "holdsafe":
-			mode = ravenguard.ModeHoldSafe
-		}
-		th := ravenguard.DefaultThresholds()
-		if *thFile != "" {
-			loaded, err := ravenguard.LoadThresholds(*thFile)
-			if err != nil {
-				return err
-			}
-			th = loaded
-		}
-		g, err := ravenguard.NewGuard(ravenguard.GuardConfig{
-			Thresholds: th,
-			Mode:       mode,
-		})
-		if err != nil {
-			return err
-		}
-		guard = g
-		cfg.Guards = []ravenguard.Hook{g}
+func run(args []string, out io.Writer) error {
+	var o options
+	fs := flag.NewFlagSet("ravend", flag.ContinueOnError)
+	fs.SetOutput(out)
+	fs.Int64Var(&o.seed, "seed", 1, "simulation seed (runs are reproducible)")
+	fs.Float64Var(&o.teleop, "teleop", 10, "pedal-down teleoperation time, seconds")
+	fs.IntVar(&o.trajIdx, "traj", 0, "trajectory index (0 = circle, 1 = lissajous)")
+	fs.StringVar(&o.attack, "attack", "none", "attack scenario: none | A | B")
+	fs.IntVar(&o.value, "value", 16000, "scenario B: injected DAC error value")
+	fs.Float64Var(&o.magnitude, "magnitude", 2e-4, "scenario A: injected tip motion per cycle, meters")
+	fs.IntVar(&o.duration, "duration", 64, "attack activation period, control cycles (= ms)")
+	fs.IntVar(&o.delay, "delay", 1000, "pedal-down cycles before the attack activates")
+	fs.StringVar(&o.guardMode, "guard", "off", "dynamic-model guard: off | monitor | mitigate | holdsafe")
+	fs.BoolVar(&o.verbose, "v", false, "print per-second telemetry")
+	fs.StringVar(&o.recordTo, "record", "", "record the session to this JSONL file")
+	fs.StringVar(&o.svgTo, "svg", "", "render the tip path to this SVG file")
+	fs.StringVar(&o.replayOf, "replay", "", "replay a recorded session (JSONL) instead of the built-in script/trajectory")
+	fs.StringVar(&o.thFile, "thresholds", "", "load guard thresholds from this JSON file (default: built-in learned values)")
+	fs.BoolVar(&o.digest, "digest", false, "print the session's verdict/trajectory digest")
+	fs.IntVar(&o.fleetN, "fleet", 0, "run N concurrent sessions as a fleet (0 = single session)")
+	fs.IntVar(&o.workers, "workers", 1, "fleet: worker shards (one lockstep lane set each)")
+	fs.StringVar(&o.mix, "mix", "none:off", "fleet: comma-separated attack:guard pairs cycled across sessions")
+	fs.IntVar(&o.stagger, "stagger", 0, "fleet: ticks between successive session admissions")
+	fs.StringVar(&o.fleetOut, "fleetout", "", "fleet: write the SLO report JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-
-	var injected func() int
-	switch *attack {
-	case "none":
-	case "A":
-		att, err := ravenguard.NewScenarioA(ravenguard.ScenarioAParams{
-			Magnitude:       *magnitude,
-			StartAfterTicks: *delay,
-			ActivationTicks: *duration,
-		})
-		if err != nil {
-			return err
-		}
-		cfg.OnInput = att.Hook()
-		injected = att.Injected
-		fmt.Printf("attack scenario A: %.2f mm/cycle for %d cycles after %d pedal-down cycles\n",
-			*magnitude*1e3, *duration, *delay)
-	case "B":
-		inj, err := ravenguard.NewScenarioB(ravenguard.ScenarioBParams{
-			Value:           int16(*value),
-			Channel:         0,
-			StartDelayTicks: *delay,
-			ActivationTicks: *duration,
-		})
-		if err != nil {
-			return err
-		}
-		cfg.Preload = []ravenguard.Wrapper{inj}
-		injected = inj.Injected
-		fmt.Printf("attack scenario B: DAC offset %d for %d cycles after %d pedal-down cycles\n",
-			*value, *duration, *delay)
-	default:
-		return fmt.Errorf("unknown -attack %q (want none, A or B)", *attack)
+	if o.fleetN > 0 {
+		return runFleet(o, out)
 	}
+	return runSingle(o, out)
+}
 
-	sys, err := ravenguard.NewSystem(cfg)
+// spec translates the session flags into a fleet.Spec — the one shared
+// assembly path, so a fleet session and the equivalent single-session run
+// are built identically and their digests comparable.
+func (o options) spec(seed int64, attack, guard string, startTick int) (fleet.Spec, error) {
+	sp := fleet.Spec{
+		Seed:            seed,
+		TeleopSeconds:   o.teleop,
+		TrajIdx:         o.trajIdx,
+		Attack:          attack,
+		AttackValue:     int16(o.value),
+		AttackMagnitude: o.magnitude,
+		AttackDuration:  o.duration,
+		AttackDelay:     o.delay,
+		Guard:           guard,
+		StartTick:       startTick,
+	}
+	if o.thFile != "" && guard != "off" {
+		th, err := ravenguard.LoadThresholds(o.thFile)
+		if err != nil {
+			return fleet.Spec{}, err
+		}
+		sp.Thresholds = th
+	}
+	return sp, nil
+}
+
+func runSingle(o options, out io.Writer) error {
+	sess, err := buildSingle(o, out)
 	if err != nil {
 		return err
 	}
+	sys := sess.Rig()
+	guard := sess.Guard()
+	sys.Observe(sess.Note)
 
 	var recorder *record.Recorder
-	if *recordTo != "" {
-		recorder = record.NewRecorder(fmt.Sprintf("ravend seed=%d attack=%s", *seed, *attack))
+	if o.recordTo != "" {
+		recorder = record.NewRecorder(fmt.Sprintf("ravend seed=%d attack=%s", o.seed, o.attack))
 		sys.Observe(recorder.Observe())
 	}
 	var tipTrace []mathx.Vec3
-	if *svgTo != "" {
+	if o.svgTo != "" {
 		sys.Observe(func(si ravenguard.StepInfo) { tipTrace = append(tipTrace, si.TipTrue) })
 	}
 
@@ -151,15 +150,15 @@ func run() error {
 	lastPrint := 0.0
 	sys.Observe(func(si ravenguard.StepInfo) {
 		if si.Ctrl.State != lastState {
-			fmt.Printf("t=%7.3fs  state -> %s\n", si.T, si.Ctrl.State)
+			fmt.Fprintf(out, "t=%7.3fs  state -> %s\n", si.T, si.Ctrl.State)
 			lastState = si.Ctrl.State
 		}
 		if si.Ctrl.Unsafe {
-			fmt.Printf("t=%7.3fs  RAVEN safety check: %s\n", si.T, si.Ctrl.UnsafeWhy)
+			fmt.Fprintf(out, "t=%7.3fs  RAVEN safety check: %s\n", si.T, si.Ctrl.UnsafeWhy)
 		}
-		if *verbose && si.T-lastPrint >= 1 {
+		if o.verbose && si.T-lastPrint >= 1 {
 			lastPrint = si.T
-			fmt.Printf("t=%7.3fs  tip=(%+.4f %+.4f %+.4f) m  DAC=[%6d %6d %6d]\n",
+			fmt.Fprintf(out, "t=%7.3fs  tip=(%+.4f %+.4f %+.4f) m  DAC=[%6d %6d %6d]\n",
 				si.T, si.TipTrue.X, si.TipTrue.Y, si.TipTrue.Z,
 				si.Ctrl.DAC[0], si.Ctrl.DAC[1], si.Ctrl.DAC[2])
 		}
@@ -169,39 +168,42 @@ func run() error {
 		return err
 	}
 
-	fmt.Println("--- session summary ---")
-	fmt.Printf("final state:        %s\n", sys.Controller().State())
-	fmt.Printf("PLC E-STOP:         %v", sys.PLC().EStopped())
+	fmt.Fprintln(out, "--- session summary ---")
+	fmt.Fprintf(out, "final state:        %s\n", sys.Controller().State())
+	fmt.Fprintf(out, "PLC E-STOP:         %v", sys.PLC().EStopped())
 	if cause := sys.PLC().EStopCause(); cause != "" {
-		fmt.Printf("  (%s)", cause)
+		fmt.Fprintf(out, "  (%s)", cause)
 	}
-	fmt.Println()
-	fmt.Printf("RAVEN safety trips: %d\n", sys.Controller().SafetyTrips())
-	if injected != nil {
-		fmt.Printf("frames corrupted:   %d\n", injected())
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "RAVEN safety trips: %d\n", sys.Controller().SafetyTrips())
+	if o.attack != "none" {
+		fmt.Fprintf(out, "frames corrupted:   %d\n", sess.Injected())
 	}
 	if guard != nil {
-		fmt.Printf("guard alarms:       %d (mitigated %d frames)\n", guard.Alarms(), guard.Mitigated())
+		fmt.Fprintf(out, "guard alarms:       %d (mitigated %d frames)\n", guard.Alarms(), guard.Mitigated())
 		st := guard.StepTime()
-		fmt.Printf("guard model step:   mean %.4f ms over %d steps\n", st.Mean/1e6, st.N)
+		fmt.Fprintf(out, "guard model step:   mean %.4f ms over %d steps\n", st.Mean/1e6, st.N)
 	}
 	if broken, which := sys.Plant().CableBroken(); broken {
-		fmt.Printf("CABLE BROKEN:       %v\n", which)
+		fmt.Fprintf(out, "CABLE BROKEN:       %v\n", which)
+	}
+	if o.digest {
+		fmt.Fprintf(out, "digest=%016x ticks=%d\n", sess.Sum(), sess.Ticks())
 	}
 
 	if recorder != nil {
-		if err := recorder.Recording().Save(*recordTo); err != nil {
+		if err := recorder.Recording().Save(o.recordTo); err != nil {
 			return err
 		}
-		fmt.Printf("recorded %d ticks to %s\n", len(recorder.Recording().Ticks), *recordTo)
+		fmt.Fprintf(out, "recorded %d ticks to %s\n", len(recorder.Recording().Ticks), o.recordTo)
 	}
-	if *svgTo != "" {
-		f, err := os.Create(*svgTo)
+	if o.svgTo != "" {
+		f, err := os.Create(o.svgTo)
 		if err != nil {
 			return err
 		}
 		err = viz.WritePathSVG(f, viz.PathPlotConfig{
-			Title: fmt.Sprintf("ravend tip path (seed %d, attack %s, guard %s)", *seed, *attack, *guardMode),
+			Title: fmt.Sprintf("ravend tip path (seed %d, attack %s, guard %s)", o.seed, o.attack, o.guardMode),
 		}, viz.Series{Name: "tip", Points: tipTrace})
 		if cerr := f.Close(); err == nil {
 			err = cerr
@@ -209,7 +211,131 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("rendered tip path to %s\n", *svgTo)
+		fmt.Fprintf(out, "rendered tip path to %s\n", o.svgTo)
 	}
 	return nil
+}
+
+// buildSingle assembles the one-session run: through fleet.Spec normally,
+// or with the recorded script/trajectory when replaying.
+func buildSingle(o options, out io.Writer) (*fleet.Session, error) {
+	sp, err := o.spec(o.seed, o.attack, o.guardMode, 0)
+	if err != nil {
+		return nil, err
+	}
+	switch o.attack {
+	case "A":
+		fmt.Fprintf(out, "attack scenario A: %.2f mm/cycle for %d cycles after %d pedal-down cycles\n",
+			o.magnitude*1e3, o.duration, o.delay)
+	case "B":
+		fmt.Fprintf(out, "attack scenario B: DAC offset %d for %d cycles after %d pedal-down cycles\n",
+			o.value, o.duration, o.delay)
+	}
+	if o.replayOf == "" {
+		return sp.Build()
+	}
+
+	rec, err := record.Load(o.replayOf)
+	if err != nil {
+		return nil, err
+	}
+	script, err := rec.Script()
+	if err != nil {
+		return nil, err
+	}
+	replay, err := rec.Trajectory()
+	if err != nil {
+		return nil, err
+	}
+	sess, err := sp.BuildWith(script, replay)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "replaying %s: %d ticks, %.1f s of motion\n", o.replayOf, len(rec.Ticks), replay.Duration())
+	return sess, nil
+}
+
+func runFleet(o options, out io.Writer) error {
+	if o.replayOf != "" || o.recordTo != "" || o.svgTo != "" {
+		return fmt.Errorf("-fleet does not combine with -replay/-record/-svg (run those single-session)")
+	}
+	mix, err := parseMix(o.mix)
+	if err != nil {
+		return err
+	}
+	specs := make([]fleet.Spec, o.fleetN)
+	for i := range specs {
+		m := mix[i%len(mix)]
+		sp, err := o.spec(o.seed+int64(i), m.attack, m.guard, o.stagger*i)
+		if err != nil {
+			return err
+		}
+		specs[i] = sp
+	}
+	eng, err := fleet.New(fleet.Config{Specs: specs, Workers: o.workers})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fleet: %d sessions, %d workers, mix %s\n", o.fleetN, o.workers, o.mix)
+	rep, err := eng.Run()
+	if err != nil {
+		return err
+	}
+	for i, s := range eng.Sessions() {
+		estop := ""
+		if s.Rig().PLC().EStopped() {
+			estop = " estop"
+		}
+		alarms := 0
+		if g := s.Guard(); g != nil {
+			alarms = g.Alarms()
+		}
+		fmt.Fprintf(out, "session %d seed=%d attack=%s guard=%s start=%d ticks=%d alarms=%d digest=%016x%s\n",
+			i, s.Spec.Seed, orNone(s.Spec.Attack), orOff(s.Spec.Guard), s.Spec.StartTick,
+			s.Ticks(), alarms, s.Sum(), estop)
+	}
+	fmt.Fprintln(out, "--- fleet report ---")
+	fmt.Fprintf(out, "session ticks:      %d in %.2f s wall (%.0f ticks/s)\n", rep.SessionTicks, rep.WallSeconds, rep.TicksPerSecond)
+	fmt.Fprintf(out, "sessions/core:      %.1f sustained 1 kHz sessions\n", rep.SessionsPerCore)
+	fmt.Fprintf(out, "worker tick:        p50 %.4f ms  p99 %.4f ms  max %.4f ms (budget %.1f ms, %d over)\n",
+		rep.TickP50Ms, rep.TickP99Ms, rep.TickMaxMs, rep.TickBudgetMs, rep.TicksOverBudget)
+	fmt.Fprintf(out, "peak RSS:           %.1f MB\n", float64(rep.PeakRSSBytes)/(1<<20))
+	fmt.Fprintf(out, "outcomes:           alarms=%d mitigated=%d estops=%d\n", rep.Alarms, rep.Mitigated, rep.EStops)
+	if o.fleetOut != "" {
+		if err := writeFleetReport(o.fleetOut, o, rep, eng.Sessions()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "report written to %s\n", o.fleetOut)
+	}
+	return nil
+}
+
+type mixEntry struct{ attack, guard string }
+
+// parseMix splits "A:mitigate,B:holdsafe,none:off" into entries; sessions
+// cycle through them in order.
+func parseMix(s string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		a, g, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok || a == "" || g == "" {
+			return nil, fmt.Errorf("bad -mix entry %q (want attack:guard, e.g. B:mitigate)", part)
+		}
+		mix = append(mix, mixEntry{attack: a, guard: g})
+	}
+	return mix, nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+func orOff(s string) string {
+	if s == "" {
+		return "off"
+	}
+	return s
 }

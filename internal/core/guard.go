@@ -298,6 +298,28 @@ func (g *Guard) Alarms() int { return g.alarms }
 // Mitigated returns how many frames were neutralised.
 func (g *Guard) Mitigated() int { return g.mitigated }
 
+// Verdict is a compact snapshot of the guard's cumulative decisions, cheap
+// to sample every control period (the fleet engine folds one per tick into
+// its session digests).
+type Verdict struct {
+	Alarms     int
+	Mitigated  int
+	HeldFrames int
+	FbSuspect  bool
+}
+
+// Verdict returns the current decision snapshot.
+//
+//ravenlint:noalloc
+func (g *Guard) Verdict() Verdict {
+	return Verdict{
+		Alarms:     g.alarms,
+		Mitigated:  g.mitigated,
+		HeldFrames: g.lastSafeHold,
+		FbSuspect:  g.fbSuspect,
+	}
+}
+
 // LastEstimates returns the most recent cycle's model estimates.
 func (g *Guard) LastEstimates() Sample { return g.lastEst }
 

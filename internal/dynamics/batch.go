@@ -164,6 +164,67 @@ func (b *BatchStepper) LaneX(lane int, x *[StateDim]float64) {
 	}
 }
 
+// SwapLanes exchanges the complete per-lane data — joint constants and
+// anchors, held torques, state vector — of lanes a and b. Lanes are
+// independent, so a swap only relabels which index a plant occupies: every
+// lane's subsequent arithmetic is unchanged. The fleet engine uses swaps to
+// keep the active (unbraked) lanes a dense prefix window so the stage
+// kernels never straddle parked lanes.
+//
+//ravenlint:noalloc
+func (b *BatchStepper) SwapLanes(la, lb int) {
+	if la == lb {
+		return
+	}
+	for j := 0; j < kinematics.NumJoints; j++ {
+		b.joints[j][la], b.joints[j][lb] = b.joints[j][lb], b.joints[j][la]
+		b.tau[j][la], b.tau[j][lb] = b.tau[j][lb], b.tau[j][la]
+	}
+	for c := 0; c < StateDim; c++ {
+		b.x[c][la], b.x[c][lb] = b.x[c][lb], b.x[c][la]
+	}
+}
+
+// CopyLane overwrites lane dst's per-lane data with src's. The source lane
+// is left intact; callers compacting a retired lane typically copy the last
+// active lane down and then shrink the active count.
+//
+//ravenlint:noalloc
+func (b *BatchStepper) CopyLane(dst, src int) {
+	if dst == src {
+		return
+	}
+	for j := 0; j < kinematics.NumJoints; j++ {
+		b.joints[j][dst] = b.joints[j][src]
+		b.tau[j][dst] = b.tau[j][src]
+	}
+	for c := 0; c < StateDim; c++ {
+		b.x[c][dst] = b.x[c][src]
+	}
+}
+
+// RemoveLane retires lane from the active set: the last active lane is
+// copied into its slot and the active count shrinks by one. It returns the
+// index of the lane that moved into the slot (the previous last lane), or
+// -1 when the removed lane was itself the last — callers maintaining a
+// lane→session mapping apply exactly that one move. Surviving lanes'
+// trajectories are unaffected: each lane's arithmetic depends only on its
+// own data (pinned by batch_compact_test.go).
+//
+//ravenlint:noalloc
+func (b *BatchStepper) RemoveLane(lane int) int {
+	last := b.n - 1
+	if lane < 0 || lane > last {
+		return -1
+	}
+	b.n = last
+	if lane == last {
+		return -1
+	}
+	b.CopyLane(lane, last)
+	return last
+}
+
 // Component returns the shared slice of one state component across lanes
 // (index by the flat state layout: 4*joint+{0:motor pos, 1:motor vel,
 // 2:link pos, 3:link vel}). Callers may mutate entries in place — the

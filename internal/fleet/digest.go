@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"math"
+
+	"ravenguard/internal/core"
+	"ravenguard/internal/sim"
+)
+
+// Digest is a running FNV-1a fold over everything a session observably
+// decided and did: per-tick guard verdicts (alarm/mitigation/hold-safe
+// counters, feedback suspicion) and the ground-truth tip trajectory, plus
+// the PLC E-STOP latch and cable state. Two sessions with equal digests
+// made the same guard decisions and traced the same tip path bit for bit —
+// the fleet engine's equivalence currency (fleet run vs standalone run,
+// any worker count).
+type Digest struct {
+	h uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// NewDigest returns an empty digest (the FNV-1a offset basis).
+func NewDigest() Digest { return Digest{h: fnvOffset64} }
+
+// Sum returns the current digest value.
+func (d Digest) Sum() uint64 { return d.h }
+
+// Note folds one step's observables and the guard's decision snapshot.
+//
+//ravenlint:noalloc
+func (d *Digest) Note(si sim.StepInfo, v core.Verdict) {
+	d.fold(math.Float64bits(si.TipTrue.X))
+	d.fold(math.Float64bits(si.TipTrue.Y))
+	d.fold(math.Float64bits(si.TipTrue.Z))
+	d.foldBool(si.PLCEStop)
+	d.foldBool(si.Broken)
+	d.fold(uint64(v.Alarms))
+	d.fold(uint64(v.Mitigated))
+	d.fold(uint64(v.HeldFrames))
+	d.foldBool(v.FbSuspect)
+}
+
+// fold mixes 8 bytes, little-endian, FNV-1a.
+//
+//ravenlint:noalloc
+func (d *Digest) fold(v uint64) {
+	h := d.h
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	d.h = h
+}
+
+//ravenlint:noalloc
+func (d *Digest) foldBool(b bool) {
+	if b {
+		d.fold(1)
+	} else {
+		d.fold(0)
+	}
+}

@@ -1,0 +1,232 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"syscall"
+
+	"ravenguard/internal/control"
+	"ravenguard/internal/sim"
+)
+
+// Config assembles an Engine.
+type Config struct {
+	// Specs are the sessions to run; Specs[i].StartTick schedules its
+	// admission. Session results keep this order.
+	Specs []Spec
+	// Workers is the shard count; sessions go to workers round-robin
+	// (i % Workers). 0 selects 1.
+	Workers int
+	// Clock times ticks and the wall-clock envelope (nil selects
+	// sim.WallClock; tests inject sim.TickClock-style fakes).
+	Clock sim.Clock
+}
+
+// Report is the fleet run's SLO summary.
+type Report struct {
+	Sessions int `json:"sessions"`
+	Workers  int `json:"workers"`
+	// SessionTicks is the total simulated control periods across sessions.
+	SessionTicks int64   `json:"session_ticks"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	// TicksPerSecond is SessionTicks / WallSeconds: how many 1 ms session
+	// ticks the process sustained per wall second.
+	TicksPerSecond float64 `json:"session_ticks_per_second"`
+	// SessionsPerCore is the SLO headline: how many concurrent 1 kHz
+	// sessions one core sustains in real time
+	// (TicksPerSecond / 1000 / Workers).
+	SessionsPerCore float64 `json:"sessions_per_core"`
+	// Worker-tick latency against the 1 ms budget: one tick advances every
+	// session resident on that worker by one control period.
+	WorkerTicks     int64   `json:"worker_ticks"`
+	TickP50Ms       float64 `json:"tick_p50_ms"`
+	TickP99Ms       float64 `json:"tick_p99_ms"`
+	TickMaxMs       float64 `json:"tick_max_ms"`
+	TickMeanMs      float64 `json:"tick_mean_ms"`
+	TickBudgetMs    float64 `json:"tick_budget_ms"`
+	TicksOverBudget int64   `json:"ticks_over_budget"`
+	PeakRSSBytes    int64   `json:"peak_rss_bytes"`
+	// Fleet-wide guard/safety outcomes.
+	Alarms    int `json:"alarms"`
+	Mitigated int `json:"mitigated"`
+	EStops    int `json:"estops"`
+}
+
+// Engine shards a fleet of session specs across workers and runs them to
+// completion.
+type Engine struct {
+	cfg      Config
+	sessions []*Session // by original spec index, populated during Run
+}
+
+// New validates the config and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("fleet: no sessions")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.WallClock
+	}
+	for i, sp := range cfg.Specs {
+		if sp.StartTick < 0 {
+			return nil, fmt.Errorf("fleet: spec %d: negative StartTick %d", i, sp.StartTick)
+		}
+	}
+	return &Engine{cfg: cfg, sessions: make([]*Session, len(cfg.Specs))}, nil
+}
+
+// Sessions returns the built sessions in spec order (entries are populated
+// during Run; read after Run returns).
+func (e *Engine) Sessions() []*Session { return e.sessions }
+
+// assignment is one spec plus its index into the engine's result slice.
+type assignment struct {
+	spec Spec
+	idx  int
+}
+
+// Run executes the whole fleet and returns the SLO report. Each worker is
+// one goroutine free-running its shard — sessions never interact, so
+// workers need no per-tick barrier and per-session results are invariant
+// to the worker count.
+func (e *Engine) Run() (Report, error) {
+	nw := e.cfg.Workers
+	shards := make([][]assignment, nw)
+	for i, sp := range e.cfg.Specs {
+		w := i % nw
+		shards[w] = append(shards[w], assignment{spec: sp, idx: i})
+	}
+	for _, shard := range shards {
+		// Admission order within a shard follows StartTick; the stable sort
+		// keeps spec order among equal ticks, so scheduling is reproducible.
+		sort.SliceStable(shard, func(a, b int) bool {
+			return shard[a].spec.StartTick < shard[b].spec.StartTick
+		})
+	}
+
+	workers := make([]*Worker, nw)
+	for wi, shard := range shards {
+		if len(shard) == 0 {
+			continue
+		}
+		w, err := NewWorker(len(shard), e.cfg.Clock)
+		if err != nil {
+			return Report{}, err
+		}
+		workers[wi] = w
+	}
+
+	errs := make([]error, nw)
+	start := e.cfg.Clock()
+	var wg sync.WaitGroup
+	for wi := range workers {
+		if workers[wi] == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			errs[wi] = e.runWorker(workers[wi], shards[wi])
+		}(wi)
+	}
+	wg.Wait()
+	wall := e.cfg.Clock() - start
+	for _, err := range errs {
+		if err != nil {
+			return Report{}, err
+		}
+	}
+	return e.report(workers, wall), nil
+}
+
+// runWorker drives one worker's shard: admissions due at each tick, the
+// lockstep tick itself, and idle fast-forward across gaps where the worker
+// has nothing resident yet.
+func (e *Engine) runWorker(w *Worker, pending []assignment) error {
+	tick := 0
+	for {
+		for len(pending) > 0 && pending[0].spec.StartTick <= tick {
+			s, err := pending[0].spec.Build()
+			if err != nil {
+				return err
+			}
+			if err := w.Admit(s); err != nil {
+				return err
+			}
+			e.sessions[pending[0].idx] = s
+			pending = pending[1:]
+		}
+		if w.Resident() == 0 {
+			if len(pending) == 0 {
+				return nil
+			}
+			// Idle gap before the next admission: simulated time in an
+			// empty worker costs nothing.
+			tick = pending[0].spec.StartTick
+			continue
+		}
+		if err := w.Tick(); err != nil {
+			return err
+		}
+		tick++
+	}
+}
+
+// report aggregates worker histograms and session outcomes.
+func (e *Engine) report(workers []*Worker, wallNs int64) Report {
+	const budgetNs = int64(control.Period * 1e9) // the 1 ms tick budget
+
+	var hist latencyHist
+	for _, w := range workers {
+		if w != nil {
+			hist.merge(&w.hist)
+		}
+	}
+	r := Report{
+		Sessions:        len(e.sessions),
+		Workers:         e.cfg.Workers,
+		WallSeconds:     float64(wallNs) / 1e9,
+		WorkerTicks:     hist.count,
+		TickP50Ms:       hist.quantile(0.50) / 1e6,
+		TickP99Ms:       hist.quantile(0.99) / 1e6,
+		TickMaxMs:       float64(hist.maxNs) / 1e6,
+		TickBudgetMs:    float64(budgetNs) / 1e6,
+		TicksOverBudget: hist.overBudget(budgetNs),
+		PeakRSSBytes:    peakRSSBytes(),
+	}
+	if hist.count > 0 {
+		r.TickMeanMs = float64(hist.sumNs) / float64(hist.count) / 1e6
+	}
+	for _, s := range e.sessions {
+		if s == nil {
+			continue
+		}
+		r.SessionTicks += int64(s.Ticks())
+		if g := s.Guard(); g != nil {
+			r.Alarms += g.Alarms()
+			r.Mitigated += g.Mitigated()
+		}
+		if s.Rig().PLC().EStopped() {
+			r.EStops++
+		}
+	}
+	if r.WallSeconds > 0 {
+		r.TicksPerSecond = float64(r.SessionTicks) / r.WallSeconds
+		r.SessionsPerCore = r.TicksPerSecond / (1 / control.Period) / float64(r.Workers)
+	}
+	return r
+}
+
+// peakRSSBytes reads the process's peak resident set via getrusage
+// (Linux reports ru_maxrss in kilobytes).
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return int64(ru.Maxrss) * 1024
+}

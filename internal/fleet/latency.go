@@ -1,0 +1,76 @@
+package fleet
+
+// latencyHist is a fixed-bucket tick-latency histogram: 2 µs buckets to
+// ~4 ms, overflow counted separately with the max retained. Fixed buckets
+// keep recording allocation-free on the tick path; quantiles are read once
+// at report time.
+type latencyHist struct {
+	bucket   [latBuckets]int64
+	count    int64
+	overflow int64
+	sumNs    int64
+	maxNs    int64
+}
+
+const (
+	latBucketNs = 2_000 // 2 µs resolution
+	latBuckets  = 2048  // covers [0, 4.096 ms); slower ticks overflow
+)
+
+//ravenlint:noalloc
+func (h *latencyHist) record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	idx := ns / latBucketNs
+	if idx >= latBuckets {
+		h.overflow++
+	} else {
+		h.bucket[idx]++
+	}
+	h.count++
+	h.sumNs += ns
+	if ns > h.maxNs {
+		h.maxNs = ns
+	}
+}
+
+// merge folds another histogram into h.
+func (h *latencyHist) merge(o *latencyHist) {
+	for i := range h.bucket {
+		h.bucket[i] += o.bucket[i]
+	}
+	h.count += o.count
+	h.overflow += o.overflow
+	h.sumNs += o.sumNs
+	if o.maxNs > h.maxNs {
+		h.maxNs = o.maxNs
+	}
+}
+
+// quantile returns the q-quantile latency in nanoseconds (bucket
+// midpoints; the max for ranks landing in the overflow region).
+func (h *latencyHist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.count-1))
+	var seen int64
+	for i := 0; i < latBuckets; i++ {
+		seen += h.bucket[i]
+		if seen > rank {
+			return (float64(i) + 0.5) * latBucketNs
+		}
+	}
+	return float64(h.maxNs)
+}
+
+// overBudget counts recorded ticks at or over budgetNs (bucket
+// granularity: the bucket containing budgetNs counts as over).
+func (h *latencyHist) overBudget(budgetNs int64) int64 {
+	over := h.overflow
+	for i := budgetNs / latBucketNs; i < latBuckets; i++ {
+		over += h.bucket[i]
+	}
+	return over
+}

@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"fmt"
+
+	"ravenguard/internal/control"
+	"ravenguard/internal/robot"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/usb"
+)
+
+// Worker owns one shard of the fleet: a lane set holding its sessions'
+// plants plus the session mirror that lane swaps keep aligned. One
+// goroutine owns a Worker; shards share nothing, so workers never
+// synchronise inside a tick.
+type Worker struct {
+	set    *robot.LaneSet
+	byLane []*Session
+	dacs   [][usb.NumChannels]int16
+	clock  sim.Clock
+	hist   latencyHist
+}
+
+// NewWorker builds a worker able to host up to capacity concurrent
+// sessions. clock times each tick for the latency SLO (nil selects
+// sim.WallClock).
+func NewWorker(capacity int, clock sim.Clock) (*Worker, error) {
+	set, err := robot.NewLaneSet(capacity)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	if clock == nil {
+		clock = sim.WallClock
+	}
+	w := &Worker{
+		set:    set,
+		byLane: make([]*Session, capacity),
+		dacs:   make([][usb.NumChannels]int16, capacity),
+		clock:  clock,
+	}
+	set.OnSwap = func(a, b int) {
+		w.byLane[a], w.byLane[b] = w.byLane[b], w.byLane[a]
+	}
+	return w, nil
+}
+
+// Admit gives the session a resident lane. Its plant joins the parked tail
+// and migrates into the lockstep window on the next tick's reconcile.
+func (w *Worker) Admit(s *Session) error {
+	lane, err := w.set.Admit(s.rig.Plant())
+	if err != nil {
+		return err
+	}
+	w.byLane[lane] = s
+	return nil
+}
+
+// Resident returns the number of sessions currently holding lanes.
+func (w *Worker) Resident() int { return w.set.Resident() }
+
+// Session returns the session resident in lane (nil when the lane is free).
+func (w *Worker) Session(lane int) *Session {
+	if lane < 0 || lane >= w.set.Resident() {
+		return nil
+	}
+	return w.byLane[lane]
+}
+
+// Tick drives every resident session through one control period as a
+// lockstep sweep: all control halves, partition reconcile, one fused batch
+// integration, all bookkeeping halves with digest folds, then retirement
+// (lane compaction) of sessions whose script ended. A steady-state tick —
+// no admission, no retirement — does not touch the heap.
+//
+//ravenlint:noalloc
+func (w *Worker) Tick() error {
+	n := w.set.Resident()
+	if n == 0 {
+		return nil
+	}
+	start := w.clock()
+
+	// Control halves: console, transport, feedback, controller, PLC, brake
+	// command. Sessions are independent, so lane order is immaterial.
+	for lane := 0; lane < n; lane++ {
+		if err := w.byLane[lane].rig.StepControl(); err != nil {
+			return err
+		}
+	}
+	// Brake transitions re-home lanes; reconcile before the per-lane DACs
+	// are gathered so dacs[i] drives the plant actually in lane i.
+	w.set.Reconcile()
+	for lane := 0; lane < n; lane++ {
+		w.dacs[lane] = w.byLane[lane].rig.Board().DACs()
+	}
+	w.set.Step(w.dacs, control.Period)
+	for lane := 0; lane < n; lane++ {
+		s := w.byLane[lane]
+		s.Note(s.rig.FinishStep())
+	}
+
+	// Retirement compacts by swapping the last resident lane down, so the
+	// cursor re-examines the lane it just filled.
+	for lane := 0; lane < w.set.Resident(); {
+		if w.byLane[lane].rig.Done() {
+			if _, err := w.set.Retire(lane); err != nil {
+				return err
+			}
+			w.byLane[w.set.Resident()] = nil
+		} else {
+			lane++
+		}
+	}
+
+	w.hist.record(w.clock() - start)
+	return nil
+}

@@ -32,6 +32,11 @@ var DeterministicPackages = []string{
 	"internal/shard",
 	"internal/stats",
 	"internal/metrics",
+	// The fleet engine: per-session digests must be invariant to worker
+	// count, lane placement, and admission interleaving, so the whole
+	// multi-tenant tick path is replay-deterministic. Tick-latency
+	// instrumentation goes through the injectable Clock in fleet.Config.
+	"internal/fleet",
 }
 
 // MatchDeterministic reports whether an import path is one of the

@@ -82,8 +82,8 @@ func (b *Batch) Step(plants []*Plant, dacs [][usb.NumChannels]int16, dt float64)
 		b.bs.StepRK4All(sub)
 		for lane, p := range b.lane {
 			p.t += sub
-			b.laneHardStops(lane, p)
-			b.laneCheckCables(lane, p)
+			laneHardStops(b.bs, lane, p)
+			laneCheckCables(b.bs, lane, p)
 		}
 	}
 	for lane, p := range b.lane {
@@ -93,11 +93,14 @@ func (b *Batch) Step(plants []*Plant, dacs [][usb.NumChannels]int16, dt float64)
 }
 
 // laneHardStops is enforceHardStops applied to one SoA lane: positions
-// clamp at the mechanical stops with an inelastic collision.
-func (b *Batch) laneHardStops(lane int, p *Plant) {
+// clamp at the mechanical stops with an inelastic collision. Shared by the
+// per-tick repacking Batch and the lane-resident LaneSet.
+//
+//ravenlint:noalloc
+func laneHardStops(bs *dynamics.BatchStepper, lane int, p *Plant) {
 	for i := 0; i < kinematics.NumJoints; i++ {
-		lp := b.bs.Component(4*i + 2)
-		lv := b.bs.Component(4*i + 3)
+		lp := bs.Component(4*i + 2)
+		lv := bs.Component(4*i + 3)
 		pos := lp[lane]
 		vel := lv[lane]
 		if pos < p.hard.Min[i] {
@@ -116,15 +119,17 @@ func (b *Batch) laneHardStops(lane int, p *Plant) {
 
 // laneCheckCables is checkCables applied to one SoA lane: a joint whose
 // cable tension exceeds the break limit snaps.
-func (b *Batch) laneCheckCables(lane int, p *Plant) {
+//
+//ravenlint:noalloc
+func laneCheckCables(bs *dynamics.BatchStepper, lane int, p *Plant) {
 	params := p.model.Params()
 	for i := 0; i < kinematics.NumJoints; i++ {
 		if p.broken[i] {
 			continue
 		}
 		jc := params.Joints[i]
-		stretch := b.bs.Component(4 * i)[lane]/jc.Ratio - b.bs.Component(4*i + 2)[lane]
-		stretchVel := b.bs.Component(4*i + 1)[lane]/jc.Ratio - b.bs.Component(4*i + 3)[lane]
+		stretch := bs.Component(4 * i)[lane]/jc.Ratio - bs.Component(4*i + 2)[lane]
+		stretchVel := bs.Component(4*i + 1)[lane]/jc.Ratio - bs.Component(4*i + 3)[lane]
 		tension := jc.CableStiffness*stretch + jc.CableDamping*stretchVel
 		if mathAbs(tension) > p.cfg.BreakTension[i] {
 			p.broken[i] = true

@@ -41,7 +41,7 @@ func RunLockstep(rigs []*Rig) error {
 		}
 		plants, dacs = plants[:0], dacs[:0]
 		for _, r := range live {
-			if err := r.stepControl(); err != nil {
+			if err := r.StepControl(); err != nil {
 				return err
 			}
 			plants = append(plants, r.plant)
@@ -49,7 +49,7 @@ func RunLockstep(rigs []*Rig) error {
 		}
 		batch.Step(plants, dacs, control.Period)
 		for _, r := range live {
-			r.finishStep()
+			r.FinishStep()
 		}
 	}
 }

@@ -154,7 +154,7 @@ type Rig struct {
 	fbBuf usb.Feedback  //ravenlint:snapshot-ignore per-step scratch, fully rewritten each step
 
 	// pending carries the control-phase results of a split step between
-	// stepControl and finishStep (see RunLockstep).
+	// StepControl and FinishStep (see RunLockstep).
 	pending pendingStep //ravenlint:snapshot-ignore intra-step scratch; snapshots are taken at step boundaries
 }
 
@@ -345,22 +345,25 @@ type pendingStep struct {
 //ravenlint:noalloc
 func (r *Rig) Step() (StepInfo, error) {
 	const dt = control.Period
-	if err := r.stepControl(); err != nil {
+	if err := r.StepControl(); err != nil {
 		return StepInfo{}, err
 	}
 	// 6. Physics: one control period of dynamics driven by whatever DACs
 	// the board latched (post-attack values).
 	r.plant.Step(r.board.DACs(), dt)
-	return r.finishStep(), nil
+	return r.FinishStep(), nil
 }
 
-// stepControl runs the control half of one step — console, transport,
+// StepControl runs the control half of one step — console, transport,
 // feedback read, control cycle, PLC supervision, brake command — up to (but
-// not including) the plant physics. RunLockstep uses the split to integrate
-// many rigs' plants together; Step is stepControl + Plant.Step + finishStep.
+// not including) the plant physics. Callers that integrate many rigs'
+// plants together (RunLockstep, the fleet engine) use the split: after
+// StepControl, advance the plant by one control period however you like —
+// Plant.Step, robot.Batch, or a robot.LaneSet lane — then call FinishStep.
+// Step is StepControl + Plant.Step + FinishStep.
 //
 //ravenlint:noalloc
-func (r *Rig) stepControl() error {
+func (r *Rig) StepControl() error {
 	const dt = control.Period
 
 	// 1. Console emits this cycle's ITP datagram (externally driven rigs
@@ -445,11 +448,12 @@ func (r *Rig) stepControl() error {
 	return nil
 }
 
-// finishStep runs the bookkeeping half of one step, after the plant
-// physics: encoder latch, clock advance, StepInfo assembly, observers.
+// FinishStep runs the bookkeeping half of one step, after the plant
+// physics: encoder latch, clock advance, StepInfo assembly, observers. It
+// must only be called after a matching StepControl.
 //
 //ravenlint:noalloc
-func (r *Rig) finishStep() StepInfo {
+func (r *Rig) FinishStep() StepInfo {
 	const dt = control.Period
 	r.board.SetEncoders(r.plant.EncoderCounts())
 

@@ -20,6 +20,11 @@
 #       coordinator run twice (with and without -journal, best wall of 5
 #       each), reported as a "journal_overhead" object in the JSON — the
 #       fault-tolerance budget is <5% over the plain run
+#   -f  also run the fleet SLO probe at these session counts (e.g.
+#       -f "64 512 2048"): ravend -fleet N on a mixed attack/guard fleet,
+#       each run's sessions/core, tick p50/p99/max vs the 1 ms budget and
+#       peak RSS land in a "fleet_slo" array in the JSON (the BENCH_PR8
+#       measurement)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,7 +36,8 @@ out=""
 shardexp=""
 shardextra=""
 journalexp=""
-while getopts "p:n:t:o:s:x:j:" opt; do
+fleetsizes=""
+while getopts "p:n:t:o:s:x:j:f:" opt; do
 	case $opt in
 	p) pattern=$OPTARG ;;
 	n) count=$OPTARG ;;
@@ -40,6 +46,7 @@ while getopts "p:n:t:o:s:x:j:" opt; do
 	s) shardexp=$OPTARG ;;
 	x) shardextra=$OPTARG ;;
 	j) journalexp=$OPTARG ;;
+	f) fleetsizes=$OPTARG ;;
 	*) exit 2 ;;
 	esac
 done
@@ -47,7 +54,8 @@ done
 tmp=$(mktemp)
 shardtmp=$(mktemp)
 journaltmp=$(mktemp)
-trap 'rm -f "$tmp" "$shardtmp" "$journaltmp" "$tmp.labrunner" "$tmp.journal"' EXIT
+fleettmp=$(mktemp)
+trap 'rm -f "$tmp" "$shardtmp" "$journaltmp" "$fleettmp" "$tmp.labrunner" "$tmp.journal" "$tmp.ravend" "$tmp.fleet"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem -count "$count" \
 	-benchtime "$benchtime" ./... | tee "$tmp"
@@ -106,10 +114,39 @@ if [ -n "$journalexp" ]; then
 	done
 fi
 
+# Fleet SLO probe: one process, one worker per run (this box has one
+# core), a mixed clean/guarded/attacked session population with lightly
+# staggered admissions. The headline is sessions/core — how many
+# concurrent 1 kHz sessions the engine sustains in real time — plus the
+# worker-tick latency distribution against the 1 ms budget and peak RSS.
+fleetmix="none:off,B:mitigate,A:holdsafe"
+if [ -n "$fleetsizes" ]; then
+	go build -o "$tmp.ravend" ./cmd/ravend
+	for n in $fleetsizes; do
+		echo "==> ravend -fleet $n -workers 1 -mix $fleetmix -teleop 1" >&2
+		"$tmp.ravend" -fleet "$n" -workers 1 -mix "$fleetmix" -teleop 1 \
+			-value 20000 -delay 150 -duration 64 -stagger 2 -seed 1000 >"$tmp.fleet"
+		awk -v sessions="$n" '
+			/^session ticks:/ { ticks = $3; wall = $5; tps = $8; sub(/\(/, "", tps) }
+			/^sessions\/core:/ { spc = $2 }
+			/^worker tick:/ { p50 = $4; p99 = $7; max = $10; over = $15 }
+			/^peak RSS:/ { rss = $3 }
+			/^outcomes:/ {
+				split($2, a, "="); alarms = a[2]
+				split($4, e, "="); estops = e[2]
+			}
+			END {
+				printf "{\"sessions\": %s, \"workers\": 1, \"session_ticks\": %s, \"wall_s\": %s, \"ticks_per_s\": %s, \"sessions_per_core\": %s, \"tick_p50_ms\": %s, \"tick_p99_ms\": %s, \"tick_max_ms\": %s, \"ticks_over_1ms_budget\": %s, \"peak_rss_mb\": %s, \"alarms\": %s, \"estops\": %s}\n",
+					sessions, ticks, wall, tps, spc, p50, p99, max, over, rss, alarms, estops
+			}' "$tmp.fleet" >>"$fleettmp"
+	done
+fi
+
 awk -v goversion="$(go version | awk '{print $3}')" \
 	-v count="$count" -v benchtime="$benchtime" \
 	-v shardfile="$shardtmp" -v shardexp="$shardexp" \
-	-v journalfile="$journaltmp" -v journalexp="$journalexp" '
+	-v journalfile="$journaltmp" -v journalexp="$journalexp" \
+	-v fleetfile="$fleettmp" -v fleetmix="$fleetmix" -v fleetsizes="$fleetsizes" '
 /^Benchmark/ {
 	name = $1; iters = $2
 	metrics = ""
@@ -147,6 +184,17 @@ END {
 		printf "    \"journal_wall_s\": %s,\n", best["journal"]
 		printf "    \"overhead_pct\": %.1f\n", (best["journal"] - best["plain"]) / best["plain"] * 100
 		printf "  },\n"
+	}
+	nfleet = 0
+	while ((getline line < fleetfile) > 0) fleetrows[nfleet++] = line
+	if (nfleet > 0) {
+		printf "  \"fleet_slo\": {\n"
+		printf "    \"mix\": \"%s\",\n", fleetmix
+		printf "    \"teleop_seconds\": 1,\n"
+		printf "    \"runs\": [\n"
+		for (i = 0; i < nfleet; i++)
+			printf "      %s%s\n", fleetrows[i], (i < nfleet - 1 ? "," : "")
+		printf "    ]\n  },\n"
 	}
 	printf "  \"benchmarks\": [\n"
 	for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i < n - 1 ? "," : "")

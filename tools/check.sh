@@ -110,6 +110,36 @@ diff "$sharddir/chaos.txt" "$sharddir/inproc6.txt" || {
 	exit 1
 }
 
+# Fleet smoke: a mixed attack/guard fleet (staggered admissions, 2
+# workers) must print, for every session, the digest the equivalent
+# single-session ravend run computes — the CLI-level face of the
+# fleet-vs-standalone bit-identity the internal/fleet tests pin.
+stage="fleet smoke"
+echo "==> ravend fleet smoke (mixed fleet digests vs single-session runs)"
+go build -o "$sharddir/ravend" ./cmd/ravend
+fleetcommon="-teleop 0.4 -value 20000 -delay 150 -duration 64"
+# shellcheck disable=SC2086 — fleetcommon is intentionally re-split
+"$sharddir/ravend" -fleet 6 -workers 2 -mix none:off,B:mitigate,A:holdsafe \
+	-stagger 120 -seed 31 $fleetcommon >"$sharddir/fleet.txt"
+grep -c "^session [0-9]" "$sharddir/fleet.txt" | grep -qx 6 || {
+	echo "fleet run printed the wrong number of session lines" >&2
+	exit 1
+}
+grep "^session [0-9]" "$sharddir/fleet.txt" |
+	while read -r _ idx seed attack guard _ ticks _ digest _; do
+		seed=${seed#seed=} attack=${attack#attack=} guard=${guard#guard=}
+		ticks=${ticks#ticks=} digest=${digest#digest=}
+		# shellcheck disable=SC2086 — fleetcommon is intentionally re-split
+		"$sharddir/ravend" -seed "$seed" -attack "$attack" -guard "$guard" \
+			-digest $fleetcommon >"$sharddir/single.txt"
+		grep -qx "digest=$digest ticks=$ticks" "$sharddir/single.txt" || {
+			echo "fleet session $idx (seed $seed, attack $attack, guard $guard) diverged from the single-session run:" >&2
+			grep '^digest=' "$sharddir/single.txt" >&2 || true
+			echo "fleet printed digest=$digest ticks=$ticks" >&2
+			exit 1
+		}
+	done
+
 # Allocation-regression guard: steady-state batch stepping must stay at
 # 0 allocs/op (TestBatchStepperAllocs pins it via testing.AllocsPerRun),
 # and the benchmark itself must report 0 under -benchmem.
