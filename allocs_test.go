@@ -144,21 +144,27 @@ func TestFullSimStepDoesNotAllocate(t *testing.T) {
 }
 
 // TestFleetTickDoesNotAllocate pins the multi-tenant extension of the same
-// property: a fleet worker's steady-state tick — control halves for every
-// resident session, lane reconcile, one fused batch integration, digest
-// folds, latency record — runs without touching the heap. (Admission and
-// retirement may allocate; ticks in between must not.)
+// property: a fleet worker's steady-state tick — command halves for every
+// resident session, the fused guard-prediction sweep with held-frame
+// resumes, supervision halves, lane reconcile, one fused batch
+// integration, digest folds, latency record — runs without touching the
+// heap. (Admission and retirement may allocate; ticks in between must
+// not.)
 func TestFleetTickDoesNotAllocate(t *testing.T) {
-	w, err := fleet.NewWorker(3, nil)
+	w, err := fleet.NewWorker(4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Endless sessions (no retirement inside the measured window), mixed:
-	// clean unguarded, clean guarded, attacked + mitigating guard.
+	// clean unguarded, clean guarded, attacked + mitigating guard, and an
+	// attacked hold-safe guard (frames held, rewritten and resumed through
+	// the batch seam every teleop tick).
 	specs := []fleet.Spec{
 		{Seed: 1, TeleopSeconds: 1e9},
 		{Seed: 2, TeleopSeconds: 1e9, Guard: "monitor"},
 		{Seed: 3, TeleopSeconds: 1e9, Guard: "mitigate",
+			Attack: "B", AttackValue: 20000, AttackDelay: 150, AttackDuration: 64},
+		{Seed: 4, TeleopSeconds: 1e9, Guard: "holdsafe",
 			Attack: "B", AttackValue: 20000, AttackDelay: 150, AttackDuration: 64},
 	}
 	for _, sp := range specs {

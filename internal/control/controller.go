@@ -160,6 +160,34 @@ type Controller struct {
 	// frameBuf backs the command frame handed to the write chain each
 	// tick; keeping it on the struct keeps Tick allocation-free.
 	frameBuf [usb.CommandLen]byte //ravenlint:snapshot-ignore per-tick scratch, fully rewritten before use
+
+	tip tipMemo //ravenlint:snapshot-ignore pure memo of kinematics.Forward(jposD), key-checked before every use
+}
+
+// tipMemo caches the forward-kinematics solution at the current setpoint,
+// keyed on the exact jposD bits. Tick needs the desired tip every cycle
+// and updateTeleop needs it again at the pre-update setpoint, but the
+// setpoint only changes while the machine is driving — E-STOP and
+// Pedal-Up hold cycles, and the post-update evaluation in teleop, hit the
+// memo instead of re-running the trigonometric chain. Valid across
+// snapshot restore without being captured: the key comparison re-derives
+// or reuses the identical Forward value either way.
+type tipMemo struct {
+	key   kinematics.JointPos
+	val   mathx.Vec3
+	valid bool
+}
+
+// tipForward returns kinematics.Forward(c.jposD) through the memo.
+//
+//ravenlint:noalloc
+func (c *Controller) tipForward() mathx.Vec3 {
+	if !c.tip.valid || c.jposD != c.tip.key {
+		c.tip.key = c.jposD
+		c.tip.val = kinematics.Forward(c.jposD)
+		c.tip.valid = true
+	}
+	return c.tip.val
 }
 
 // NewController builds the control node writing frames into chain.
@@ -268,7 +296,7 @@ func (c *Controller) Tick(in Input, feedback usb.Feedback, estopFromPLC bool) Ou
 	}
 
 	out.JposD = c.jposD
-	out.TipDesired = kinematics.Forward(c.jposD)
+	out.TipDesired = c.tipForward()
 	mposD := c.cfg.Trans.ToMotor(c.jposD)
 	out.MposD = mposD
 
@@ -399,7 +427,15 @@ func (c *Controller) updateTeleop(in Input) {
 	if c.cfg.TrigDrift != nil {
 		drift = c.cfg.TrigDrift(float64(c.tick) * Period)
 	}
-	target := kinematics.ForwardWithTrigDrift(c.jposD, drift).Add(delta)
+	// ForwardWithTrigDrift(jp, 0) is Forward(jp) by construction (pinned
+	// in kinematics/drift_test.go), so an uncompromised math library can
+	// take the memoised tip from the end of the previous cycle.
+	var target mathx.Vec3
+	if drift == 0 {
+		target = c.tipForward().Add(delta)
+	} else {
+		target = kinematics.ForwardWithTrigDrift(c.jposD, drift).Add(delta)
+	}
 	jp, err := kinematics.InverseWithTrigDrift(target, drift)
 	if err != nil {
 		// Unreachable target: hold pose. (The "IK-fail" impact of the

@@ -26,8 +26,9 @@ import (
 //   - precomputes the reciprocals of the inertias and transmission
 //     ratios so the derivative is division-free;
 //   - replaces the tanh-smoothed Coulomb signum with a division-free
-//     polynomial inside the smoothing band (8.2e-11 worst error) and the
-//     exact ±1 beyond saturation;
+//     polynomial inside the smoothing band (8.2e-11 worst error), a
+//     2^k·2^f exponential decomposition on the mid band (~3e-15, see
+//     tanhMid) and the exact ±1 beyond saturation;
 //   - evaluates the gravity sine/cosine only when the link has moved
 //     more than anchorRad from the last evaluation, reconstructing
 //     intermediate values from the anchor by a fifth-order expansion
@@ -482,7 +483,7 @@ func fastTanh(x float64) float64 {
 // differs from ±1 by < 1e-17, far below half an ulp of 1.0, so returning
 // ±1 is value-identical to math.Tanh while skipping its exp evaluation —
 // and saturation is the common case once a joint moves faster than the
-// Coulomb smoothing band. The remaining mid band defers to math.Tanh.
+// Coulomb smoothing band. The remaining mid band goes to tanhMid.
 //
 //ravenlint:noalloc
 func tanhTail(x float64) float64 {
@@ -492,7 +493,69 @@ func tanhTail(x float64) float64 {
 	if x <= -20 {
 		return -1
 	}
-	return math.Tanh(x)
+	return tanhMid(x)
+}
+
+// Constants for tanhMid's 2^t decomposition: log2(e) to convert the
+// exponent to base 2, and ln 2 to map the fractional part back to exp's
+// Taylor domain.
+const (
+	tanhLog2E = 1.4426950408889634
+	tanhLn2   = 0.6931471805599453
+)
+
+// tanhMid evaluates tanh on the mid band 5/8 <= |x| < 20 — homing sweeps
+// and attack transients park link velocities here for thousands of
+// consecutive substeps, and the fleet profile showed the math.Tanh call
+// it replaces dominating the whole worker tick. It uses the identity
+//
+//	tanh(x) = sgn(x) · (1 - 2s/(1+s)),  s = e^(-2|x|)
+//
+// and computes s as 2^t, t = -2|x|·log2(e) ∈ (-57.8, -1.8]: split
+// t = k + f with k = RoundToEven(t) and f ∈ [-1/2, 1/2], evaluate
+// 2^f = e^(f·ln2) by a degree-12 Taylor polynomial (truncation < 2e-16
+// relative), and apply 2^k by adding k to the exponent bits — exact, and
+// s ≥ e^(-40) keeps the result far from the subnormal range. The
+// argument-conversion rounding bounds the overall error at ~3e-15
+// absolute, within the kernel's documented float-tolerance contract
+// (fastSin and the friction polynomial sit at 5e-14 and 8e-11). One
+// division remains, but only one evaluation runs per joint per stage
+// against the twelve polynomial evaluations, so it does not serialize
+// the stage chains the way a Padé friction would. Arguments outside the
+// band — including NaN, which fails the range check — fall back to
+// math.Tanh.
+//
+//ravenlint:noalloc
+func tanhMid(x float64) float64 {
+	ax := x
+	if ax < 0 {
+		ax = -ax
+	}
+	if !(ax < 20) {
+		return math.Tanh(x) // out-of-contract caller; also catches NaN
+	}
+	t := -2 * ax * tanhLog2E
+	k := math.RoundToEven(t)
+	w := (t - k) * tanhLn2
+	p := 2.08767569878681e-09 // 1/12!
+	p = p*w + 2.505210838544172e-08
+	p = p*w + 2.7557319223985888e-07
+	p = p*w + 2.755731922398589e-06
+	p = p*w + 2.48015873015873e-05
+	p = p*w + 1.984126984126984e-04
+	p = p*w + 1.3888888888888889e-03
+	p = p*w + 8.333333333333333e-03
+	p = p*w + 4.1666666666666664e-02
+	p = p*w + 1.6666666666666666e-01
+	p = p*w + 0.5
+	p = p*w + 1
+	p = p*w + 1
+	s := math.Float64frombits(math.Float64bits(p) + uint64(int64(k))<<52)
+	r := 1 - 2*s/(1+s)
+	if x < 0 {
+		return -r
+	}
+	return r
 }
 
 // Cody-Waite two-part representation of 2π for the fastSin argument

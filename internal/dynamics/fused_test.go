@@ -213,6 +213,34 @@ func TestTanhPolyVel(t *testing.T) {
 	}
 }
 
+// TestTanhMid sweeps the mid-band exponential-decomposition kernel
+// against math.Tanh at a much tighter bound than the full-range fastTanh
+// test: the 2^k·2^f construction should be good to a few ulps of the
+// result, not merely to the 1e-10 friction tolerance.
+func TestTanhMid(t *testing.T) {
+	var maxErr float64
+	for i := 6250; i <= 200000; i++ {
+		x := float64(i) * 1e-4 // [0.625, 20]
+		for _, v := range []float64{x, -x} {
+			if d := math.Abs(tanhMid(v) - math.Tanh(v)); d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	t.Logf("max |tanhMid - math.Tanh| on the mid band: %.3e", maxErr)
+	if maxErr > 1e-13 {
+		t.Fatalf("tanhMid error %.3e exceeds 1e-13", maxErr)
+	}
+	// The out-of-contract fallback must stay exact for the values the
+	// band branches can hand it under unusual inputs.
+	for _, v := range []float64{math.NaN(), 25, -1e9, math.Inf(1)} {
+		got, want := tanhMid(v), math.Tanh(v)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("tanhMid(%v) = %v, want math.Tanh fallback %v", v, got, want)
+		}
+	}
+}
+
 // TestFastSinCos sweeps the polynomial sine/cosine against the stdlib
 // over several workspace-scale ranges plus the large-argument fallback.
 func TestFastSinCos(t *testing.T) {

@@ -148,7 +148,7 @@ func TestReportSLOFields(t *testing.T) {
 	}
 	// Each tick spans exactly one clock step; quantiles report the bucket
 	// midpoint of that step.
-	wantMs := (float64(stepNs/latBucketNs) + 0.5) * latBucketNs / 1e6
+	wantMs := latMidpointNs(latIndex(stepNs)) / 1e6
 	if rep.TickP50Ms != wantMs || rep.TickP99Ms != wantMs {
 		t.Errorf("tick p50=%.4f p99=%.4f ms, want %.4f", rep.TickP50Ms, rep.TickP99Ms, wantMs)
 	}

@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"testing"
+
+	"ravenguard/internal/console"
+	"ravenguard/internal/core"
+	"ravenguard/internal/inject"
+	"ravenguard/internal/interpose"
+	"ravenguard/internal/sim"
+	"ravenguard/internal/trajectory"
+	"ravenguard/internal/usb"
+)
+
+// gapSession assembles a guarded, attacked session whose feedback stream
+// deterministically drops frames for gapLen cycles starting after cycle
+// gapStart: the guard desynchronises over the gap and must resync on the
+// next good frame. The main spec-driven equivalence fixture cannot express
+// board-level faults, so this builds the rig directly (same package).
+func gapSession(t *testing.T, seed int64, teleop float64, mode core.Mode, gapStart, gapLen int) *Session {
+	t.Helper()
+	g, err := core.NewGuard(core.Config{Thresholds: core.DefaultThresholds(), Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := inject.NewScenarioB(inject.ScenarioBParams{
+		Value:           20000,
+		Channel:         0,
+		StartDelayTicks: 150,
+		ActivationTicks: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := 0
+	cfg := sim.Config{
+		Seed:    seed,
+		Script:  console.StandardScript(teleop),
+		Traj:    trajectory.Standard()[0],
+		Guards:  []sim.Hook{g},
+		Preload: []interpose.Wrapper{inj},
+		OnBoard: func(b *usb.Board) {
+			b.SetReadFault(func(frame []byte) []byte {
+				tick++
+				if tick > gapStart && tick <= gapStart+gapLen {
+					return frame[:2] // undecodable length: feedback lost
+				}
+				return frame
+			})
+		},
+	}
+	rig, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Session{Spec: Spec{Seed: seed}, rig: rig, guard: g, injected: inj.Injected, dig: NewDigest()}
+}
+
+// TestGuardBatchMatchesScalarAcrossEdges pins the batched guard-prediction
+// path against the scalar in-line path at its edges: feedback gaps with
+// model resync, hold-safe engagement (held-frame rewrites under cooldown),
+// mid-run admission, and post-retirement lane compaction. The scalar
+// reference drives the identical rigs standalone; the worker runs them in
+// deferred-predict mode with the fused sweep. Digests, guard counters and
+// final plant state must match bit-for-bit.
+func TestGuardBatchMatchesScalarAcrossEdges(t *testing.T) {
+	type build struct {
+		seed    int64
+		teleop  float64
+		mode    core.Mode
+		gapAt   int
+		gapLen  int
+		startAt int // worker tick of admission
+	}
+	// Varied lengths force retirement (and lane compaction under the
+	// surviving sessions); startAt forces mid-run admission; the gap
+	// windows land inside pedal-down teleop, around and inside the attack
+	// activation, so resync and mitigation interleave.
+	builds := []build{
+		{seed: 41, teleop: 0.7, mode: core.ModeHoldSafe, gapAt: 400, gapLen: 8, startAt: 0},
+		{seed: 42, teleop: 0.4, mode: core.ModeMitigate, gapAt: 330, gapLen: 3, startAt: 0},
+		{seed: 43, teleop: 0.55, mode: core.ModeHoldSafe, gapAt: 500, gapLen: 25, startAt: 300},
+		{seed: 44, teleop: 0.45, mode: core.ModeMonitor, gapAt: 360, gapLen: 1, startAt: 700},
+	}
+
+	// Scalar reference: same construction, driven alone; the guard's
+	// deferred mode is never enabled outside a worker.
+	want := make([]*Session, len(builds))
+	for i, b := range builds {
+		s := gapSession(t, b.seed, b.teleop, b.mode, b.gapAt, b.gapLen)
+		for !s.rig.Done() {
+			si, err := s.rig.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Note(si)
+		}
+		want[i] = s
+	}
+	// The fixture must exercise the machinery it claims to: every session
+	// lost feedback, and the guarded-mitigation sessions alarmed and
+	// rewrote frames.
+	var alarms, mitigated, drops int
+	for i, s := range want {
+		sum := s.rig.FaultCounters()
+		if sum.FeedbackDrops == 0 {
+			t.Fatalf("weak fixture: session %d saw no feedback gap", i)
+		}
+		drops += sum.FeedbackDrops
+		alarms += s.guard.Alarms()
+		mitigated += s.guard.Mitigated()
+	}
+	if alarms == 0 || mitigated == 0 {
+		t.Fatalf("weak fixture: alarms=%d mitigated=%d — want both non-zero", alarms, mitigated)
+	}
+
+	// Fleet run: one worker, deferred guards, staggered admissions.
+	w, err := NewWorker(len(builds), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]*Session, len(builds))
+	for i, b := range builds {
+		got[i] = gapSession(t, b.seed, b.teleop, b.mode, b.gapAt, b.gapLen)
+	}
+	admitted := 0
+	for tick := 0; ; tick++ {
+		for i, b := range builds {
+			if b.startAt == tick {
+				if err := w.Admit(got[i]); err != nil {
+					t.Fatal(err)
+				}
+				admitted++
+			}
+		}
+		if err := w.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if admitted == len(builds) && w.Resident() == 0 {
+			break
+		}
+		if tick > 100_000 {
+			t.Fatal("fleet never drained")
+		}
+	}
+
+	for i, s := range got {
+		if s.Sum() != want[i].Sum() {
+			t.Errorf("session %d (mode %v): batched digest %016x, scalar %016x", i, builds[i].mode, s.Sum(), want[i].Sum())
+		}
+		if s.Ticks() != want[i].Ticks() {
+			t.Errorf("session %d: batched ran %d ticks, scalar %d", i, s.Ticks(), want[i].Ticks())
+		}
+		if s.Injected() != want[i].Injected() {
+			t.Errorf("session %d: batched injected %d, scalar %d", i, s.Injected(), want[i].Injected())
+		}
+		if s.guard.Alarms() != want[i].guard.Alarms() || s.guard.Mitigated() != want[i].guard.Mitigated() {
+			t.Errorf("session %d: batched alarms=%d mitigated=%d, scalar alarms=%d mitigated=%d",
+				i, s.guard.Alarms(), s.guard.Mitigated(), want[i].guard.Alarms(), want[i].guard.Mitigated())
+		}
+		if s.rig.FaultCounters().FeedbackDrops != want[i].rig.FaultCounters().FeedbackDrops {
+			t.Errorf("session %d: batched dropped %d feedback frames, scalar %d",
+				i, s.rig.FaultCounters().FeedbackDrops, want[i].rig.FaultCounters().FeedbackDrops)
+		}
+		if s.rig.Plant().CaptureState() != want[i].rig.Plant().CaptureState() {
+			t.Errorf("session %d: final plant state diverged", i)
+		}
+		// The worker really ran these guards deferred: batch-swept
+		// predictions skip the scalar path's StepTime sampling.
+		if n, wn := s.guard.StepTime().N, want[i].guard.StepTime().N; n != 0 || wn == 0 {
+			t.Errorf("session %d: batched StepTime N=%d scalar N=%d — deferred sweep not exercised", i, n, wn)
+		}
+	}
+}

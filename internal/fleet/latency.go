@@ -1,9 +1,15 @@
 package fleet
 
-// latencyHist is a fixed-bucket tick-latency histogram: 2 µs buckets to
-// ~4 ms, overflow counted separately with the max retained. Fixed buckets
-// keep recording allocation-free on the tick path; quantiles are read once
-// at report time.
+import "math/bits"
+
+// latencyHist is a log-linear tick-latency histogram (HDR-style): latencies
+// are scaled to 256 ns units; the first 64 buckets are linear, then every
+// octave splits into 64 sub-buckets, bounding relative error at ~1.6%
+// everywhere. That keeps 256 ns resolution on healthy sub-20 µs ticks while
+// still resolving a 2-minute GC stall or scheduler seizure instead of
+// saturating (the old fixed 2 µs × 2048 layout lumped everything past
+// 4.096 ms into one overflow count). Recording stays allocation-free on the
+// tick path; quantiles are read once at report time.
 type latencyHist struct {
 	bucket   [latBuckets]int64
 	count    int64
@@ -13,17 +19,46 @@ type latencyHist struct {
 }
 
 const (
-	latBucketNs = 2_000 // 2 µs resolution
-	latBuckets  = 2048  // covers [0, 4.096 ms); slower ticks overflow
+	latUnitNs   = 256                            // linear resolution: one unit = 256 ns
+	latSubBits  = 6                              // 64 sub-buckets per octave
+	latSubCount = 1 << latSubBits                // sub-buckets per octave; also linear range
+	latOctaves  = 23                             // octaves after the linear range
+	latBuckets  = latSubCount * (latOctaves + 1) // 1536: covers to ~137 s
 )
+
+// latIndex maps a latency to its bucket, or latBuckets for the (absurd,
+// >137 s) overflow region.
+//
+//ravenlint:noalloc
+func latIndex(ns int64) int {
+	n := uint64(ns) / latUnitNs
+	if n < latSubCount {
+		return int(n)
+	}
+	k := bits.Len64(n) - latSubBits - 1 // whole octaves above the linear range
+	if k >= latOctaves {
+		return latBuckets
+	}
+	return latSubCount + latSubCount*k + int(n>>uint(k)) - latSubCount
+}
+
+// latMidpointNs returns the midpoint latency of a bucket, the value
+// quantiles report for ranks landing in it.
+func latMidpointNs(idx int) float64 {
+	if idx < latSubCount {
+		return (float64(idx) + 0.5) * latUnitNs
+	}
+	k := (idx - latSubCount) / latSubCount
+	m := latSubCount + (idx-latSubCount)%latSubCount
+	return (float64(m) + 0.5) * float64(int64(1)<<uint(k)) * latUnitNs
+}
 
 //ravenlint:noalloc
 func (h *latencyHist) record(ns int64) {
 	if ns < 0 {
 		ns = 0
 	}
-	idx := ns / latBucketNs
-	if idx >= latBuckets {
+	if idx := latIndex(ns); idx >= latBuckets {
 		h.overflow++
 	} else {
 		h.bucket[idx]++
@@ -59,7 +94,7 @@ func (h *latencyHist) quantile(q float64) float64 {
 	for i := 0; i < latBuckets; i++ {
 		seen += h.bucket[i]
 		if seen > rank {
-			return (float64(i) + 0.5) * latBucketNs
+			return latMidpointNs(i)
 		}
 	}
 	return float64(h.maxNs)
@@ -69,7 +104,7 @@ func (h *latencyHist) quantile(q float64) float64 {
 // granularity: the bucket containing budgetNs counts as over).
 func (h *latencyHist) overBudget(budgetNs int64) int64 {
 	over := h.overflow
-	for i := budgetNs / latBucketNs; i < latBuckets; i++ {
+	for i := latIndex(budgetNs); i < latBuckets; i++ {
 		over += h.bucket[i]
 	}
 	return over

@@ -1,0 +1,79 @@
+package fleet
+
+import "testing"
+
+// TestLatIndexLayout pins the log-linear bucket layout: indices are
+// monotone in latency, every bucket's midpoint sits within its relative
+// error bound, and the linear range keeps exact 256 ns resolution.
+func TestLatIndexLayout(t *testing.T) {
+	// Linear range: one bucket per 256 ns unit.
+	for n := 0; n < latSubCount; n++ {
+		ns := int64(n * latUnitNs)
+		if got := latIndex(ns); got != n {
+			t.Fatalf("latIndex(%d) = %d, want %d", ns, got, n)
+		}
+	}
+	// Monotone, gap-free coverage across the whole range: walking bucket
+	// lower bounds visits every index exactly once.
+	prev := -1
+	for idx := 0; idx < latBuckets; idx++ {
+		mid := latMidpointNs(idx)
+		got := latIndex(int64(mid))
+		if got != idx {
+			t.Fatalf("midpoint of bucket %d (%.0f ns) maps to bucket %d", idx, mid, got)
+		}
+		if got <= prev {
+			t.Fatalf("bucket order violated at %d", idx)
+		}
+		prev = got
+	}
+	// Relative error: past the linear range, a bucket midpoint is within
+	// 1/64 of any latency it absorbs.
+	for _, ns := range []int64{20_000, 50_000, 1_000_000, 4_096_000, 5_000_000, 250_000_000, 10_000_000_000, 100_000_000_000} {
+		mid := latMidpointNs(latIndex(ns))
+		if rel := (mid - float64(ns)) / float64(ns); rel > 1.0/latSubCount || rel < -1.0/latSubCount {
+			t.Errorf("latency %d ns lands at midpoint %.0f (rel err %.4f)", ns, mid, rel)
+		}
+	}
+	// >137 s is the overflow region.
+	if latIndex(200_000_000_000) != latBuckets {
+		t.Errorf("200 s must overflow")
+	}
+}
+
+// TestLatencyHistStalls checks the failure mode the old fixed-bucket layout
+// had: multi-millisecond and multi-second stalls must land in real buckets
+// with resolved quantiles, not saturate an overflow counter.
+func TestLatencyHistStalls(t *testing.T) {
+	var h latencyHist
+	for i := 0; i < 9900; i++ {
+		h.record(120_000) // healthy 120 µs ticks
+	}
+	for i := 0; i < 100; i++ {
+		h.record(2_500_000_000) // 2.5 s stalls — 610× the old 4.096 ms cap
+	}
+	if h.overflow != 0 {
+		t.Fatalf("overflow = %d, want stalls resolved in buckets", h.overflow)
+	}
+	p50, p999 := h.quantile(0.50), h.quantile(0.999)
+	if rel := p50/120_000 - 1; rel > 0.02 || rel < -0.02 {
+		t.Errorf("p50 = %.0f ns, want ~120 µs", p50)
+	}
+	if rel := p999/2_500_000_000 - 1; rel > 0.02 || rel < -0.02 {
+		t.Errorf("p99.9 = %.0f ns, want ~2.5 s", p999)
+	}
+	if got := h.overBudget(1_000_000); got != 100 {
+		t.Errorf("overBudget(1ms) = %d, want the 100 stalls", got)
+	}
+	if h.maxNs != 2_500_000_000 {
+		t.Errorf("maxNs = %d", h.maxNs)
+	}
+
+	// merge must fold buckets and extremes.
+	var m latencyHist
+	m.record(50_000)
+	m.merge(&h)
+	if m.count != h.count+1 || m.maxNs != h.maxNs {
+		t.Errorf("merge lost counts or max")
+	}
+}

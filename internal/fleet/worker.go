@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ravenguard/internal/control"
+	"ravenguard/internal/dynamics"
 	"ravenguard/internal/robot"
 	"ravenguard/internal/sim"
 	"ravenguard/internal/usb"
@@ -19,6 +20,15 @@ type Worker struct {
 	dacs   [][usb.NumChannels]int16
 	clock  sim.Clock
 	hist   latencyHist
+
+	// Batched guard prediction: Euler-scheme guards run in deferred mode,
+	// parking each tick's frame at the guard while its one-step model
+	// prediction joins a dense lockstep sweep here. gbs lanes are packed
+	// fresh every tick (guards with nothing to predict — pedal up, desynced
+	// feedback — simply don't join), so gpend maps packed guard lane k back
+	// to the session lane it came from.
+	gbs   *dynamics.BatchStepper
+	gpend []int
 }
 
 // NewWorker builds a worker able to host up to capacity concurrent
@@ -32,11 +42,17 @@ func NewWorker(capacity int, clock sim.Clock) (*Worker, error) {
 	if clock == nil {
 		clock = sim.WallClock
 	}
+	gbs, err := dynamics.NewBatchStepper(capacity)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
 	w := &Worker{
 		set:    set,
 		byLane: make([]*Session, capacity),
 		dacs:   make([][usb.NumChannels]int16, capacity),
 		clock:  clock,
+		gbs:    gbs,
+		gpend:  make([]int, capacity),
 	}
 	set.OnSwap = func(a, b int) {
 		w.byLane[a], w.byLane[b] = w.byLane[b], w.byLane[a]
@@ -46,12 +62,19 @@ func NewWorker(capacity int, clock sim.Clock) (*Worker, error) {
 
 // Admit gives the session a resident lane. Its plant joins the parked tail
 // and migrates into the lockstep window on the next tick's reconcile.
+// Euler-scheme guards are switched to deferred prediction so Tick can fuse
+// their model steps into one batch sweep; an RK4 guard (not produced by any
+// fleet spec today) would keep its scalar in-line prediction, since the
+// worker's sweep integrates all packed lanes with one scheme.
 func (w *Worker) Admit(s *Session) error {
 	lane, err := w.set.Admit(s.rig.Plant())
 	if err != nil {
 		return err
 	}
 	w.byLane[lane] = s
+	if s.guard != nil && !s.guard.SchemeRK4() {
+		s.guard.SetDeferredPredict(true)
+	}
 	return nil
 }
 
@@ -67,7 +90,9 @@ func (w *Worker) Session(lane int) *Session {
 }
 
 // Tick drives every resident session through one control period as a
-// lockstep sweep: all control halves, partition reconcile, one fused batch
+// lockstep sweep: all command halves (which park each deferred guard's
+// frame), one fused guard-prediction sweep that resumes the parked writes,
+// all supervision halves, partition reconcile, one fused plant batch
 // integration, all bookkeeping halves with digest folds, then retirement
 // (lane compaction) of sessions whose script ended. A steady-state tick —
 // no admission, no retirement — does not touch the heap.
@@ -80,12 +105,52 @@ func (w *Worker) Tick() error {
 	}
 	start := w.clock()
 
-	// Control halves: console, transport, feedback, controller, PLC, brake
-	// command. Sessions are independent, so lane order is immaterial.
+	// Command halves: console, transport, feedback, controller, board
+	// write. Sessions are independent, so lane order is immaterial. A
+	// deferred-predict guard returns Hold from inside the board write,
+	// leaving the frame parked until the batch sweep below absorbs its
+	// prediction.
 	for lane := 0; lane < n; lane++ {
-		if err := w.byLane[lane].rig.StepControl(); err != nil {
+		if err := w.byLane[lane].rig.StepCommand(); err != nil {
 			return err
 		}
+	}
+
+	// Fused guard prediction: pack every pending guard's model state into
+	// dense batch lanes, advance them all with one lockstep Euler sweep,
+	// then absorb each prediction (residual check, fusion, mitigation
+	// rewrite) and resume its held write. Bit-identical to the scalar
+	// in-line path — the batch Euler kernel is lane-equivalent to
+	// Stepper.Step, pinned in internal/dynamics tests.
+	np := 0
+	for lane := 0; lane < n; lane++ {
+		if g := w.byLane[lane].guard; g != nil && g.PredictPending() {
+			w.gpend[np] = lane
+			np++
+		}
+	}
+	if np > 0 {
+		if err := w.gbs.SetLanes(np); err != nil {
+			return err
+		}
+		for k, lane := range w.gpend[:np] {
+			w.byLane[lane].guard.PredictInto(w.gbs, k)
+		}
+		w.gbs.StepEulerAll(control.Period)
+		for k, lane := range w.gpend[:np] {
+			s := w.byLane[lane]
+			s.guard.AbsorbPrediction(w.gbs, k)
+			if err := s.rig.ResumeWrite(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Supervision halves: PLC status tick and brake command, after every
+	// held frame has reached its board — the same frame/supervision order
+	// the scalar StepControl path observes.
+	for lane := 0; lane < n; lane++ {
+		w.byLane[lane].rig.StepSupervise()
 	}
 	// Brake transitions re-home lanes; reconcile before the per-lane DACs
 	// are gathered so dacs[i] drives the plant actually in lane i.

@@ -122,16 +122,15 @@ func laneHardStops(bs *dynamics.BatchStepper, lane int, p *Plant) {
 //
 //ravenlint:noalloc
 func laneCheckCables(bs *dynamics.BatchStepper, lane int, p *Plant) {
-	params := p.model.Params()
 	for i := 0; i < kinematics.NumJoints; i++ {
 		if p.broken[i] {
 			continue
 		}
-		jc := params.Joints[i]
-		stretch := bs.Component(4 * i)[lane]/jc.Ratio - bs.Component(4*i + 2)[lane]
-		stretchVel := bs.Component(4*i + 1)[lane]/jc.Ratio - bs.Component(4*i + 3)[lane]
-		tension := jc.CableStiffness*stretch + jc.CableDamping*stretchVel
-		if mathAbs(tension) > p.cfg.BreakTension[i] {
+		jc := &p.cable[i]
+		stretch := bs.Component(4 * i)[lane]/jc.ratio - bs.Component(4*i + 2)[lane]
+		stretchVel := bs.Component(4*i + 1)[lane]/jc.ratio - bs.Component(4*i + 3)[lane]
+		tension := jc.k*stretch + jc.b*stretchVel
+		if mathAbs(tension) > jc.breakAt {
 			p.broken[i] = true
 		}
 	}

@@ -88,9 +88,23 @@ type Plant struct {
 	rngSrc *randx.Source
 	brakes bool
 	broken [kinematics.NumJoints]bool
-	hard   kinematics.Limits //ravenlint:snapshot-ignore derived from cfg.Limits at NewPlant
+	hard   kinematics.Limits                //ravenlint:snapshot-ignore derived from cfg.Limits at NewPlant
+	cable  [kinematics.NumJoints]cableCheck //ravenlint:snapshot-ignore derived from perturbed params at NewPlant
 	wrist  *wrist.Servo
 	t      float64
+}
+
+// cableCheck is the per-joint constants of the cable-tension breakage
+// test, hoisted out of the perturbed parameter set at construction so
+// checkCables and laneCheckCables don't copy the whole Params struct on
+// every 50 us sub-step (a measurable slice of the fleet worker tick).
+// Ratio is kept as the divisor — not a reciprocal — so the tension
+// arithmetic stays bit-identical to the documented formula.
+type cableCheck struct {
+	ratio   float64 // transmission ratio N (perturbation-free, but read from the same perturbed set)
+	k       float64 // cable stiffness
+	b       float64 // cable damping
+	breakAt float64 // cfg.BreakTension for the joint
 }
 
 // NewPlant builds a plant with per-run perturbed parameters.
@@ -133,6 +147,15 @@ func NewPlant(cfg Config) (*Plant, error) {
 		brakes: true,
 		hard:   hard,
 		wrist:  wristServo,
+	}
+	for i := 0; i < kinematics.NumJoints; i++ {
+		jp := &perturbed.Joints[i]
+		p.cable[i] = cableCheck{
+			ratio:   jp.Ratio,
+			k:       jp.CableStiffness,
+			b:       jp.CableDamping,
+			breakAt: cfg.BreakTension[i],
+		}
 	}
 	p.state.SetJointPos(cfg.StartPose, tr)
 	return p, nil
@@ -260,16 +283,15 @@ func (p *Plant) enforceHardStops() {
 //
 //ravenlint:noalloc
 func (p *Plant) checkCables() {
-	params := p.model.Params()
 	for i := 0; i < kinematics.NumJoints; i++ {
 		if p.broken[i] {
 			continue
 		}
-		jc := params.Joints[i]
-		stretch := p.state.X[4*i]/jc.Ratio - p.state.X[4*i+2]
-		stretchVel := p.state.X[4*i+1]/jc.Ratio - p.state.X[4*i+3]
-		tension := jc.CableStiffness*stretch + jc.CableDamping*stretchVel
-		if mathAbs(tension) > p.cfg.BreakTension[i] {
+		jc := &p.cable[i]
+		stretch := p.state.X[4*i]/jc.ratio - p.state.X[4*i+2]
+		stretchVel := p.state.X[4*i+1]/jc.ratio - p.state.X[4*i+3]
+		tension := jc.k*stretch + jc.b*stretchVel
+		if mathAbs(tension) > jc.breakAt {
 			p.broken[i] = true
 		}
 	}

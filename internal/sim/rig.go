@@ -364,6 +364,23 @@ func (r *Rig) Step() (StepInfo, error) {
 //
 //ravenlint:noalloc
 func (r *Rig) StepControl() error {
+	if err := r.StepCommand(); err != nil {
+		return err
+	}
+	r.StepSupervise()
+	return nil
+}
+
+// StepCommand runs the command phase of the control half: console,
+// transport, feedback read, and the control cycle whose frame goes down
+// the interposition chain. With a deferred-predict guard on the chain the
+// frame may be left parked (interpose.Hold) — the caller must finish the
+// write with ResumeWrite before StepSupervise, so the PLC supervises the
+// status byte the delivered frame produced, exactly as in the unsplit
+// path. StepControl is StepCommand + StepSupervise.
+//
+//ravenlint:noalloc
+func (r *Rig) StepCommand() error {
 	const dt = control.Period
 
 	// 1. Console emits this cycle's ITP datagram (externally driven rigs
@@ -439,14 +456,33 @@ func (r *Rig) StepControl() error {
 	// the interposition chain (malware, then guards, then the board).
 	out := r.ctrl.Tick(*in, *fb, r.plc.EStopped())
 
+	r.pending = pendingStep{out: out, fbDropped: fbDropped}
+	return nil
+}
+
+// StepSupervise runs the supervision phase of the control half: the PLC
+// checks the status byte the board relayed for this cycle's frame and the
+// brakes follow the PLC. Must run after the command frame has reached the
+// board — directly after StepCommand in the scalar path, or after
+// ResumeWrite when a batched guard parked the frame.
+//
+//ravenlint:noalloc
+func (r *Rig) StepSupervise() {
+	const dt = control.Period
 	// 5. PLC supervises the relayed status byte; brakes per PLC.
 	status, have := r.board.StatusByte()
 	r.plc.Tick(status, have, durationFromSeconds(dt))
 	r.plant.SetBrakes(r.plc.BrakesEngaged())
-
-	r.pending = pendingStep{out: out, fbDropped: fbDropped}
-	return nil
 }
+
+// ResumeWrite finishes a command write a deferred-predict guard parked on
+// the interposition chain (see core.Guard.SetDeferredPredict): the held
+// frame — with any mitigation rewrite applied by AbsorbPrediction —
+// continues to the wrappers below the guard and the board. Callers run it
+// between StepCommand and StepSupervise.
+//
+//ravenlint:noalloc
+func (r *Rig) ResumeWrite() error { return r.chain.ResumeHeld() }
 
 // FinishStep runs the bookkeeping half of one step, after the plant
 // physics: encoder latch, clock advance, StepInfo assembly, observers. It

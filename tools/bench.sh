@@ -25,6 +25,9 @@
 #       each run's sessions/core, tick p50/p99/max vs the 1 ms budget and
 #       peak RSS land in a "fleet_slo" array in the JSON (the BENCH_PR8
 #       measurement)
+#   -w  worker counts for the -f probe (default "1"); every session count
+#       is run at every worker count, so -f "64 512" -w "1 2 4" emits a
+#       6-row scaling grid
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -37,7 +40,8 @@ shardexp=""
 shardextra=""
 journalexp=""
 fleetsizes=""
-while getopts "p:n:t:o:s:x:j:f:" opt; do
+fleetworkers="1"
+while getopts "p:n:t:o:s:x:j:f:w:" opt; do
 	case $opt in
 	p) pattern=$OPTARG ;;
 	n) count=$OPTARG ;;
@@ -47,6 +51,7 @@ while getopts "p:n:t:o:s:x:j:f:" opt; do
 	x) shardextra=$OPTARG ;;
 	j) journalexp=$OPTARG ;;
 	f) fleetsizes=$OPTARG ;;
+	w) fleetworkers=$OPTARG ;;
 	*) exit 2 ;;
 	esac
 done
@@ -114,31 +119,35 @@ if [ -n "$journalexp" ]; then
 	done
 fi
 
-# Fleet SLO probe: one process, one worker per run (this box has one
-# core), a mixed clean/guarded/attacked session population with lightly
-# staggered admissions. The headline is sessions/core — how many
-# concurrent 1 kHz sessions the engine sustains in real time — plus the
-# worker-tick latency distribution against the 1 ms budget and peak RSS.
+# Fleet SLO probe: a mixed clean/guarded/attacked session population with
+# lightly staggered admissions, run at every session count × worker count
+# in the -f/-w grid. The headline is sessions/core — how many concurrent
+# 1 kHz sessions the engine sustains in real time per core it burns — plus
+# the worker-tick latency distribution against the 1 ms budget and peak
+# RSS. Session digests are worker-count-invariant (pinned by the fleet
+# equivalence tests), so the grid varies only throughput, never outcomes.
 fleetmix="none:off,B:mitigate,A:holdsafe"
 if [ -n "$fleetsizes" ]; then
 	go build -o "$tmp.ravend" ./cmd/ravend
 	for n in $fleetsizes; do
-		echo "==> ravend -fleet $n -workers 1 -mix $fleetmix -teleop 1" >&2
-		"$tmp.ravend" -fleet "$n" -workers 1 -mix "$fleetmix" -teleop 1 \
-			-value 20000 -delay 150 -duration 64 -stagger 2 -seed 1000 >"$tmp.fleet"
-		awk -v sessions="$n" '
-			/^session ticks:/ { ticks = $3; wall = $5; tps = $8; sub(/\(/, "", tps) }
-			/^sessions\/core:/ { spc = $2 }
-			/^worker tick:/ { p50 = $4; p99 = $7; max = $10; over = $15 }
-			/^peak RSS:/ { rss = $3 }
-			/^outcomes:/ {
-				split($2, a, "="); alarms = a[2]
-				split($4, e, "="); estops = e[2]
-			}
-			END {
-				printf "{\"sessions\": %s, \"workers\": 1, \"session_ticks\": %s, \"wall_s\": %s, \"ticks_per_s\": %s, \"sessions_per_core\": %s, \"tick_p50_ms\": %s, \"tick_p99_ms\": %s, \"tick_max_ms\": %s, \"ticks_over_1ms_budget\": %s, \"peak_rss_mb\": %s, \"alarms\": %s, \"estops\": %s}\n",
-					sessions, ticks, wall, tps, spc, p50, p99, max, over, rss, alarms, estops
-			}' "$tmp.fleet" >>"$fleettmp"
+		for wk in $fleetworkers; do
+			echo "==> ravend -fleet $n -workers $wk -mix $fleetmix -teleop 1" >&2
+			"$tmp.ravend" -fleet "$n" -workers "$wk" -mix "$fleetmix" -teleop 1 \
+				-value 20000 -delay 150 -duration 64 -stagger 2 -seed 1000 >"$tmp.fleet"
+			awk -v sessions="$n" -v workers="$wk" '
+				/^session ticks:/ { ticks = $3; wall = $5; tps = $8; sub(/\(/, "", tps) }
+				/^sessions\/core:/ { spc = $2 }
+				/^worker tick:/ { p50 = $4; p99 = $7; max = $10; over = $15 }
+				/^peak RSS:/ { rss = $3 }
+				/^outcomes:/ {
+					split($2, a, "="); alarms = a[2]
+					split($4, e, "="); estops = e[2]
+				}
+				END {
+					printf "{\"sessions\": %s, \"workers\": %s, \"session_ticks\": %s, \"wall_s\": %s, \"ticks_per_s\": %s, \"sessions_per_core\": %s, \"tick_p50_ms\": %s, \"tick_p99_ms\": %s, \"tick_max_ms\": %s, \"ticks_over_1ms_budget\": %s, \"peak_rss_mb\": %s, \"alarms\": %s, \"estops\": %s}\n",
+						sessions, workers, ticks, wall, tps, spc, p50, p99, max, over, rss, alarms, estops
+				}' "$tmp.fleet" >>"$fleettmp"
+		done
 	done
 fi
 
