@@ -1,21 +1,37 @@
 // Command ravenlint is the repository's custom static-analysis gate. It
-// proves at build time the three invariants the simulation pipeline's
+// proves at build time the six invariants the simulation pipeline's
 // correctness argument leans on:
 //
-//	determinism  no wall clocks, global math/rand, or order-leaking map
-//	             iteration in the deterministic-replay packages;
-//	snapshot     capture/restore pairs cover every field of their type,
-//	             so snapshot/fork trials cannot silently diverge;
-//	noalloc      //ravenlint:noalloc-annotated hot-path functions are
-//	             free of allocating constructs.
+//	determinism     no wall clocks, global math/rand, or order-leaking
+//	                map iteration in the deterministic-replay packages;
+//	snapshot        capture/restore pairs cover every field of their
+//	                type, so snapshot/fork trials cannot silently
+//	                diverge;
+//	noalloc         //ravenlint:noalloc-annotated hot-path functions are
+//	                free of allocating constructs;
+//	heldframe       the interpose.Hold protocol holds shape: parked
+//	                predictions are absorbed and resumed on all
+//	                non-error paths, no write-while-held, no double
+//	                hold, deferral opt-ins implement the full
+//	                PredictInto/AbsorbPrediction seam;
+//	mergepurity     reducers reachable from shard.Merger, stats.Forest,
+//	                and the metrics Merge methods are order-insensitive;
+//	noalloc-escape  `go build -gcflags=-m` evidence that no annotated
+//	                noalloc function contains a compiler-proven heap
+//	                escape.
 //
 // Usage:
 //
-//	go run ./cmd/ravenlint [-checks determinism,snapshot,noalloc] [-json] [packages]
+//	go run ./cmd/ravenlint [-checks <list>|all] [-json] [packages]
 //
 // Packages default to ./... . Exit status is 0 when clean, 1 when any
-// diagnostic is reported, 2 on load/usage errors. With -json the
-// diagnostics are printed as a JSON array (empty tree prints []).
+// finding is reported, and 2 when the analysis itself could not run
+// (unknown check, unparseable or untypecheckable package, failed escape
+// build). With -json the findings are printed as a JSON array (empty
+// tree prints []) of objects {file, line, col, check, severity,
+// message}, sorted by position; severity is "error" for invariant
+// violations and "warning" for annotation hygiene, and both fail the
+// run.
 //
 // Findings are suppressed, with a recorded reason, by
 // `//ravenlint:allow <check> <reason>` on the offending line (or the
@@ -25,9 +41,12 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"ravenguard/internal/lint"
 )
@@ -36,12 +55,15 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ravenlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	checks := fs.String("checks", "all", "comma-separated checks to run: determinism, snapshot, noalloc (or all)")
-	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	checks := fs.String("checks", "all", "comma-separated checks to run: "+strings.Join(lint.AllChecks, ", ")+" (or all)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array of {file, line, col, check, severity, message}")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
 		return 2
 	}
 	patterns := fs.Args()
@@ -49,17 +71,30 @@ func run(args []string, stdout, stderr *os.File) int {
 		patterns = []string{"./..."}
 	}
 
-	analyzers, err := lint.Analyzers(*checks, lint.MatchDeterministic)
+	sel, err := lint.Select(*checks, true)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	pkgs, err := lint.Load(".", patterns)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
+
+	var diags []lint.Diagnostic
+	if len(sel.Analyzers) > 0 {
+		pkgs, err := lint.Load(".", patterns)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		diags = lint.Run(pkgs, sel.Analyzers)
 	}
-	diags := lint.Run(pkgs, analyzers)
+	if sel.Escape {
+		escDiags, err := lint.EscapeCheck(".", patterns)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		diags = append(diags, escDiags...)
+		lint.SortDiagnostics(diags)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -77,7 +112,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	if len(diags) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(stderr, "ravenlint: %d diagnostic(s)\n", len(diags))
+			fmt.Fprintf(stderr, "ravenlint: %d finding(s)\n", len(diags))
 		}
 		return 1
 	}

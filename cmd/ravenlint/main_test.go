@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ravenguard/internal/lint"
+)
+
+// The exit-code contract: 0 clean, 1 findings, 2 the analysis itself
+// could not run. The fixtures under internal/lint/testdata drive the
+// first two; the deliberately-broken package under ./testdata/broken
+// drives the third.
+
+const (
+	cleanFixture    = "../../internal/lint/testdata/src/determfix"
+	findingsFixture = "../../internal/lint/testdata/src/noallocfix"
+	annotFixture    = "../../internal/lint/testdata/src/annotfix"
+	brokenFixture   = "./testdata/broken"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitZeroWhenClean(t *testing.T) {
+	// determfix trips determinism, but under the CLI's repository scoping
+	// a testdata import path is outside the deterministic-replay set; the
+	// snapshot check is a genuinely clean pass over it either way.
+	code, stdout, stderr := runCLI(t, "-checks", "snapshot", cleanFixture)
+	if code != 0 || stdout != "" {
+		t.Fatalf("clean run: code %d, stdout %q, stderr %q", code, stdout, stderr)
+	}
+}
+
+func TestExitOneOnFindings(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-checks", "noalloc", findingsFixture)
+	if code != 1 {
+		t.Fatalf("findings run: code %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "[noalloc]") {
+		t.Fatalf("findings run printed no noalloc diagnostics:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Fatalf("findings run did not summarize on stderr: %q", stderr)
+	}
+}
+
+func TestExitTwoOnUnknownCheck(t *testing.T) {
+	code, _, stderr := runCLI(t, "-checks", "nosuch", cleanFixture)
+	if code != 2 {
+		t.Fatalf("unknown check: code %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "unknown check") {
+		t.Fatalf("unknown check: stderr %q", stderr)
+	}
+}
+
+func TestExitTwoOnUnparseablePackage(t *testing.T) {
+	code, stdout, stderr := runCLI(t, brokenFixture)
+	if code != 2 {
+		t.Fatalf("broken package: code %d, stdout %q, stderr %q", code, stdout, stderr)
+	}
+	if stderr == "" {
+		t.Fatal("broken package: no error reported on stderr")
+	}
+}
+
+func TestExitZeroOnHelp(t *testing.T) {
+	code, _, stderr := runCLI(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h: code %d", code)
+	}
+	if !strings.Contains(stderr, "-checks") {
+		t.Fatalf("-h: usage not printed: %q", stderr)
+	}
+}
+
+func TestJSONFindings(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "-checks", "noalloc", findingsFixture)
+	if code != 1 {
+		t.Fatalf("json findings run: code %d", code)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, stdout)
+	}
+	if len(diags) == 0 {
+		t.Fatal("json findings run decoded to an empty array")
+	}
+	for i, d := range diags {
+		if d.Check != lint.CheckNoalloc || d.Severity != lint.SeverityError {
+			t.Errorf("finding %d: check %q severity %q, want noalloc/error", i, d.Check, d.Severity)
+		}
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Message == "" {
+			t.Errorf("finding %d incomplete: %+v", i, d)
+		}
+		if i > 0 {
+			prev, cur := diags[i-1], d
+			if prev.File > cur.File || (prev.File == cur.File && prev.Line > cur.Line) {
+				t.Errorf("findings not position-sorted at %d: %v then %v", i, prev, cur)
+			}
+		}
+	}
+}
+
+func TestJSONEmptyArrayWhenClean(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "-checks", "snapshot", cleanFixture)
+	if code != 0 {
+		t.Fatalf("clean json run: code %d", code)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Fatalf("clean json run printed %q, want []", stdout)
+	}
+}
+
+func TestAnnotationWarningsStillFail(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "-checks", "snapshot", annotFixture)
+	if code != 1 {
+		t.Fatalf("annotfix run: code %d", code)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, stdout)
+	}
+	if len(diags) == 0 {
+		t.Fatal("annotfix produced no findings")
+	}
+	for _, d := range diags {
+		if d.Check != lint.CheckAnnotation || d.Severity != lint.SeverityWarning {
+			t.Errorf("annotfix finding: check %q severity %q, want annotation/warning", d.Check, d.Severity)
+		}
+	}
+}

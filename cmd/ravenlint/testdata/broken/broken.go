@@ -1,0 +1,6 @@
+// Package broken is deliberately unparseable: main_test.go points
+// ravenlint at it to pin the exit-2 "analysis could not run" path.
+// The testdata directory keeps it out of ./... builds.
+package broken
+
+func Oops( {

@@ -1,0 +1,104 @@
+package interpose
+
+import (
+	"errors"
+	"testing"
+)
+
+// Error-path pins for the held-frame protocol, independent of the fleet
+// worker that normally drives it: the ErrHeldFrame refusals and the
+// second-Hold degradation are load-bearing for the heldframe lint rules
+// ("Chain.Write returns ErrHeldFrame at runtime", "double hold degrades
+// to a dropped frame"), so each is held in place by a unit test here.
+
+// TestWriteWhileHeldLeavesFrameParked: the rejected write must not count,
+// must not disturb the parked frame, and the park must stay resumable.
+func TestWriteWhileHeldLeavesFrameParked(t *testing.T) {
+	holder := &recorder{name: "holder", mutate: func(buf []byte) Verdict { return Hold }}
+	var got []byte
+	c := NewChain(func(buf []byte) error {
+		got = append([]byte(nil), buf...)
+		return nil
+	})
+	c.Append(holder)
+
+	first := []byte{1, 2, 3}
+	if err := c.Write(first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Write([]byte{9}); !errors.Is(err, ErrHeldFrame) {
+			t.Fatalf("write %d while held: err = %v, want ErrHeldFrame", i, err)
+		}
+	}
+	if !c.HoldPending() {
+		t.Fatal("rejected writes must not consume the parked frame")
+	}
+	if err := c.ResumeHeld(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 {
+		t.Fatalf("target saw %v, want the originally parked frame", got)
+	}
+	// Only the parked write counts; the three refusals never entered the
+	// chain.
+	if writes, dropped := c.Stats(); writes != 1 || dropped != 0 {
+		t.Fatalf("stats = %d writes %d dropped, want 1/0", writes, dropped)
+	}
+}
+
+// TestResumeWithNothingHeld: ResumeHeld on an idle chain — fresh, and
+// again after a completed pass-through write — is a protocol error.
+func TestResumeWithNothingHeld(t *testing.T) {
+	c := NewChain(func(buf []byte) error { return nil })
+	if err := c.ResumeHeld(); !errors.Is(err, ErrHeldFrame) {
+		t.Fatalf("resume on fresh chain: err = %v, want ErrHeldFrame", err)
+	}
+	if err := c.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ResumeHeld(); !errors.Is(err, ErrHeldFrame) {
+		t.Fatalf("resume after pass-through write: err = %v, want ErrHeldFrame", err)
+	}
+}
+
+// TestSecondHoldBelowResumeDegradesToDrop: a wrapper below the holder
+// answering Hold during ResumeHeld would deadlock the tick (nobody is
+// left to resume it), so the chain degrades the frame to a counted drop,
+// clears the latch, and keeps serving writes.
+func TestSecondHoldBelowResumeDegradesToDrop(t *testing.T) {
+	top := &recorder{name: "top", mutate: func(buf []byte) Verdict { return Hold }}
+	below := &recorder{name: "below", mutate: func(buf []byte) Verdict { return Hold }}
+	reached := 0
+	c := NewChain(func(buf []byte) error { reached++; return nil })
+	c.Append(top).Append(below)
+
+	if err := c.Write([]byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ResumeHeld(); err != nil {
+		t.Fatalf("resume into a second hold must degrade, not error: %v", err)
+	}
+	if reached != 0 {
+		t.Fatal("double-held frame reached the target")
+	}
+	if c.HoldPending() {
+		t.Fatal("latch must clear after the degradation; a stuck latch wedges every later write")
+	}
+	if writes, dropped := c.Stats(); writes != 1 || dropped != 1 {
+		t.Fatalf("stats = %d writes %d dropped, want the degraded frame counted dropped (1/1)", writes, dropped)
+	}
+
+	// The chain stays usable: stop the below wrapper holding and the next
+	// write completes end to end.
+	below.mutate = func(buf []byte) Verdict { return Pass }
+	if err := c.Write([]byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ResumeHeld(); err != nil {
+		t.Fatal(err)
+	}
+	if reached != 1 {
+		t.Fatalf("post-degradation write reached target %d times, want 1", reached)
+	}
+}

@@ -1,0 +1,395 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is a minimal intra-function control-flow graph, built for the
+// flow-aware analyzers (heldframe today). It deliberately models only what
+// those analyzers need:
+//
+//   - one node per executed statement "head" (an if's init+cond, a for's
+//     init+cond, a range's operand, a case clause's exprs), so every
+//     expression is owned by exactly one node;
+//   - normal exit vs error exit: a return whose results include a non-nil
+//     error value, and a panic call, leave via errExit. Protocol checks
+//     exempt error paths — an aborted tick tears the whole session down,
+//     so "the held frame was never resumed" is not a protocol violation
+//     there;
+//   - nested function literals are NOT traversed: a closure's body runs at
+//     some other time (or never), so its statements are not on this
+//     function's paths. Analyzers walk literals as separate functions.
+//
+// goto is not modelled (the repository has none); a goto conservatively
+// routes to the error exit so all-paths checks cannot claim a path that
+// does not exist.
+type cfgNode struct {
+	// owned are the AST regions whose expressions execute at this node,
+	// in execution order.
+	owned []ast.Node
+	succs []*cfgNode
+
+	exit    bool // the function's single normal exit
+	errExit bool // the function's single error/panic exit
+}
+
+type cfg struct {
+	entry   *cfgNode
+	exit    *cfgNode
+	errExit *cfgNode
+	nodes   []*cfgNode
+}
+
+type loopCtx struct {
+	label        string
+	breakTarget  *cfgNode
+	continueTarg *cfgNode // nil for switch/select contexts
+}
+
+type cfgBuilder struct {
+	p     *Package
+	g     *cfg
+	loops []loopCtx
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(p *Package, body *ast.BlockStmt) *cfg {
+	g := &cfg{}
+	g.exit = &cfgNode{exit: true}
+	g.errExit = &cfgNode{errExit: true}
+	g.entry = &cfgNode{}
+	g.nodes = append(g.nodes, g.entry, g.exit, g.errExit)
+	b := &cfgBuilder{p: p, g: g}
+	frontier := b.stmts(body.List, g.entry)
+	if frontier != nil {
+		frontier.succs = append(frontier.succs, g.exit)
+	}
+	return g
+}
+
+func (b *cfgBuilder) newNode(owned ...ast.Node) *cfgNode {
+	n := &cfgNode{}
+	for _, o := range owned {
+		if o != nil {
+			n.owned = append(n.owned, o)
+		}
+	}
+	b.g.nodes = append(b.g.nodes, n)
+	return n
+}
+
+// stmts threads a statement list from pred, returning the live frontier
+// (nil when control cannot fall off the end).
+func (b *cfgBuilder) stmts(list []ast.Stmt, pred *cfgNode) *cfgNode {
+	cur := pred
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after return/branch: still build nodes so
+			// analyzers can see the statements, but leave them unwired
+			// from the live path.
+			cur = b.newNode()
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+// stmt wires one statement after pred and returns the fall-through
+// frontier (nil if control never falls through).
+func (b *cfgBuilder) stmt(s ast.Stmt, pred *cfgNode) *cfgNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, pred)
+
+	case *ast.LabeledStmt:
+		return b.labeled(s, pred)
+
+	case *ast.IfStmt:
+		head := b.newNode(s.Init, s.Cond)
+		pred.succs = append(pred.succs, head)
+		join := b.newNode()
+		if thenEnd := b.stmts(s.Body.List, head); thenEnd != nil {
+			thenEnd.succs = append(thenEnd.succs, join)
+		}
+		if s.Else != nil {
+			if elseEnd := b.stmt(s.Else, head); elseEnd != nil {
+				elseEnd.succs = append(elseEnd.succs, join)
+			}
+		} else {
+			head.succs = append(head.succs, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		return b.forLoop(s, pred, "")
+
+	case *ast.RangeStmt:
+		return b.rangeLoop(s, pred, "")
+
+	case *ast.SwitchStmt:
+		return b.switchLike(pred, "", []ast.Node{s.Init, s.Tag}, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		return b.switchLike(pred, "", []ast.Node{s.Init, s.Assign}, s.Body)
+
+	case *ast.SelectStmt:
+		return b.selectStmt(s, pred, "")
+
+	case *ast.ReturnStmt:
+		n := b.newNode(s)
+		pred.succs = append(pred.succs, n)
+		if returnsNonNilError(b.p, s) {
+			n.succs = append(n.succs, b.g.errExit)
+		} else {
+			n.succs = append(n.succs, b.g.exit)
+		}
+		return nil
+
+	case *ast.BranchStmt:
+		n := b.newNode()
+		pred.succs = append(pred.succs, n)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findLoop(s.Label, false); t != nil {
+				n.succs = append(n.succs, t.breakTarget)
+			} else {
+				n.succs = append(n.succs, b.g.errExit)
+			}
+		case token.CONTINUE:
+			if t := b.findLoop(s.Label, true); t != nil {
+				n.succs = append(n.succs, t.continueTarg)
+			} else {
+				n.succs = append(n.succs, b.g.errExit)
+			}
+		case token.FALLTHROUGH:
+			// Handled structurally by switchLike; a stray fallthrough
+			// (invalid Go) falls to the error exit.
+			return n
+		default: // goto: unmodelled, conservatively an abnormal exit
+			n.succs = append(n.succs, b.g.errExit)
+		}
+		return nil
+
+	case *ast.ExprStmt:
+		n := b.newNode(s)
+		pred.succs = append(pred.succs, n)
+		if isPanicCall(b.p, s.X) {
+			n.succs = append(n.succs, b.g.errExit)
+			return nil
+		}
+		return n
+
+	default:
+		// Assignments, declarations, defers, go statements, sends,
+		// inc/dec, empty statements: straight-line nodes.
+		n := b.newNode(s)
+		pred.succs = append(pred.succs, n)
+		return n
+	}
+}
+
+func (b *cfgBuilder) labeled(s *ast.LabeledStmt, pred *cfgNode) *cfgNode {
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		return b.forLoop(inner, pred, s.Label.Name)
+	case *ast.RangeStmt:
+		return b.rangeLoop(inner, pred, s.Label.Name)
+	case *ast.SwitchStmt:
+		return b.switchLike(pred, s.Label.Name, []ast.Node{inner.Init, inner.Tag}, inner.Body)
+	case *ast.TypeSwitchStmt:
+		return b.switchLike(pred, s.Label.Name, []ast.Node{inner.Init, inner.Assign}, inner.Body)
+	case *ast.SelectStmt:
+		return b.selectStmt(inner, pred, s.Label.Name)
+	default:
+		return b.stmt(s.Stmt, pred)
+	}
+}
+
+func (b *cfgBuilder) forLoop(s *ast.ForStmt, pred *cfgNode, label string) *cfgNode {
+	head := b.newNode(s.Init, s.Cond)
+	post := b.newNode(s.Post)
+	exit := b.newNode()
+	pred.succs = append(pred.succs, head)
+	if s.Cond != nil {
+		head.succs = append(head.succs, exit)
+	}
+	// An infinite `for {}` still gets the exit edge reachable via break.
+	b.loops = append(b.loops, loopCtx{label: label, breakTarget: exit, continueTarg: post})
+	if bodyEnd := b.stmts(s.Body.List, head); bodyEnd != nil {
+		bodyEnd.succs = append(bodyEnd.succs, post)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	post.succs = append(post.succs, head)
+	return exit
+}
+
+func (b *cfgBuilder) rangeLoop(s *ast.RangeStmt, pred *cfgNode, label string) *cfgNode {
+	head := b.newNode(s.X)
+	exit := b.newNode()
+	pred.succs = append(pred.succs, head)
+	head.succs = append(head.succs, exit) // zero iterations
+	b.loops = append(b.loops, loopCtx{label: label, breakTarget: exit, continueTarg: head})
+	if bodyEnd := b.stmts(s.Body.List, head); bodyEnd != nil {
+		bodyEnd.succs = append(bodyEnd.succs, head)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	return exit
+}
+
+func (b *cfgBuilder) switchLike(pred *cfgNode, label string, headOwned []ast.Node, body *ast.BlockStmt) *cfgNode {
+	head := b.newNode(headOwned...)
+	pred.succs = append(pred.succs, head)
+	join := b.newNode()
+	b.loops = append(b.loops, loopCtx{label: label, breakTarget: join})
+
+	// Build each clause's entry node first, so fallthrough can jump to
+	// the next clause's body.
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	entries := make([]*cfgNode, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		owned := make([]ast.Node, len(cc.List))
+		for j, e := range cc.List {
+			owned[j] = e
+		}
+		entries[i] = b.newNode(owned...)
+		head.succs = append(head.succs, entries[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		head.succs = append(head.succs, join)
+	}
+	for i, cc := range clauses {
+		bodyList := cc.Body
+		fallsThrough := false
+		if n := len(bodyList); n > 0 {
+			if br, ok := bodyList[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				bodyList = bodyList[:n-1]
+			}
+		}
+		end := b.stmts(bodyList, entries[i])
+		if end == nil {
+			continue
+		}
+		if fallsThrough && i+1 < len(entries) {
+			end.succs = append(end.succs, entries[i+1])
+		} else {
+			end.succs = append(end.succs, join)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	return join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, pred *cfgNode, label string) *cfgNode {
+	head := b.newNode()
+	pred.succs = append(pred.succs, head)
+	join := b.newNode()
+	b.loops = append(b.loops, loopCtx{label: label, breakTarget: join})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		entry := b.newNode(cc.Comm)
+		head.succs = append(head.succs, entry)
+		if end := b.stmts(cc.Body, entry); end != nil {
+			end.succs = append(end.succs, join)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	return join
+}
+
+// findLoop resolves break/continue to its target context. continueOnly
+// restricts the search to loops (continue cannot target a switch).
+func (b *cfgBuilder) findLoop(label *ast.Ident, continueOnly bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		c := &b.loops[i]
+		if continueOnly && c.continueTarg == nil {
+			continue
+		}
+		if label == nil || c.label == label.Name {
+			return c
+		}
+	}
+	return nil
+}
+
+// returnsNonNilError reports whether a return carries an error value that
+// is not the nil literal — the shape of an early error bail-out.
+func returnsNonNilError(p *Package, s *ast.ReturnStmt) bool {
+	for _, res := range s.Results {
+		tv, ok := p.Info.Types[res]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if !types.Implements(tv.Type, errorInterface()) && !isErrorType(tv.Type) {
+			continue
+		}
+		if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if id, ok := ast.Unparen(res).(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func errorInterface() *types.Interface {
+	return errType.Underlying().(*types.Interface)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errType)
+}
+
+// isPanicCall reports whether the expression is a call of the panic
+// builtin.
+func isPanicCall(p *Package, x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// ownedCalls visits every call expression in the node's owned regions, in
+// source order, skipping nested function literals (their bodies are not on
+// this function's paths).
+func (n *cfgNode) ownedCalls(visit func(*ast.CallExpr)) {
+	for _, region := range n.owned {
+		ast.Inspect(region, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.BlockStmt:
+				// Owned regions are statement heads; nested blocks belong
+				// to other nodes (if/for bodies wired separately).
+				return false
+			case *ast.CallExpr:
+				visit(x)
+			}
+			return true
+		})
+	}
+}

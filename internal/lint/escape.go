@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is the noalloc-escape check: evidence for the `noalloc`
+// annotations instead of trust. The AST noalloc analyzer rejects
+// allocating *constructs*; this check asks the compiler itself. For every
+// package containing a `//ravenlint:noalloc` function it drives
+//
+//	go build -gcflags=<importpath>=-m <importpath>
+//
+// and parses the escape-analysis diagnostics. A "moved to heap" or
+// "escapes to heap" line positioned inside an annotated function is a
+// finding: the annotation promises a zero-allocation steady state, and
+// the compiler just proved an allocation survives on that path. Escapes
+// the author has judged acceptable (for example a cold error branch) are
+// waived line-by-line with `//ravenlint:allow noalloc-escape <reason>`.
+//
+// The check is build-driven rather than a Package analyzer: it needs the
+// real compiler's escape verdicts, which the go build cache replays
+// cheaply on unchanged packages. The runtime allocs_test.go guards stay
+// as the backstop for what actually allocates at run time.
+
+// escapeDiagRE matches one compiler diagnostic line:
+// "path/file.go:12:9: make([]int, n) escapes to heap".
+var escapeDiagRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// escapeMessage reports whether a compiler -m note is an allocation the
+// noalloc contract forbids. "does not escape" notes and parameter-leak
+// notes are informational.
+func escapeMessage(msg string) bool {
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	return strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "moved to heap")
+}
+
+// EscapeCheck runs the noalloc-escape check over the packages matching
+// the patterns, rooted at dir. It returns position-sorted diagnostics;
+// an error means the check itself could not run (list/build failure),
+// not that findings exist.
+func EscapeCheck(dir string, patterns []string) ([]Diagnostic, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		ds, err := escapeCheckPackage(dir, lp)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// escapeCheckPackage checks one listed package: parse it, find the
+// annotated functions, and — only if there are any — rebuild it with -m
+// and map the compiler's escape notes into the annotated bodies.
+func escapeCheckPackage(dir string, lp *listedPackage) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	// A types-free Package is enough for annotation collection and allow
+	// suppression: both work off comments and positions alone.
+	p := &Package{ImportPath: lp.ImportPath, Fset: fset, Files: files}
+	p.collectAnnotations()
+
+	type span struct {
+		file       string // base name
+		name       string
+		start, end int
+	}
+	var annotated []span
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !commentGroupHas(fd.Doc, annotNoalloc) {
+				continue
+			}
+			pos := fset.Position(fd.Pos())
+			annotated = append(annotated, span{
+				file:  filepath.Base(pos.Filename),
+				name:  fd.Name.Name,
+				start: pos.Line,
+				end:   fset.Position(fd.End()).Line,
+			})
+		}
+	}
+	if len(annotated) == 0 {
+		return nil, nil
+	}
+
+	notes, err := escapeNotes(dir, lp)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve each file base name back to the parsed (full) path so the
+	// findings position like every other ravenlint diagnostic.
+	fullPath := map[string]string{}
+	for _, name := range lp.GoFiles {
+		fullPath[name] = filepath.Join(lp.Dir, name)
+	}
+
+	var diags []Diagnostic
+	for _, note := range notes {
+		for _, fn := range annotated {
+			if note.file != fn.file || note.line < fn.start || note.line > fn.end {
+				continue
+			}
+			d := Diagnostic{
+				File:     fullPath[note.file],
+				Line:     note.line,
+				Col:      note.col,
+				Check:    CheckNoallocEscape,
+				Severity: SeverityError,
+				Message: fmt.Sprintf("heap escape inside //ravenlint:noalloc %s: compiler reports %q",
+					fn.name, note.msg),
+			}
+			if !p.suppressed(d, findPos(p, d)) {
+				diags = append(diags, d)
+			}
+			break
+		}
+	}
+	return diags, nil
+}
+
+type escapeNote struct {
+	file      string // base name, as the compiler printed it
+	line, col int
+	msg       string
+}
+
+// escapeNotes compiles the package with escape diagnostics enabled and
+// parses the notes. The -gcflags pattern pins -m to this package alone,
+// so dependency compilations stay quiet.
+func escapeNotes(dir string, lp *listedPackage) ([]escapeNote, error) {
+	args := []string{"build", "-gcflags=" + lp.ImportPath + "=-m"}
+	if lp.Name == "main" {
+		// Keep main-package builds from dropping a binary in the tree.
+		args = append(args, "-o", os.DevNull)
+	}
+	args = append(args, lp.ImportPath)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go %v: %v\n%s", args, err, stderr.String())
+	}
+	var notes []escapeNote
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		m := escapeDiagRE.FindStringSubmatch(line)
+		if m == nil || !escapeMessage(m[4]) {
+			continue
+		}
+		ln, err1 := strconv.Atoi(m[2])
+		col, err2 := strconv.Atoi(m[3])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		notes = append(notes, escapeNote{file: filepath.Base(m[1]), line: ln, col: col, msg: m[4]})
+	}
+	return notes, nil
+}

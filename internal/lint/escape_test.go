@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The escape fixture's expectations are `// wantescape `regex`` comments
+// matched by (base file name, line): noalloc-escape findings carry the
+// compiler's positions rather than AST positions, so the test compares
+// where go build's -m notes actually land.
+
+func collectEscapeWants(t *testing.T, dir string) map[string][]*wantSpec {
+	t.Helper()
+	wants := map[string][]*wantSpec{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			_, payload, ok := strings.Cut(sc.Text(), "// wantescape ")
+			if !ok {
+				continue
+			}
+			m := wantPatternRE.FindStringSubmatch(payload)
+			if m == nil {
+				t.Fatalf("%s:%d: wantescape comment with no quoted pattern", e.Name(), line)
+			}
+			pat := m[1]
+			if pat == "" {
+				pat = m[2]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad wantescape pattern %q: %v", e.Name(), line, pat, err)
+			}
+			key := keyAt(e.Name(), line)
+			wants[key] = append(wants[key], &wantSpec{re: re})
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return wants
+}
+
+func keyAt(file string, line int) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(file), line)
+}
+
+// TestEscapeGolden drives the noalloc-escape check over its fixture and
+// matches findings against the wantescape comments, both directions.
+func TestEscapeGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives go build")
+	}
+	fixture := filepath.Join("testdata", "src", "escfix")
+	diags, err := EscapeCheck(".", []string{"./" + fixture})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectEscapeWants(t, fixture)
+	for _, d := range diags {
+		if d.Check != CheckNoallocEscape || d.Severity != SeverityError {
+			t.Errorf("finding with wrong check/severity: %+v", d)
+		}
+		key := keyAt(d.File, d.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected escape finding: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no escape finding matching %q", key, w.re)
+			}
+		}
+	}
+}
+
+// TestRepoEscapeClean is the tree gate: no annotated noalloc function in
+// the repository contains a compiler-proven heap escape (beyond the
+// reasoned allows recorded in the source).
+func TestRepoEscapeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds annotated packages with -gcflags=-m")
+	}
+	diags, err := EscapeCheck("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo not escape-clean: %s", d)
+	}
+}

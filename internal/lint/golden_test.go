@@ -111,6 +111,10 @@ func TestSnapshotGolden(t *testing.T) { testGolden(t, "snapfix", "snapshot") }
 
 func TestNoallocGolden(t *testing.T) { testGolden(t, "noallocfix", "noalloc") }
 
+func TestHeldFrameGolden(t *testing.T) { testGolden(t, "heldfix", "heldframe") }
+
+func TestMergePurityGolden(t *testing.T) { testGolden(t, "mergefix", "mergepurity") }
+
 // TestMalformedAnnotations asserts that broken directives surface as
 // non-suppressible annotation diagnostics. They are checked
 // programmatically because a `// want` comment cannot share a line with
@@ -143,7 +147,8 @@ func TestMalformedAnnotations(t *testing.T) {
 
 // TestRepoLintsClean is the gate the fixtures justify: the real tree,
 // loaded exactly the way cmd/ravenlint loads it, produces zero
-// diagnostics under all three checks.
+// diagnostics under every AST check at its repository scope. (The
+// build-driven noalloc-escape check has its own gate in escape_test.go.)
 func TestRepoLintsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("re-typechecks the whole module")
@@ -152,19 +157,24 @@ func TestRepoLintsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	analyzers, err := Analyzers("all", MatchDeterministic)
+	sel, err := Select("all", true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, d := range Run(pkgs, analyzers) {
+	for _, d := range Run(pkgs, sel.Analyzers) {
 		t.Errorf("repo not lint-clean: %s", d)
 	}
 }
 
 // TestAnalyzerSelection covers the -checks flag's parsing surface.
 func TestAnalyzerSelection(t *testing.T) {
-	if as, err := Analyzers("all", nil); err != nil || len(as) != 3 {
-		t.Fatalf("all: got %d analyzers, err %v", len(as), err)
+	sel, err := Select("all", true)
+	if err != nil || len(sel.Analyzers) != 5 || !sel.Escape {
+		t.Fatalf("all: got %d analyzers, escape %v, err %v", len(sel.Analyzers), sel.Escape, err)
+	}
+	sel, err = Select("noalloc-escape", false)
+	if err != nil || len(sel.Analyzers) != 0 || !sel.Escape {
+		t.Fatalf("noalloc-escape: got %d analyzers, escape %v, err %v", len(sel.Analyzers), sel.Escape, err)
 	}
 	as, err := Analyzers("determinism,noalloc", nil)
 	if err != nil || len(as) != 2 {
@@ -173,6 +183,9 @@ func TestAnalyzerSelection(t *testing.T) {
 	if as[0].Name != CheckDeterminism || as[1].Name != CheckNoalloc {
 		t.Fatalf("subset order: got %s, %s", as[0].Name, as[1].Name)
 	}
+	if as, err := Analyzers("heldframe,mergepurity", nil); err != nil || len(as) != 2 {
+		t.Fatalf("v2 subset: got %d analyzers, err %v", len(as), err)
+	}
 	if _, err := Analyzers("nosuch", nil); err == nil {
 		t.Fatal("unknown check accepted")
 	}
@@ -180,12 +193,12 @@ func TestAnalyzerSelection(t *testing.T) {
 
 // TestDiagnosticJSON pins the JSON shape the -json flag emits.
 func TestDiagnosticJSON(t *testing.T) {
-	d := Diagnostic{File: "a/b.go", Line: 12, Col: 3, Check: CheckNoalloc, Message: "make allocates"}
+	d := Diagnostic{File: "a/b.go", Line: 12, Col: 3, Check: CheckNoalloc, Severity: SeverityError, Message: "make allocates"}
 	blob, err := json.Marshal(d)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"file":"a/b.go","line":12,"col":3,"check":"noalloc","message":"make allocates"}`
+	want := `{"file":"a/b.go","line":12,"col":3,"check":"noalloc","severity":"error","message":"make allocates"}`
 	if string(blob) != want {
 		t.Fatalf("got %s, want %s", blob, want)
 	}

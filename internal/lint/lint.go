@@ -1,6 +1,6 @@
 // Package lint is ravenlint's engine: a stdlib-only static-analysis
 // framework (go/parser + go/types, driven off `go list -json -export`)
-// with three repo-specific analyzers that turn this repository's runtime
+// with six repo-specific checks that turn this repository's runtime
 // invariants into build breaks:
 //
 //   - determinism: the deterministic-replay packages must not read wall
@@ -11,7 +11,16 @@
 //     caught before forks silently diverge;
 //   - noalloc: functions annotated `//ravenlint:noalloc` must contain no
 //     allocating constructs — the static complement to the
-//     testing.AllocsPerRun guards.
+//     testing.AllocsPerRun guards;
+//   - heldframe: flow-aware enforcement of the interpose.Hold protocol —
+//     every parked prediction is absorbed and resumed on all non-error
+//     paths, no write-while-held, no double hold, and every deferral
+//     opt-in implements the full PredictInto/AbsorbPrediction seam;
+//   - mergepurity: every reducer reachable from shard.Merger /
+//     stats.Forest / metrics Merge methods is order-insensitive;
+//   - noalloc-escape: evidence for the noalloc annotations — drives
+//     `go build -gcflags=-m` per annotated package and fails when the
+//     compiler reports a heap escape inside an annotated function.
 //
 // Escape hatches are explicit and carry a reason:
 //
@@ -20,8 +29,9 @@
 //	//ravenlint:noalloc                           (opt a function in)
 //
 // The framework deliberately avoids golang.org/x/tools: go.mod stays
-// dependency-free, and the three analyzers need only syntax trees, type
-// information, and positions.
+// dependency-free, and the checks need only syntax trees, type
+// information, positions, and (for noalloc-escape) the compiler's own
+// diagnostics.
 package lint
 
 import (
@@ -35,21 +45,36 @@ import (
 
 // Check names.
 const (
-	CheckDeterminism = "determinism"
-	CheckSnapshot    = "snapshot"
-	CheckNoalloc     = "noalloc"
+	CheckDeterminism   = "determinism"
+	CheckSnapshot      = "snapshot"
+	CheckNoalloc       = "noalloc"
+	CheckHeldFrame     = "heldframe"
+	CheckMergePurity   = "mergepurity"
+	CheckNoallocEscape = "noalloc-escape"
 	// CheckAnnotation reports malformed ravenlint annotations (for
 	// example an allow with no reason). It cannot be suppressed.
 	CheckAnnotation = "annotation"
 )
 
-// Diagnostic is one finding, positioned at the offending construct.
+// Severity levels. Every finding fails the build (exit 1); severity
+// distinguishes invariant violations from annotation hygiene so CI
+// summaries and dashboards can group them.
+const (
+	SeverityError   = "error"
+	SeverityWarning = "warning"
+)
+
+// Diagnostic is one finding, positioned at the offending construct. The
+// field order here is the documented, stable `-json` schema; the CLI
+// emits findings sorted by (file, line, col, message) so CI diffs are
+// deterministic.
 type Diagnostic struct {
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Check   string `json:"check"`
-	Message string `json:"message"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
 }
 
 func (d Diagnostic) String() string {
@@ -75,15 +100,21 @@ type Package struct {
 	annotDiag []Diagnostic
 }
 
-// diag builds a Diagnostic at pos.
+// diag builds a Diagnostic at pos. Invariant violations are errors;
+// annotation hygiene findings are warnings (they still fail the run).
 func (p *Package) diag(check string, pos token.Pos, format string, args ...any) Diagnostic {
 	position := p.Fset.Position(pos)
+	severity := SeverityError
+	if check == CheckAnnotation {
+		severity = SeverityWarning
+	}
 	return Diagnostic{
-		File:    position.Filename,
-		Line:    position.Line,
-		Col:     position.Column,
-		Check:   check,
-		Message: fmt.Sprintf(format, args...),
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Check:    check,
+		Severity: severity,
+		Message:  fmt.Sprintf(format, args...),
 	}
 }
 
@@ -147,19 +178,25 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].File != out[j].File {
-			return out[i].File < out[j].File
-		}
-		if out[i].Line != out[j].Line {
-			return out[i].Line < out[j].Line
-		}
-		if out[i].Col != out[j].Col {
-			return out[i].Col < out[j].Col
-		}
-		return out[i].Message < out[j].Message
-	})
+	SortDiagnostics(out)
 	return out
+}
+
+// SortDiagnostics orders findings by position (then message) so output —
+// textual or -json — is deterministic for CI diffs.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].File != ds[j].File {
+			return ds[i].File < ds[j].File
+		}
+		if ds[i].Line != ds[j].Line {
+			return ds[i].Line < ds[j].Line
+		}
+		if ds[i].Col != ds[j].Col {
+			return ds[i].Col < ds[j].Col
+		}
+		return ds[i].Message < ds[j].Message
+	})
 }
 
 // findPos recovers a token.Pos for a diagnostic from its file:line:col,
@@ -178,27 +215,83 @@ func findPos(p *Package, d Diagnostic) token.Pos {
 	return pos
 }
 
-// Analyzers returns the analyzer set selected by the comma-separated
-// checks list (empty or "all" selects every check). match scopes the
-// determinism analyzer to the deterministic-replay packages; nil means
-// every package.
-func Analyzers(checks string, match func(importPath string) bool) ([]*Analyzer, error) {
+// AllChecks lists every check name in canonical order.
+var AllChecks = []string{
+	CheckDeterminism, CheckSnapshot, CheckNoalloc,
+	CheckHeldFrame, CheckMergePurity, CheckNoallocEscape,
+}
+
+// Selection is the outcome of parsing a -checks list: the AST analyzers
+// to run, plus whether the build-driven noalloc-escape check was
+// selected — that one drives the compiler per annotated package (see
+// EscapeCheck) instead of walking a type-checked Package.
+type Selection struct {
+	Analyzers []*Analyzer
+	Escape    bool
+}
+
+// Select parses the comma-separated checks list (empty or "all" selects
+// every check). scoped applies the repository package scopes — the
+// determinism analyzer over the deterministic-replay packages, heldframe
+// over the hold-protocol packages, mergepurity over the reducer
+// packages. Unscoped runs them over every loaded package, which is what
+// the fixture tests want.
+func Select(checks string, scoped bool) (Selection, error) {
+	var detMatch, hfMatch, mpMatch func(string) bool
+	if scoped {
+		detMatch, hfMatch, mpMatch = MatchDeterministic, MatchHeldFrame, MatchReducer
+	}
 	all := map[string]*Analyzer{
-		CheckDeterminism: DeterminismAnalyzer(match),
+		CheckDeterminism: DeterminismAnalyzer(detMatch),
 		CheckSnapshot:    SnapshotAnalyzer(),
 		CheckNoalloc:     NoallocAnalyzer(),
+		CheckHeldFrame:   HeldFrameAnalyzer(hfMatch),
+		CheckMergePurity: MergePurityAnalyzer(mpMatch),
 	}
-	if checks == "" || checks == "all" {
-		return []*Analyzer{all[CheckDeterminism], all[CheckSnapshot], all[CheckNoalloc]}, nil
+	names := AllChecks
+	if checks != "" && checks != "all" {
+		names = strings.Split(checks, ",")
 	}
-	var out []*Analyzer
-	for _, name := range strings.Split(checks, ",") {
+	var sel Selection
+	for _, name := range names {
 		name = strings.TrimSpace(name)
+		if name == CheckNoallocEscape {
+			sel.Escape = true
+			continue
+		}
 		a, ok := all[name]
 		if !ok {
-			return nil, fmt.Errorf("lint: unknown check %q (have determinism, snapshot, noalloc)", name)
+			return Selection{}, fmt.Errorf("lint: unknown check %q (have %s)", name, strings.Join(AllChecks, ", "))
 		}
-		out = append(out, a)
+		sel.Analyzers = append(sel.Analyzers, a)
 	}
-	return out, nil
+	return sel, nil
+}
+
+// Analyzers returns the AST analyzer set selected by the checks list.
+// match, when non-nil, scopes the package-scoped analyzers (determinism,
+// heldframe, mergepurity) to the import paths it accepts; nil runs them
+// everywhere. Kept for test harnesses that drive one analyzer over one
+// fixture; the CLI uses Select.
+func Analyzers(checks string, match func(importPath string) bool) ([]*Analyzer, error) {
+	sel, err := Select(checks, false)
+	if err != nil {
+		return nil, err
+	}
+	if match != nil {
+		for _, a := range sel.Analyzers {
+			a := a
+			switch a.Name {
+			case CheckDeterminism, CheckHeldFrame, CheckMergePurity:
+				inner := a.Run
+				a.Run = func(p *Package) []Diagnostic {
+					if !match(p.ImportPath) {
+						return nil
+					}
+					return inner(p)
+				}
+			}
+		}
+	}
+	return sel.Analyzers, nil
 }

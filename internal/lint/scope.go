@@ -42,7 +42,48 @@ var DeterministicPackages = []string{
 // MatchDeterministic reports whether an import path is one of the
 // deterministic-replay packages.
 func MatchDeterministic(importPath string) bool {
-	for _, suffix := range DeterministicPackages {
+	return matchSuffix(importPath, DeterministicPackages)
+}
+
+// HeldFramePackages are the packages that participate in the
+// interpose.Hold held-frame protocol: the chain itself, the guard that
+// issues Hold verdicts and carries the deferred-predict seam, the fleet
+// worker that drives the batched resume, and the rig whose write path
+// the resumed frame lands on. The heldframe analyzer is scoped to these.
+var HeldFramePackages = []string{
+	"internal/interpose",
+	"internal/core",
+	"internal/fleet",
+	"internal/sim",
+}
+
+// MatchHeldFrame reports whether an import path is one of the
+// held-frame protocol packages.
+func MatchHeldFrame(importPath string) bool {
+	return matchSuffix(importPath, HeldFramePackages)
+}
+
+// ReducerPackages are the packages whose merge schedules the sharded
+// campaign's bit-identity argument leans on: the shard layer's Merger,
+// the stats combine schedule, the metrics aggregates, and the
+// experiment-level shard reducers (plus the labrunner CLI that hosts
+// shard workers). The mergepurity analyzer is scoped to these.
+var ReducerPackages = []string{
+	"internal/shard",
+	"internal/stats",
+	"internal/metrics",
+	"internal/experiment",
+	"cmd/labrunner",
+}
+
+// MatchReducer reports whether an import path is one of the reducer
+// packages.
+func MatchReducer(importPath string) bool {
+	return matchSuffix(importPath, ReducerPackages)
+}
+
+func matchSuffix(importPath string, suffixes []string) bool {
+	for _, suffix := range suffixes {
 		if importPath == suffix || strings.HasSuffix(importPath, "/"+suffix) {
 			return true
 		}

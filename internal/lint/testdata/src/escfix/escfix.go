@@ -1,0 +1,56 @@
+// Package escfix exercises the noalloc-escape check: functions annotated
+// //ravenlint:noalloc whose bodies the compiler proves to heap-allocate.
+// Expectations live in `// wantescape` comments matched by line (the
+// findings come from `go build -gcflags=-m`, not from an AST pass, so
+// the golden harness for this fixture matches compiler positions).
+package escfix
+
+// Sum is annotated and genuinely allocation-free: nothing escapes.
+//
+//ravenlint:noalloc
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Grow is annotated but returns a fresh slice: the make escapes.
+//
+//ravenlint:noalloc
+func Grow(n int) []int {
+	buf := make([]int, n) // wantescape `escapes to heap`
+	for i := range buf {
+		buf[i] = i
+	}
+	return buf
+}
+
+// Node is a linked-list cell for the moved-to-heap case.
+type Node struct {
+	Next *Node
+	V    int
+}
+
+// Leak is annotated but returns the address of a local: moved to heap.
+//
+//ravenlint:noalloc
+func Leak(v int) *Node {
+	n := Node{V: v} // wantescape `moved to heap`
+	return &n
+}
+
+// Boxed is annotated and escapes via interface boxing, but the escape is
+// waived with a reasoned allow — no finding.
+//
+//ravenlint:noalloc
+func Boxed(v int) any {
+	//ravenlint:allow noalloc-escape fixture demonstrates suppression
+	return v
+}
+
+// Unannotated escapes freely: no annotation, no findings.
+func Unannotated(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,154 @@
+// Package heldfix exercises the heldframe analyzer. It models the
+// interpose held-frame protocol structurally — a Verdict type with a
+// Hold constant, a chain with Write/ResumeHeld, and a guard carrying the
+// PredictInto/AbsorbPrediction seam — without importing the real
+// packages, then walks through the protocol's safe shape and each way of
+// breaking it.
+package heldfix
+
+// Verdict mirrors interpose.Verdict structurally.
+type Verdict int
+
+const (
+	Pass Verdict = iota
+	Drop
+	Hold
+)
+
+// Chain mirrors the interposition chain: Write forwards (or refuses,
+// held), ResumeHeld releases a parked frame.
+type Chain struct{ held []float64 }
+
+func (c *Chain) Write(buf []float64) error { return nil }
+func (c *Chain) ResumeHeld() error         { return nil }
+
+// Guard implements the full deferred-predict seam, so it may issue Hold.
+type Guard struct{ pending bool }
+
+func (g *Guard) SetDeferredPredict(on bool)               {}
+func (g *Guard) PredictPending() bool                     { return g.pending }
+func (g *Guard) PredictInto(dst []float64, lane int)      {}
+func (g *Guard) AbsorbPrediction(src []float64, lane int) {}
+
+// OnWrite may return Hold: Guard carries the seam, so this is clean.
+func (g *Guard) OnWrite(buf []float64) Verdict {
+	if g.pending {
+		return Hold
+	}
+	return Pass
+}
+
+type session struct {
+	guard *Guard
+	chain *Chain
+}
+
+// TickGood mirrors the fleet worker's two-loop shape: park every pending
+// prediction into lanes, then absorb and resume each lane. Clean on
+// every path, including the zero-lane and error-bailout ones.
+func TickGood(sessions []*session, scratch []float64) error {
+	lanes := 0
+	for _, s := range sessions {
+		if s.guard.PredictPending() {
+			s.guard.PredictInto(scratch, lanes)
+			lanes++
+		}
+	}
+	for k, s := range sessions {
+		if k >= lanes {
+			break
+		}
+		s.guard.AbsorbPrediction(scratch, k)
+		if err := s.chain.ResumeHeld(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LostPark parks a prediction and forgets it entirely.
+func LostPark(g *Guard, scratch []float64) {
+	if g.PredictPending() {
+		g.PredictInto(scratch, 0) // want `never absorbed`
+	}
+}
+
+// NoResume absorbs the prediction but the resume call was deleted: the
+// park is flagged (no resume anywhere ahead) and so is the absorb (a
+// normal return is reachable with the frame still parked).
+func NoResume(g *Guard, scratch []float64) {
+	g.PredictInto(scratch, 0)      // want `held frame is never resumed`
+	g.AbsorbPrediction(scratch, 0) // want `not resumed on all paths`
+}
+
+// MaybeResume resumes only on one branch after absorbing; the
+// fall-through path returns with the frame still parked.
+func MaybeResume(s *session, scratch []float64, ok bool) {
+	s.guard.PredictInto(scratch, 0)
+	s.guard.AbsorbPrediction(scratch, 0) // want `not resumed on all paths`
+	if ok {
+		s.chain.ResumeHeld()
+	}
+}
+
+// ErrBailout resumes on the happy path and bails with an error before
+// resuming on the failure path — clean: an error return tears the
+// session down, so the protocol does not require a resume there.
+func ErrBailout(s *session, scratch []float64, err error) error {
+	s.guard.PredictInto(scratch, 0)
+	s.guard.AbsorbPrediction(scratch, 0)
+	if err != nil {
+		return err
+	}
+	return s.chain.ResumeHeld()
+}
+
+// WriteWhileHeld writes the chain while a frame may still be parked.
+func WriteWhileHeld(s *session, buf, scratch []float64) {
+	s.guard.PredictInto(scratch, 0)
+	s.chain.Write(buf) // want `write on a chain that may still hold a parked frame`
+	s.guard.AbsorbPrediction(scratch, 0)
+	s.chain.ResumeHeld()
+}
+
+// WriteAfterResume is the clean ordering of the same calls.
+func WriteAfterResume(s *session, buf, scratch []float64) {
+	s.guard.PredictInto(scratch, 0)
+	s.guard.AbsorbPrediction(scratch, 0)
+	s.chain.ResumeHeld()
+	s.chain.Write(buf)
+}
+
+// DoubleHold parks a second prediction before the first was resumed.
+func DoubleHold(a, b *Guard, c *Chain, scratch []float64) {
+	a.PredictInto(scratch, 0)
+	b.PredictInto(scratch, 1) // want `second prediction parked before the previous held frame was resumed`
+	a.AbsorbPrediction(scratch, 0)
+	b.AbsorbPrediction(scratch, 1)
+	c.ResumeHeld()
+	c.ResumeHeld()
+}
+
+// Lone opts into deferral but implements none of the seam.
+type Lone struct{}
+
+func (l *Lone) SetDeferredPredict(on bool) {} // want `Lone has SetDeferredPredict but no PredictPending` `Lone has SetDeferredPredict but no PredictInto` `Lone has SetDeferredPredict but no AbsorbPrediction`
+
+// Partial lacks only AbsorbPrediction.
+type Partial struct{}
+
+func (p *Partial) SetDeferredPredict(on bool) {} // want `Partial has SetDeferredPredict but no AbsorbPrediction`
+
+func (p *Partial) PredictPending() bool { return false }
+
+func (p *Partial) PredictInto(dst []float64, lane int) {}
+
+// Filter returns Hold without Partial carrying the full seam.
+func (p *Partial) Filter(buf []float64) Verdict {
+	return Hold // want `Partial\.Filter returns Hold but Partial does not implement AbsorbPrediction`
+}
+
+// freeHold is not a method at all; nobody could ever resume its holds.
+func freeHold() Verdict {
+	return Hold // want `freeHold returns Hold but is not a method`
+}

@@ -1,0 +1,139 @@
+// Package mergefix exercises the mergepurity analyzer. It models shard
+// reducers structurally — Merge methods, merge-named helpers, function
+// values passed to NewMerger / merge parameters, and composite-literal
+// Merge fields — and plants each way order sensitivity sneaks into one:
+// map iteration, wall clocks, global rand, package-level mutable state,
+// and direct float accumulation.
+package mergefix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Totals is a partial aggregate folded across shards.
+type Totals struct {
+	Frames int
+	Peak   int
+	Kinds  []int
+	ByKind map[string]int
+	Sum    float64
+}
+
+// Merge is a clean reducer: integer adds, max compares, and
+// fixed-order slice folding only.
+func (t *Totals) Merge(src *Totals) {
+	t.Frames += src.Frames
+	t.Peak = max(t.Peak, src.Peak)
+	for i := range src.Kinds {
+		t.Kinds[i] += src.Kinds[i]
+	}
+}
+
+// MergeByKind folds a map in iteration order.
+func (t *Totals) MergeByKind(src *Totals) {
+	for k, v := range src.ByKind { // want `iterates a map`
+		t.ByKind[k] += v
+	}
+}
+
+// MergeStamped smuggles a wall-clock read into the merged bits.
+func (t *Totals) MergeStamped(src *Totals) {
+	t.Frames += src.Frames + int(time.Now().Unix()) // want `reads the wall clock`
+}
+
+// MergeJittered consults the global rand stream.
+func (t *Totals) MergeJittered(src *Totals) {
+	if rand.Intn(2) == 0 { // want `draws from the global rand source`
+		t.Frames += src.Frames
+	}
+}
+
+// mergeCount is the package's default merge counter; reducers reading it
+// observe whatever the other shards already did.
+var mergeCount int
+
+// MergeCounted bumps package state from inside a reducer.
+func (t *Totals) MergeCounted(src *Totals) {
+	mergeCount++ // want `touches package-level mutable state mergeCount`
+	t.Frames += src.Frames
+}
+
+// MergeFloats accumulates floats directly: associativity is gone, so the
+// merged bits depend on shard arrival order.
+func (t *Totals) MergeFloats(src *Totals) {
+	t.Sum += src.Sum // want `accumulates floats directly`
+}
+
+// sink models shard.Merger enough for root discovery.
+type sink struct {
+	merge func(dst, src *Totals) (*Totals, error)
+}
+
+// NewMerger mirrors shard.NewMerger's shape: the merge argument is a
+// reducer root.
+func NewMerger(jobs int, merge func(dst, src *Totals) (*Totals, error)) *sink {
+	return &sink{merge: merge}
+}
+
+// Wire passes an impure literal to NewMerger: found via the call, not
+// the name.
+func Wire() *sink {
+	return NewMerger(8, func(dst, src *Totals) (*Totals, error) {
+		dst.Sum += src.Sum // want `accumulates floats directly`
+		return dst, nil
+	})
+}
+
+// foldTotals is reachable only through the merge parameter below; its
+// map range is flagged through the transitive closure.
+func foldTotals(dst, src *Totals) (*Totals, error) {
+	for k, v := range src.ByKind { // want `iterates a map`
+		dst.ByKind[k] += v
+	}
+	return dst, nil
+}
+
+// runShards takes a reducer as a parameter named merge.
+func runShards(n int, merge func(dst, src *Totals) (*Totals, error)) error {
+	acc := &Totals{ByKind: map[string]int{}}
+	for i := 0; i < n; i++ {
+		if _, err := merge(acc, &Totals{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Campaign wires foldTotals in through the merge parameter.
+func Campaign() error {
+	return runShards(4, foldTotals)
+}
+
+// shardSpec mirrors experiment.CampaignShard's Merge-field shape.
+type shardSpec struct {
+	Name  string
+	Merge func(dst, src *Totals) (*Totals, error)
+}
+
+// Spec binds an impure literal to a Merge field.
+var Spec = shardSpec{
+	Name: "totals",
+	Merge: func(dst, src *Totals) (*Totals, error) {
+		if time.Since(time.Time{}) > 0 { // want `reads the wall clock`
+			return dst, nil
+		}
+		dst.Frames += src.Frames
+		return dst, nil
+	},
+}
+
+// Observe is NOT a reducer (wrong name, not wired anywhere): its map
+// range and clock read are out of scope for this check.
+func Observe(t *Totals) int {
+	n := int(time.Now().Unix())
+	for k := range t.ByKind {
+		n += len(k)
+	}
+	return n
+}

@@ -13,13 +13,25 @@ stage="(startup)"
 sharddir=""
 trap 'status=$?; if [ -n "$sharddir" ]; then rm -rf "$sharddir"; fi; if [ "$status" -ne 0 ]; then echo "FAIL at stage: $stage (exit $status)" >&2; fi' EXIT
 
+# Cheap, attributable gates first: compile, vet, then the full ravenlint
+# v2 suite (all six checks — determinism, snapshot, noalloc, heldframe,
+# mergepurity, noalloc-escape) and its own fixture self-test, so a lint
+# regression reports in seconds instead of after the ~12 min race stage.
+stage="go build"
+echo "==> go build ./..."
+go build ./...
+
 stage="go vet"
 echo "==> go vet ./..."
 go vet ./...
 
-stage="ravenlint"
+stage="ravenlint (all six checks)"
 echo "==> go run ./cmd/ravenlint ./..."
 go run ./cmd/ravenlint ./...
+
+stage="ravenlint fixture self-test"
+echo "==> go test ./internal/lint ./cmd/ravenlint"
+go test -count 1 ./internal/lint ./cmd/ravenlint
 
 # -json smoke: a clean tree must emit exactly the empty JSON array, so
 # downstream tooling can parse the output without special-casing.
@@ -29,10 +41,6 @@ out="$(go run ./cmd/ravenlint -json ./...)"
 	echo "ravenlint -json on a clean tree printed: $out" >&2
 	exit 1
 }
-
-stage="go build"
-echo "==> go build ./..."
-go build ./...
 
 # The experiment package's campaigns are the long pole under the race
 # detector; the shard-equivalence tests added in PR 6 re-simulate whole
